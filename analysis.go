@@ -1,0 +1,143 @@
+package sde
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sde/internal/vm"
+)
+
+// Analysis utilities over a finished run: the quantities the paper's
+// §III/§IV discussion reasons about — duplicate states, per-node state
+// populations, and grouping-structure shapes — exposed for inspection.
+
+// DuplicateStates returns how many of the run's final states are
+// redundant duplicates: states whose full configuration fingerprint
+// (heap, stack, program counter, path constraints, communication history
+// — §III-A) equals that of another live state. The paper's §III-D
+// theorem says this is always zero for SDS; COB and COW pay for their
+// duplicates in memory and redundant execution.
+func (r *Report) DuplicateStates() int {
+	counts := make(map[uint64]int)
+	r.res.Mapper.ForEachState(func(s *vm.State) {
+		counts[s.Fingerprint()]++
+	})
+	dups := 0
+	for _, c := range counts {
+		if c > 1 {
+			dups += c - 1
+		}
+	}
+	return dups
+}
+
+// StatesPerNode returns the number of live execution states per node id.
+func (r *Report) StatesPerNode() []int {
+	var maxNode int
+	r.res.Mapper.ForEachState(func(s *vm.State) {
+		if s.NodeID() > maxNode {
+			maxNode = s.NodeID()
+		}
+	})
+	out := make([]int, maxNode+1)
+	r.res.Mapper.ForEachState(func(s *vm.State) {
+		out[s.NodeID()]++
+	})
+	return out
+}
+
+// NodePopulation summarises the per-node state distribution.
+type NodePopulation struct {
+	MinStates    int
+	MaxStates    int
+	MaxNode      int // a node attaining MaxStates
+	MeanStates   float64
+	MedianStates int
+}
+
+// Population computes the per-node state distribution summary. Nodes on
+// the data path (many communication contexts) hold far more states than
+// pure bystanders — the asymmetry SDS exploits.
+func (r *Report) Population() NodePopulation {
+	per := r.StatesPerNode()
+	if len(per) == 0 {
+		return NodePopulation{}
+	}
+	sorted := append([]int(nil), per...)
+	sort.Ints(sorted)
+	pop := NodePopulation{
+		MinStates:    sorted[0],
+		MaxStates:    sorted[len(sorted)-1],
+		MedianStates: sorted[len(sorted)/2],
+	}
+	total := 0
+	for node, n := range per {
+		total += n
+		if n == pop.MaxStates {
+			pop.MaxNode = node
+		}
+	}
+	pop.MeanStates = float64(total) / float64(len(per))
+	return pop
+}
+
+// ViolationSummary groups the run's violations by (node, message) with
+// occurrence counts, ordered by node then message.
+func (r *Report) ViolationSummary() []ViolationCount {
+	counts := make(map[string]*ViolationCount)
+	for _, v := range r.res.Violations {
+		key := fmt.Sprintf("%06d|%s", v.Node, v.Msg)
+		if c, ok := counts[key]; ok {
+			c.Count++
+		} else {
+			counts[key] = &ViolationCount{Node: v.Node, Msg: v.Msg, Count: 1, Witness: v.Model}
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ViolationCount, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *counts[k])
+	}
+	return out
+}
+
+// ViolationCount is one distinct assertion failure with its multiplicity
+// across states and a representative witness.
+type ViolationCount struct {
+	Node    int
+	Msg     string
+	Count   int
+	Witness Env
+}
+
+// Analysis renders a multi-line diagnostic block: duplicates, population
+// distribution, and distinct violations.
+func (r *Report) Analysis() string {
+	var sb strings.Builder
+	pop := r.Population()
+	fmt.Fprintf(&sb, "states: %d total, %d duplicates, per node min/median/mean/max = %d/%d/%.1f/%d (peak at node %d)\n",
+		r.States(), r.DuplicateStates(),
+		pop.MinStates, pop.MedianStates, pop.MeanStates, pop.MaxStates, pop.MaxNode)
+	fmt.Fprintf(&sb, "groups: %d (%s), representing %s dscenarios\n",
+		r.Groups(), groupNoun(r.res.Algorithm), r.DScenarios())
+	if vs := r.ViolationSummary(); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintf(&sb, "violation x%d at node %d: %s\n", v.Count, v.Node, v.Msg)
+		}
+	} else {
+		sb.WriteString("violations: none\n")
+	}
+	return sb.String()
+}
+
+func groupNoun(a Algorithm) string {
+	if a == COB {
+		return "dscenarios"
+	}
+	return "dstates"
+}

@@ -1,0 +1,129 @@
+package sde_test
+
+import (
+	"strings"
+	"testing"
+
+	"sde"
+)
+
+func gridReport(t *testing.T, algo sde.Algorithm) *sde.Report {
+	t.Helper()
+	s, err := sde.GridCollectScenario(sde.GridCollectOptions{
+		Dim:       3,
+		Algorithm: algo,
+		Packets:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// TestDuplicateStatesByAlgorithm checks the §III-D accounting through
+// the public API: SDS holds zero duplicates, COB and COW hold some.
+func TestDuplicateStatesByAlgorithm(t *testing.T) {
+	if got := gridReport(t, sde.SDS).DuplicateStates(); got != 0 {
+		t.Errorf("SDS duplicates = %d, want 0", got)
+	}
+	if got := gridReport(t, sde.COB).DuplicateStates(); got == 0 {
+		t.Error("COB reports no duplicates; scenario degenerate")
+	}
+	if got := gridReport(t, sde.COW).DuplicateStates(); got == 0 {
+		t.Error("COW reports no duplicates; scenario degenerate")
+	}
+}
+
+func TestStatesPerNode(t *testing.T) {
+	report := gridReport(t, sde.SDS)
+	per := report.StatesPerNode()
+	if len(per) != 9 {
+		t.Fatalf("nodes = %d, want 9", len(per))
+	}
+	total := 0
+	for node, n := range per {
+		if n < 1 {
+			t.Errorf("node %d has %d states; every node needs at least one", node, n)
+		}
+		total += n
+	}
+	if total != report.States() {
+		t.Errorf("per-node sum %d != total %d", total, report.States())
+	}
+	// Route nodes accumulate more states than the untouched corner
+	// (node 2 is off the 8-7-4-3-0 staircase and its neighbourhood).
+	if per[2] >= per[4] {
+		t.Errorf("off-route node 2 has %d states, route node 4 has %d", per[2], per[4])
+	}
+}
+
+func TestPopulationSummary(t *testing.T) {
+	report := gridReport(t, sde.COW)
+	pop := report.Population()
+	if pop.MinStates < 1 || pop.MaxStates < pop.MinStates {
+		t.Errorf("population = %+v", pop)
+	}
+	if pop.MeanStates < float64(pop.MinStates) || pop.MeanStates > float64(pop.MaxStates) {
+		t.Errorf("mean %f outside [min, max]", pop.MeanStates)
+	}
+	if pop.MedianStates < pop.MinStates || pop.MedianStates > pop.MaxStates {
+		t.Errorf("median %d outside [min, max]", pop.MedianStates)
+	}
+}
+
+func TestViolationSummaryGroups(t *testing.T) {
+	s, err := sde.LineCollectScenario(sde.LineCollectOptions{
+		K:         3,
+		Algorithm: sde.SDS,
+		Packets:   3,
+		Failures: sde.FailurePlan{
+			DuplicateFirst: map[int]bool{0: true},
+			DropFirst:      map[int]bool{1: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := report.ViolationSummary()
+	if len(sum) == 0 {
+		t.Fatal("no violations summarised")
+	}
+	for _, v := range sum {
+		if v.Count < 1 || v.Msg == "" {
+			t.Errorf("bad summary entry %+v", v)
+		}
+		if v.Witness == nil {
+			t.Errorf("summary entry lacks a witness")
+		}
+	}
+	// Total multiplicity equals the raw violation count.
+	total := 0
+	for _, v := range sum {
+		total += v.Count
+	}
+	if total != len(report.Violations()) {
+		t.Errorf("summary total %d != %d raw violations", total, len(report.Violations()))
+	}
+}
+
+func TestAnalysisRendering(t *testing.T) {
+	report := gridReport(t, sde.SDS)
+	out := report.Analysis()
+	for _, want := range []string{"states:", "0 duplicates", "dstates", "violations: none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analysis lacks %q:\n%s", want, out)
+		}
+	}
+	cob := gridReport(t, sde.COB)
+	if !strings.Contains(cob.Analysis(), "dscenarios") {
+		t.Errorf("COB analysis should name dscenarios:\n%s", cob.Analysis())
+	}
+}

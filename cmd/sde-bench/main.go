@@ -1,0 +1,169 @@
+// Command sde-bench regenerates the paper's evaluation artifacts: Table I
+// (runtime / states / RAM per state mapping algorithm) and the Figure 10
+// state- and memory-growth series for the 25-, 49-, and 100-node grid
+// scenarios.
+//
+// Usage:
+//
+//	sde-bench                 # full sweep at calibrated laptop scale
+//	sde-bench -dims 5,7       # selected grid dimensions
+//	sde-bench -packets 10     # paper-scale traffic (slow on one core)
+//	sde-bench -table1         # only the 100-node Table I
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"sde"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "sde-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dimsFlag := flag.String("dims", "5,7,10", "comma-separated grid dimensions to evaluate")
+	packets := flag.Uint("packets", 0, "packets per run (0 = calibrated default of 3; the paper uses 10)")
+	table1 := flag.Bool("table1", false, "run only the 100-node Table I scenario")
+	worstCase := flag.Bool("worstcase", false, "run only the §III-E worst-case complexity table")
+	wallCap := flag.Duration("wall", 10*time.Minute, "wall-clock cap per run")
+	flag.Parse()
+
+	// Batch tool: trade GC frequency for throughput on large state sets.
+	debug.SetGCPercent(600)
+
+	if *worstCase {
+		return runWorstCase()
+	}
+
+	dims, err := parseDims(*dimsFlag)
+	if err != nil {
+		return err
+	}
+	if *table1 {
+		dims = []int{10}
+	}
+
+	for _, dim := range dims {
+		opts := sde.DefaultEvalOptions(dim)
+		if *packets > 0 {
+			opts.Packets = uint32(*packets)
+		}
+		for algo, caps := range opts.Caps {
+			caps.MaxWall = *wallCap
+			opts.Caps[algo] = caps
+		}
+		fmt.Printf("Running %dx%d grid scenario (%d nodes, %d packets)...\n",
+			dim, dim, dim*dim, opts.Packets)
+		start := time.Now()
+		rows, err := sde.RunGridEvaluation(dim, opts)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("Table I — %d node scenario with symbolic packet drops", dim*dim)
+		if dim != 10 {
+			title = fmt.Sprintf("Evaluation — %d node scenario with symbolic packet drops", dim*dim)
+		}
+		fmt.Println(sde.FormatTable(title, rows))
+		if !*table1 {
+			fmt.Println(sde.FigureSeries(dim, rows))
+		}
+		fmt.Printf("(sweep took %v)\n\n", time.Since(start).Round(time.Second))
+	}
+	return nil
+}
+
+// runWorstCase regenerates the §III-E analysis: the all-branches input on
+// k nodes to depth u, comparing the measured COB and SDS state counts with
+// the closed forms k*2^(k*u) and k*2^u.
+func runWorstCase() error {
+	fmt.Println("§III-E worst-case complexity: every instruction of every node branches")
+	fmt.Printf("%3s %3s | %12s %12s %7s | %10s %10s %7s\n",
+		"k", "u", "COB states", "k*2^(k*u)", "match", "SDS states", "k*2^u", "match")
+	for _, tc := range []struct{ k, u int }{
+		{1, 2}, {1, 4}, {2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3},
+	} {
+		cobStates, err := runWorstCaseOnce(tc.k, tc.u, sde.COB)
+		if err != nil {
+			return err
+		}
+		sdsStates, err := runWorstCaseOnce(tc.k, tc.u, sde.SDS)
+		if err != nil {
+			return err
+		}
+		wantCOB := tc.k * (1 << uint(tc.k*tc.u))
+		wantSDS := tc.k * (1 << uint(tc.u))
+		fmt.Printf("%3d %3d | %12d %12d %7v | %10d %10d %7v\n",
+			tc.k, tc.u, cobStates, wantCOB, cobStates == wantCOB,
+			sdsStates, wantSDS, sdsStates == wantSDS)
+	}
+	return nil
+}
+
+func runWorstCaseOnce(k, u int, algo sde.Algorithm) (int, error) {
+	b := sde.NewProgramBuilder()
+	boot := b.Func("boot")
+	boot.MovI(sde.R1, 1)
+	boot.Timer("step", sde.R1, sde.R0)
+	boot.Ret()
+	step := b.Func("step")
+	step.Sym(sde.R5, "flip", 1)
+	step.BrNZ(sde.R5, "cont")
+	step.Label("cont")
+	step.MovI(sde.R3, 0)
+	step.Load(sde.R4, sde.R3, 0x30)
+	step.AddI(sde.R4, sde.R4, 1)
+	step.Store(sde.R3, 0x30, sde.R4)
+	step.UltI(sde.R6, sde.R4, uint32(u))
+	step.BrZ(sde.R6, "stop")
+	step.MovI(sde.R1, 1)
+	step.Timer("step", sde.R1, sde.R0)
+	step.Label("stop")
+	step.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		return 0, err
+	}
+	scenario, err := sde.CustomScenario("worst case", sde.CustomConfig{
+		Topology:     sde.Line(k),
+		Program:      prog,
+		Algorithm:    algo,
+		HorizonTicks: uint64(u) + 10,
+	})
+	if err != nil {
+		return 0, err
+	}
+	report, err := sde.RunScenario(scenario)
+	if err != nil {
+		return 0, err
+	}
+	return report.States(), nil
+}
+
+func parseDims(s string) ([]int, error) {
+	var dims []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil || d < 2 {
+			return nil, fmt.Errorf("invalid dimension %q", part)
+		}
+		dims = append(dims, d)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("no dimensions given")
+	}
+	return dims, nil
+}

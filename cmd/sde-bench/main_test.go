@@ -1,0 +1,22 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	got, err := parseDims("5,7,10")
+	if err != nil || !reflect.DeepEqual(got, []int{5, 7, 10}) {
+		t.Errorf("parseDims = %v, %v", got, err)
+	}
+	got, err = parseDims(" 3 , 4 ")
+	if err != nil || !reflect.DeepEqual(got, []int{3, 4}) {
+		t.Errorf("parseDims with spaces = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "1", "5,,x", "0"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"testing"
+
+	"sde"
+)
+
+func TestBuildDemoPrograms(t *testing.T) {
+	for _, name := range []string{"fig1", "triangle", "overflow"} {
+		prog, err := buildDemo(name)
+		if err != nil {
+			t.Fatalf("buildDemo(%q): %v", name, err)
+		}
+		if prog.FuncIndex("main") < 0 {
+			t.Errorf("%q lacks main", name)
+		}
+	}
+	if _, err := buildDemo("nope"); err == nil {
+		t.Error("unknown demo accepted")
+	}
+}
+
+func TestDemoFig1Paths(t *testing.T) {
+	prog, err := buildDemo("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.Explore(prog, "main", sde.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Paths) != 4 {
+		t.Errorf("fig1 paths = %d, want 4", len(report.Paths))
+	}
+}
+
+func TestDemoOverflowFindsBug(t *testing.T) {
+	prog, err := buildDemo("overflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.Explore(prog, "main", sde.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 1 {
+		t.Fatalf("violations = %d, want 1", len(report.Violations))
+	}
+	// The witness must actually overflow: x + 100 wraps.
+	x := report.Violations[0].Model["x_n0_0"]
+	if (x+100)&0xffffffff >= x {
+		t.Errorf("witness x=%d does not overflow", x)
+	}
+}
+
+func TestDemoTrianglePathsValid(t *testing.T) {
+	prog, err := buildDemo("triangle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.Explore(prog, "main", sde.ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) != 0 {
+		t.Errorf("triangle violations: %+v", report.Violations)
+	}
+	if len(report.Paths) < 3 {
+		t.Fatalf("triangle paths = %d, want >= 3 (equilateral/isosceles/scalene)", len(report.Paths))
+	}
+	for i, p := range report.Paths {
+		a := p.TestCase["a_n0_0"]
+		b := p.TestCase["b_n0_1"]
+		c := p.TestCase["c_n0_2"]
+		if a == 0 || b == 0 || c == 0 {
+			t.Errorf("path %d test case has a zero side: %d %d %d", i, a, b, c)
+		}
+		// The program compares in 32-bit registers (the 8-bit inputs are
+		// zero-extended), so the sum does not wrap.
+		if c >= a+b {
+			t.Errorf("path %d violates the assumed inequality: %d %d %d", i, a, b, c)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package sde_test
+
+import (
+	"fmt"
+	"sort"
+
+	"sde"
+)
+
+// ExampleExplore demonstrates regular symbolic execution (paper Figure 1):
+// every feasible path of a single program is explored and solved to a
+// concrete test case.
+func ExampleExplore() {
+	b := sde.NewProgramBuilder()
+	f := b.Func("main")
+	f.Sym(sde.R1, "x", 8)
+	f.UltI(sde.R2, sde.R1, 100)
+	f.BrNZ(sde.R2, "small")
+	f.MovI(sde.R3, 2)
+	f.Ret()
+	f.Label("small")
+	f.MovI(sde.R3, 1)
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	report, err := sde.Explore(prog, "main", sde.ExploreOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("paths:", len(report.Paths))
+	var regions []string
+	for _, p := range report.Paths {
+		x := p.TestCase["x_n0_0"]
+		if x < 100 {
+			regions = append(regions, "x<100")
+		} else {
+			regions = append(regions, "x>=100")
+		}
+	}
+	sort.Strings(regions)
+	fmt.Println("regions:", regions)
+	// Output:
+	// paths: 2
+	// regions: [x<100 x>=100]
+}
+
+// ExampleRunScenario runs the paper's grid collect workload under SDS and
+// prints the dscenario coverage.
+func ExampleRunScenario() {
+	scenario, err := sde.GridCollectScenario(sde.GridCollectOptions{
+		Dim:       3,
+		Algorithm: sde.SDS,
+		Packets:   2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	report, err := sde.RunScenario(scenario)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dscenarios:", report.DScenarios())
+	fmt.Println("violations:", len(report.Violations()))
+	// Output:
+	// dscenarios: 22
+	// violations: 0
+}
+
+// ExampleReport_TestCases generates one concrete test case per explored
+// network scenario (paper §IV-C).
+func ExampleReport_TestCases() {
+	scenario, err := sde.LineCollectScenario(sde.LineCollectOptions{
+		K:         3,
+		Algorithm: sde.SDS,
+		Packets:   2,
+		Failures:  sde.FailurePlan{DropFirst: map[int]bool{1: true}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	report, err := sde.RunScenario(scenario)
+	if err != nil {
+		panic(err)
+	}
+	cases, err := report.TestCases(0)
+	if err != nil {
+		panic(err)
+	}
+	for _, tc := range cases {
+		fmt.Println(tc)
+	}
+	// Output:
+	// testcase 0: drop_n1_r0=0
+	// testcase 1: drop_n1_r0=1
+}
+
+// ExampleRunScenarioSharded partitions the dscenario space and explores
+// the shards on independent engines (the paper's §VI parallelisation).
+func ExampleRunScenarioSharded() {
+	scenario, err := sde.GridCollectScenario(sde.GridCollectOptions{
+		Dim:       3,
+		Algorithm: sde.SDS,
+		Packets:   2,
+		DropNodes: sde.DropRouteAndNeighbors,
+	})
+	if err != nil {
+		panic(err)
+	}
+	unsharded, err := sde.RunScenario(scenario)
+	if err != nil {
+		panic(err)
+	}
+	sharded, err := sde.RunScenarioSharded(scenario, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("shards:", len(sharded.Shards))
+	fmt.Println("coverage matches:", sharded.DScenarios().Cmp(unsharded.DScenarios()) == 0)
+	// Output:
+	// shards: 4
+	// coverage matches: true
+}

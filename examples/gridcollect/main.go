@@ -1,0 +1,69 @@
+// Gridcollect: the paper's evaluation scenario (§IV-A) at laptop scale.
+//
+// A 5x5 grid of sensor nodes runs a Rime-style data-collection stack: the
+// bottom-right node sends a data packet every second towards the sink in
+// the top-left corner along a preconfigured staircase route; every
+// transmission is a link-layer broadcast perceived by the sender's radio
+// neighbours; nodes on the data path symbolically drop their first
+// received packet. The same workload is symbolically executed under all
+// three state mapping algorithms, demonstrating the paper's headline
+// result: identical dscenario coverage at very different state counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sde"
+	"sde/internal/trace"
+)
+
+func main() {
+	fmt.Println("Symbolic distributed execution of a 5x5 sensornet (25 nodes)")
+	fmt.Println("Workload: multihop collect, 3 packets, symbolic drops on the data path")
+	fmt.Println()
+
+	var reports []*sde.Report
+	for _, algo := range sde.Algorithms {
+		scenario, err := sde.GridCollectScenario(sde.GridCollectOptions{
+			Dim:       5,
+			Algorithm: algo,
+			Packets:   3,
+			DropNodes: sde.DropRoute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := sde.RunScenario(scenario)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reports = append(reports, report)
+		fmt.Println(report.Summary())
+	}
+
+	// All three algorithms must represent exactly the same set of
+	// concrete network scenarios.
+	fmt.Println()
+	base := reports[0].DScenarios()
+	for _, r := range reports[1:] {
+		if r.DScenarios().Cmp(base) != 0 {
+			log.Fatalf("dscenario counts diverge: %v vs %v", r.DScenarios(), base)
+		}
+	}
+	fmt.Printf("All algorithms cover the same %s dscenarios.\n", base)
+	cob, sds := reports[0], reports[2]
+	fmt.Printf("SDS held %.1fx fewer states than COB (%d vs %d).\n",
+		float64(cob.States())/float64(sds.States()), sds.States(), cob.States())
+
+	// Explode a few dscenarios of the compact SDS representation into
+	// concrete test cases (§IV-C).
+	fmt.Println("\nFirst concrete test cases (drop decision per armed node, 1 = delivered):")
+	err := sds.StreamTestCases(4, func(tc trace.TestCase) error {
+		fmt.Println(" ", tc.String())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Linereboot: bug finding with symbolic network failures (§IV-A), on a
+// 4-node line running the collect stack.
+//
+// The sink's delivery invariant asserts strictly increasing sequence
+// numbers. A symbolic packet duplication at the sink violates it; a
+// symbolic reboot of a forwarder exercises the loss of volatile state.
+// SDE finds the violating interleaving, emits a concrete witness, and the
+// witness replays deterministically — the paper's core motivation:
+// "concrete input and deterministic path information ... to locate,
+// replay, and narrow down their root-causes".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sde"
+	"sde/internal/sim"
+)
+
+func main() {
+	scenario, err := sde.LineCollectScenario(sde.LineCollectOptions{
+		K:         4,
+		Algorithm: sde.SDS,
+		Packets:   3,
+		Failures: sde.FailurePlan{
+			// The sink may see its first packet duplicated...
+			DuplicateFirst: sim.NodeSet([]int{0}),
+			// ...and the middle forwarder may crash and reboot.
+			RebootOnFirst: sim.NodeSet([]int{2}),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Scenario:", scenario.Description())
+
+	report, err := sde.RunScenario(scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Summary())
+
+	if len(report.Violations()) == 0 {
+		log.Fatal("expected the duplication bug to surface")
+	}
+	for _, v := range report.Violations() {
+		fmt.Printf("\nVIOLATION at node %d, t=%d:\n  %s\n", v.Node, v.Time, v.Msg)
+		fmt.Printf("  concrete witness: %v\n", v.Model)
+		fmt.Println("  (0 selects the failure branch of the corresponding fork)")
+
+		ok, replay, err := report.ReplayViolation(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  deterministic replay reproduces the assertion failure: %v\n", ok)
+		fmt.Printf("  replay ran %d states (one per node) in %v\n",
+			replay.States(), replay.Wall())
+
+		// Narrow the root cause: which injected failures are actually
+		// needed? (The reboot turns out to be irrelevant to this bug.)
+		_, needed, err := report.MinimizeViolation(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  minimised root cause: %v\n", needed)
+	}
+
+	// Flip every failure decision to the no-failure side: the bug must
+	// vanish, confirming the witness is tight.
+	clean := sde.Env{}
+	for _, v := range report.Violations() {
+		for name := range v.Model {
+			clean[name] = 1
+		}
+	}
+	replay, err := report.Replay(clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nReplay with all failures disabled: %d violations (want 0).\n",
+		len(replay.Violations()))
+}

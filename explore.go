@@ -1,0 +1,30 @@
+package sde
+
+import (
+	"fmt"
+
+	"sde/internal/vm"
+)
+
+// PathResult is one completed execution path of a single-program
+// exploration, with its concrete test case (paper Figure 1).
+type PathResult = vm.PathResult
+
+// ExploreReport aggregates a single-program exploration.
+type ExploreReport = vm.ExploreReport
+
+// ExploreOptions tunes Explore.
+type ExploreOptions = vm.ExploreOptions
+
+// Explore symbolically executes a single program from the named entry
+// function, following every feasible path and solving one concrete test
+// case per path — regular symbolic execution (paper §II-A), the k = 1
+// special case of SDE.
+func Explore(prog *Program, entry string, opts ExploreOptions) (*ExploreReport, error) {
+	ctx := vm.NewContext()
+	report, err := vm.Explore(ctx, prog, entry, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	return report, nil
+}

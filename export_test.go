@@ -1,0 +1,86 @@
+package sde_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sde"
+)
+
+func TestReportJSON(t *testing.T) {
+	s, err := sde.LineCollectScenario(sde.LineCollectOptions{
+		K:         3,
+		Algorithm: sde.SDS,
+		Packets:   2,
+		Failures: sde.FailurePlan{
+			DropFirst:      map[int]bool{1: true},
+			DuplicateFirst: map[int]bool{0: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, 4); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded sde.ReportJSON
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if decoded.Algorithm != "SDS" {
+		t.Errorf("algorithm = %q", decoded.Algorithm)
+	}
+	if decoded.States != report.States() {
+		t.Errorf("states = %d, want %d", decoded.States, report.States())
+	}
+	if decoded.DScenarios != report.DScenarios().String() {
+		t.Errorf("dscenarios = %q", decoded.DScenarios)
+	}
+	if decoded.Duplicates != 0 {
+		t.Errorf("SDS duplicates = %d", decoded.Duplicates)
+	}
+	if len(decoded.Violations) == 0 {
+		t.Error("violations missing from JSON (duplication bug expected)")
+	}
+	if len(decoded.TestCases) != 4 {
+		t.Errorf("test cases = %d, want 4", len(decoded.TestCases))
+	}
+	for _, tc := range decoded.TestCases {
+		if len(tc.Inputs) == 0 {
+			t.Errorf("test case %d has no inputs", tc.Index)
+		}
+	}
+}
+
+func TestRunicastScenarioPublicAPI(t *testing.T) {
+	s, err := sde.RunicastScenario(sde.RunicastOptions{
+		K:         2,
+		Algorithm: sde.SDS,
+		Packets:   2,
+		Failures:  sde.FailurePlan{DropFirst: map[int]bool{0: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The protocol heals the drop: no violations in any branch.
+	if n := len(report.Violations()); n != 0 {
+		t.Errorf("violations = %d, want 0 (retransmission heals the drop)", n)
+	}
+	if report.DScenarios().Int64() != 2 {
+		t.Errorf("dscenarios = %v, want 2", report.DScenarios())
+	}
+	if _, err := sde.RunicastScenario(sde.RunicastOptions{K: 1}); err == nil {
+		t.Error("K=1 accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module sde
+
+go 1.22

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchNet prepares a mapper with b branched states per armed node, the
+// population shape of a mid-run scenario.
+func benchNet(tb testing.TB, algo Algorithm, k, branches int) (Mapper[*mockState], []*mockState) {
+	tb.Helper()
+	net := newMockNet(k)
+	m, err := New[*mockState](algo, k)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, s := range net {
+		m.Register(s)
+	}
+	for i := 0; i < branches; i++ {
+		doBranch(m, net[0])
+		doBranch(m, net[1])
+	}
+	return m, net
+}
+
+// BenchmarkMapSend measures one state-mapping resolution per algorithm on
+// a 32-node network where the sender has rivals — the hot operation of
+// every SDE run. COW pays for bystander forks, SDS only for virtual
+// bookkeeping.
+func BenchmarkMapSend(b *testing.B) {
+	for _, algo := range []Algorithm{COWAlgorithm, SDSAlgorithm} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, net := benchNet(b, algo, 32, 1)
+				b.StartTimer()
+				if _, err := doSend(m, net[0], 1, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOnBranch measures the local-branch cost: free for COW/SDS,
+// a whole-dscenario fork for COB.
+func BenchmarkOnBranch(b *testing.B) {
+	for _, algo := range []Algorithm{COBAlgorithm, COWAlgorithm, SDSAlgorithm} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, net := benchNet(b, algo, 32, 0)
+				b.StartTimer()
+				doBranch(m, net[0])
+			}
+		})
+	}
+}
+
+// BenchmarkExplodeMapper measures dscenario enumeration from the compact
+// representations.
+func BenchmarkExplodeMapper(b *testing.B) {
+	for _, algo := range []Algorithm{COWAlgorithm, SDSAlgorithm} {
+		algo := algo
+		b.Run(algo.String(), func(b *testing.B) {
+			m, net := benchNet(b, algo, 8, 3)
+			for hop := 0; hop < 7; hop++ {
+				if _, err := doSend(m, net[hop], hop+1, uint64(hop)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			count := m.DScenarioCount().Int64()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := len(m.Explode(0)); int64(got) != count {
+					b.Fatalf("exploded %d, want %d", got, count)
+				}
+			}
+			b.ReportMetric(float64(count), "dscenarios")
+		})
+	}
+}
+
+// BenchmarkSuperDStateGrowth demonstrates the SDS virtual-state overhead:
+// repeated conflicted sends grow bystander super-dstates, and the
+// bookkeeping per send with it.
+func BenchmarkSuperDStateGrowth(b *testing.B) {
+	for _, sends := range []int{4, 16, 64} {
+		sends := sends
+		b.Run(fmt.Sprintf("sends%d", sends), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m, net := benchNet(b, SDSAlgorithm, 16, 1)
+				b.StartTimer()
+				for j := 0; j < sends; j++ {
+					src := net[j%2]
+					if _, err := doSend(m, src, 2+(j%14), uint64(j)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the paper's primary contribution: the state
+// mapping problem and its three online algorithms — Copy On Branch (COB),
+// Copy On Write (COW), and Super DStates (SDS) — described in §III of
+// "Scalable Symbolic Execution of Distributed Systems" (ICDCS 2011).
+//
+// The state mapping problem (paper §II-B): during symbolic distributed
+// execution each node is represented by many execution states. When one
+// state transmits a packet, the mapping algorithm must decide which states
+// of the destination node receive it, keeping every group of states that
+// stands for a concrete network execution (a "dscenario") free of
+// contradictory communication histories — while creating as few duplicate
+// states as possible.
+//
+// The package is engine-agnostic, mirroring the paper's claim (§V) that
+// the algorithms "can be easily transferred to any other symbolic
+// execution engine": mappers manipulate opaque state handles that only
+// need an identity, a node id, a fork operation, and hashes for the
+// test-time oracles. Package vm's *State satisfies the constraint; unit
+// tests use lightweight mocks.
+package core
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// StateHandle is the constraint a symbolic execution state must satisfy to
+// participate in state mapping. Fork must produce an independent duplicate
+// (same configuration, fresh identity) whose subsequent evolution does not
+// affect the original.
+type StateHandle[S comparable] interface {
+	comparable
+	// ID returns a unique, monotonically assigned state id.
+	ID() uint64
+	// NodeID returns the id of the node this state executes, in [0, k).
+	NodeID() int
+	// Fork returns an independent copy of the state.
+	Fork() S
+	// Fingerprint hashes the state's full configuration (program state,
+	// path condition, history); equal fingerprints mean duplicate states.
+	Fingerprint() uint64
+	// HistoryHash hashes the communication history alone; dstate members
+	// of the same node must agree on it (conflict-freedom invariant).
+	HistoryHash() uint64
+}
+
+// Delivery is the outcome of a MapSend call.
+type Delivery[S comparable] struct {
+	// Receivers are the destination-node states chosen to receive the
+	// packet. The engine is responsible for the actual delivery (history
+	// recording and event scheduling).
+	Receivers []S
+	// Forked lists every state the mapping algorithm created while
+	// resolving conflicts, in creation order. The engine must adopt them
+	// into its scheduler. Receivers and Forked may overlap (COW delivers
+	// to fresh copies) or not (SDS delivers to the original targets).
+	Forked []S
+}
+
+// Algorithm enumerates the three state mapping algorithms.
+type Algorithm int
+
+// The mapping algorithms of paper §III.
+const (
+	COBAlgorithm Algorithm = iota + 1
+	COWAlgorithm
+	SDSAlgorithm
+)
+
+var algoNames = map[Algorithm]string{
+	COBAlgorithm: "COB",
+	COWAlgorithm: "COW",
+	SDSAlgorithm: "SDS",
+}
+
+// String returns the paper's abbreviation for the algorithm.
+func (a Algorithm) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Mapper is the common interface of the three state mapping algorithms.
+//
+// Lifecycle: Register the k initial node states (node ids must be exactly
+// 0..k-1, one state each), then feed every local symbolic branch to
+// OnBranch and every packet transmission to MapSend. Mappers are not
+// safe for concurrent use; the engine serialises execution.
+type Mapper[S StateHandle[S]] interface {
+	// Algorithm identifies the implementation.
+	Algorithm() Algorithm
+
+	// Register adds an initial node state. Must be called exactly once
+	// per node before any OnBranch/MapSend.
+	Register(s S)
+
+	// OnBranch records that orig forked locally (symbolic input) into
+	// sibling. It returns any additional states the algorithm created in
+	// response (only COB forks here); the engine must adopt them.
+	OnBranch(orig, sibling S) []S
+
+	// MapSend resolves the state mapping for a packet sent by sender to
+	// node dst and returns the receivers plus any states created.
+	MapSend(sender S, dst int) (Delivery[S], error)
+
+	// NumStates returns the number of execution states currently tracked.
+	NumStates() int
+
+	// NumGroups returns the number of grouping structures: dscenarios for
+	// COB, dstates for COW and SDS.
+	NumGroups() int
+
+	// DScenarioCount returns how many distinct concrete network scenarios
+	// (dscenarios) the current state population represents.
+	DScenarioCount() *big.Int
+
+	// Explode enumerates up to limit represented dscenarios, each as a
+	// slice of k states indexed by node id (limit <= 0 means all). This
+	// is the §IV-C "deliberate state explosion" used for test-case
+	// generation and for the cross-algorithm equivalence oracle.
+	Explode(limit int) [][]S
+
+	// ExplodeFunc streams up to limit dscenarios to fn without
+	// materialising the whole list — the incremental generation of
+	// §IV-C/§VI ("forking states for a dscenario, generating test cases,
+	// and deleting the states could be done in one step"). fn returning
+	// false stops the enumeration. The callback owns the slice.
+	ExplodeFunc(limit int, fn func(scenario []S) bool)
+
+	// ScenarioFor returns one dscenario containing s — a consistent
+	// choice of one state per node. Distributed assertion witnesses are
+	// solved over such a dscenario's combined constraints, because the
+	// violating state's own path condition lacks the decisions taken on
+	// other nodes. ok is false if s is unknown to the mapper.
+	ScenarioFor(s S) (scenario []S, ok bool)
+
+	// ForEachState visits every tracked state in a deterministic order.
+	ForEachState(f func(S))
+
+	// CheckInvariants validates the algorithm's internal structural
+	// invariants (used by tests); it returns the first violation found.
+	CheckInvariants() error
+}
+
+// New constructs the mapper for the chosen algorithm with the given
+// network size.
+func New[S StateHandle[S]](algo Algorithm, k int) (Mapper[S], error) {
+	switch algo {
+	case COBAlgorithm:
+		return NewCOB[S](k), nil
+	case COWAlgorithm:
+		return NewCOW[S](k), nil
+	case SDSAlgorithm:
+		return NewSDS[S](k), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+}
+
+// validateSend checks the common MapSend preconditions.
+func validateSend[S StateHandle[S]](k int, sender S, dst int) error {
+	if dst < 0 || dst >= k {
+		return fmt.Errorf("core: destination node %d out of range [0,%d)", dst, k)
+	}
+	if dst == sender.NodeID() {
+		return fmt.Errorf("core: state %d sends to its own node %d", sender.ID(), dst)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Compile-time interface compliance checks (one per algorithm).
+var (
+	_ Mapper[*mockState] = (*COB[*mockState])(nil)
+	_ Mapper[*mockState] = (*COW[*mockState])(nil)
+	_ Mapper[*mockState] = (*SDS[*mockState])(nil)
+)
+
+// preparedMapper builds a mapper with a non-trivial dstate structure.
+func preparedMapper(t *testing.T, algo Algorithm) Mapper[*mockState] {
+	t.Helper()
+	net := newMockNet(4)
+	m, err := New[*mockState](algo, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range net {
+		m.Register(s)
+	}
+	doBranch(m, net[0])
+	doBranch(m, net[2])
+	if _, err := doSend(m, net[0], 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doSend(m, net[2], 3, 22); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExplodeFuncMatchesExplode(t *testing.T) {
+	for _, algo := range []Algorithm{COBAlgorithm, COWAlgorithm, SDSAlgorithm} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			m := preparedMapper(t, algo)
+			want := m.Explode(0)
+			var got [][]*mockState
+			m.ExplodeFunc(0, func(sc []*mockState) bool {
+				got = append(got, sc)
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("ExplodeFunc yielded %d dscenarios, Explode %d", len(got), len(want))
+			}
+			for i := range got {
+				for node := range got[i] {
+					if got[i][node] != want[i][node] {
+						t.Fatalf("dscenario %d node %d differs", i, node)
+					}
+				}
+			}
+			if big.NewInt(int64(len(got))).Cmp(m.DScenarioCount()) != 0 {
+				t.Errorf("enumerated %d, DScenarioCount = %v", len(got), m.DScenarioCount())
+			}
+		})
+	}
+}
+
+func TestExplodeFuncEarlyStop(t *testing.T) {
+	for _, algo := range []Algorithm{COBAlgorithm, COWAlgorithm, SDSAlgorithm} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			m := preparedMapper(t, algo)
+			total := len(m.Explode(0))
+			if total < 3 {
+				t.Fatalf("degenerate: %d dscenarios", total)
+			}
+			// Stop via callback after 2.
+			n := 0
+			m.ExplodeFunc(0, func([]*mockState) bool {
+				n++
+				return n < 2
+			})
+			if n != 2 {
+				t.Errorf("callback stop: visited %d, want 2", n)
+			}
+			// Stop via limit.
+			n = 0
+			m.ExplodeFunc(2, func([]*mockState) bool {
+				n++
+				return true
+			})
+			if n != 2 {
+				t.Errorf("limit stop: visited %d, want 2", n)
+			}
+		})
+	}
+}
+
+func TestScenarioFor(t *testing.T) {
+	for _, algo := range []Algorithm{COBAlgorithm, COWAlgorithm, SDSAlgorithm} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			m := preparedMapper(t, algo)
+			m.ForEachState(func(s *mockState) {
+				sc, ok := m.ScenarioFor(s)
+				if !ok {
+					t.Fatalf("ScenarioFor(%d) failed", s.ID())
+				}
+				if len(sc) != 4 {
+					t.Fatalf("scenario has %d slots", len(sc))
+				}
+				if sc[s.node] != s {
+					t.Errorf("scenario does not contain the requested state")
+				}
+				for node, member := range sc {
+					if member.node != node {
+						t.Errorf("slot %d holds node %d", node, member.node)
+					}
+				}
+				// The returned dscenario must be one of the exploded set.
+				found := false
+				m.ExplodeFunc(0, func(cand []*mockState) bool {
+					same := true
+					for i := range cand {
+						if cand[i] != sc[i] {
+							same = false
+							break
+						}
+					}
+					if same {
+						found = true
+						return false
+					}
+					return true
+				})
+				if !found {
+					t.Errorf("ScenarioFor(%d) returned a non-represented dscenario", s.ID())
+				}
+			})
+			// Unknown states are rejected.
+			stranger := &mockState{id: 9999, node: 0, alloc: &mockAlloc{next: 10000}}
+			if _, ok := m.ScenarioFor(stranger); ok {
+				t.Error("ScenarioFor accepted an unknown state")
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+// Mock execution states for white-box mapper tests. The mock reproduces
+// the aspects of a symbolic execution state the mapping algorithms can
+// observe indirectly: forking copies the configuration, a local branch
+// differentiates the two sides (they gain complementary constraints), and
+// a packet delivery differentiates receivers from non-receivers. States
+// that are never differentiated remain fingerprint-duplicates — exactly
+// the duplicates the paper's §III-D argument is about.
+
+type mockState struct {
+	id    uint64
+	node  int
+	hist  uint64 // communication history digest
+	cfg   uint64 // remaining configuration digest
+	alloc *mockAlloc
+}
+
+type mockAlloc struct {
+	next uint64
+}
+
+func (a *mockAlloc) newID() uint64 {
+	a.next++
+	return a.next
+}
+
+// newMockNet returns one initial state per node, sharing an id allocator.
+func newMockNet(k int) []*mockState {
+	alloc := &mockAlloc{}
+	states := make([]*mockState, k)
+	for i := range states {
+		states[i] = &mockState{id: alloc.newID(), node: i, alloc: alloc}
+	}
+	return states
+}
+
+func (m *mockState) ID() uint64          { return m.id }
+func (m *mockState) NodeID() int         { return m.node }
+func (m *mockState) HistoryHash() uint64 { return m.hist }
+
+func (m *mockState) Fork() *mockState {
+	cp := *m
+	cp.id = m.alloc.newID()
+	return &cp
+}
+
+func (m *mockState) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range []uint64{uint64(m.node), m.hist, m.cfg} {
+		h ^= v
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mixMock(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15
+	h *= 1099511628211
+	return h
+}
+
+// branchMock simulates a local symbolic branch: a sibling is forked and
+// the two sides' configurations diverge (complementary path constraints).
+func branchMock(s *mockState) *mockState {
+	sib := s.Fork()
+	s.cfg = mixMock(s.cfg, 1)
+	sib.cfg = mixMock(sib.cfg, 2)
+	return sib
+}
+
+// deliverMock simulates the engine's delivery of packet pkt from sender to
+// the chosen receivers: histories and configurations of the receivers
+// change; everyone else is untouched.
+func deliverMock(sender *mockState, receivers []*mockState, pkt uint64) {
+	sender.hist = mixMock(sender.hist, pkt)
+	for _, r := range receivers {
+		r.hist = mixMock(r.hist, pkt|1<<63)
+		r.cfg = mixMock(r.cfg, pkt)
+	}
+}
+
+// doBranch runs a branch through a mapper.
+func doBranch(m Mapper[*mockState], s *mockState) (*mockState, []*mockState) {
+	sib := branchMock(s)
+	extra := m.OnBranch(s, sib)
+	return sib, extra
+}
+
+// doSend runs a transmission through a mapper and performs the delivery.
+func doSend(m Mapper[*mockState], s *mockState, dst int, pkt uint64) (Delivery[*mockState], error) {
+	del, err := m.MapSend(s, dst)
+	if err != nil {
+		return del, err
+	}
+	deliverMock(s, del.Receivers, pkt)
+	return del, nil
+}
+
+// duplicateGroups returns how many fingerprints are shared by two or more
+// current states of the mapper.
+func duplicateGroups(m Mapper[*mockState]) int {
+	counts := map[uint64]int{}
+	m.ForEachState(func(s *mockState) { counts[s.Fingerprint()]++ })
+	dups := 0
+	for _, c := range counts {
+		if c > 1 {
+			dups++
+		}
+	}
+	return dups
+}
+
+// statesOf collects the mapper's states grouped by node.
+func statesOf(m Mapper[*mockState]) map[int][]*mockState {
+	out := map[int][]*mockState{}
+	m.ForEachState(func(s *mockState) { out[s.node] = append(out[s.node], s) })
+	return out
+}

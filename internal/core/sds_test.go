@@ -1,0 +1,382 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestSDSBranchJoinsAllDStates: after a branch, the sibling must appear in
+// every dstate of its predecessor.
+func TestSDSBranchJoinsAllDStates(t *testing.T) {
+	net := newMockNet(3)
+	m := NewSDS[*mockState](3)
+	register(t, m, net)
+	sib, extra := doBranch(m, net[0])
+	if len(extra) != 0 {
+		t.Fatalf("SDS branch forked %d states, want 0", len(extra))
+	}
+	if m.SuperDStateSize(sib) != 1 {
+		t.Errorf("sibling super-dstate size = %d, want 1", m.SuperDStateSize(sib))
+	}
+	if m.NumGroups() != 1 || m.NumStates() != 4 {
+		t.Errorf("groups=%d states=%d, want 1, 4", m.NumGroups(), m.NumStates())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSDSNoRivalDeliversInPlace: a sender alone on its node delivers to
+// the original targets with no forking at all.
+func TestSDSNoRivalDeliversInPlace(t *testing.T) {
+	net := newMockNet(3)
+	m := NewSDS[*mockState](3)
+	register(t, m, net)
+	del, err := doSend(m, net[0], 1, 5)
+	if err != nil {
+		t.Fatalf("MapSend: %v", err)
+	}
+	if len(del.Forked) != 0 || len(del.Receivers) != 1 || del.Receivers[0] != net[1] {
+		t.Errorf("delivery = %+v, want in-place to original", del)
+	}
+	if m.NumGroups() != 1 || m.NumStates() != 3 {
+		t.Errorf("groups=%d states=%d, want 1, 3", m.NumGroups(), m.NumStates())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSDSBystandersNeverForked is the algorithm's core claim (Figure 6):
+// resolving a conflict forks only the target, never the bystanders.
+func TestSDSBystandersNeverForked(t *testing.T) {
+	const k = 6
+	net := newMockNet(k)
+	m := NewSDS[*mockState](k)
+	register(t, m, net)
+	doBranch(m, net[0]) // sender gains one rival
+
+	del, err := doSend(m, net[0], 1, 77)
+	if err != nil {
+		t.Fatalf("MapSend: %v", err)
+	}
+	if len(del.Forked) != 1 {
+		t.Fatalf("forked = %d states, want 1 (the target only)", len(del.Forked))
+	}
+	if del.Forked[0].node != 1 {
+		t.Errorf("forked node = %d, want 1", del.Forked[0].node)
+	}
+	if len(del.Receivers) != 1 || del.Receivers[0] != net[1] {
+		t.Errorf("receiver = %v, want the original target", del.Receivers)
+	}
+	// 6 initial + 1 branch sibling + 1 target fork.
+	if m.NumStates() != k+2 {
+		t.Errorf("states = %d, want %d", m.NumStates(), k+2)
+	}
+	if m.NumGroups() != 2 {
+		t.Errorf("dstates = %d, want 2", m.NumGroups())
+	}
+	// The bystanders now belong to both dstates.
+	for n := 2; n < k; n++ {
+		if got := m.SuperDStateSize(net[n]); got != 2 {
+			t.Errorf("bystander node %d super-dstate size = %d, want 2", n, got)
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// No duplicates — compare with COW which would have created k-2.
+	if d := duplicateGroups(m); d != 0 {
+		t.Errorf("duplicate groups = %d, want 0", d)
+	}
+}
+
+// TestSDSFigure7 reproduces paper Figure 7: a sender without direct
+// rivals whose target has a super-rival. The target is forked and its
+// virtual state in the foreign dstate is moved to the fork; no dstate is
+// split.
+func TestSDSFigure7(t *testing.T) {
+	net := newMockNet(4)
+	m := NewSDS[*mockState](4)
+	register(t, m, net)
+
+	// Build two dstates: branch node 0, then let the original send once,
+	// splitting the initial dstate.
+	doBranch(m, net[0])
+	if _, err := doSend(m, net[0], 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGroups() != 2 {
+		t.Fatalf("setup: dstates = %d, want 2", m.NumGroups())
+	}
+	// Now net[0] is alone on node 0 in its dstate (no direct rival), and
+	// node 2's state sits in both dstates; the other dstate's node-0
+	// population (the branch sibling) is a super-rival.
+	if m.SuperDStateSize(net[2]) != 2 {
+		t.Fatalf("setup: node-2 state should span 2 dstates")
+	}
+	statesBefore := m.NumStates()
+	groupsBefore := m.NumGroups()
+
+	del, err := doSend(m, net[0], 2, 2)
+	if err != nil {
+		t.Fatalf("MapSend: %v", err)
+	}
+	if len(del.Forked) != 1 {
+		t.Fatalf("forked = %d, want 1 (the target)", len(del.Forked))
+	}
+	fork := del.Forked[0]
+	if fork.node != 2 {
+		t.Errorf("fork node = %d, want 2", fork.node)
+	}
+	if m.NumGroups() != groupsBefore {
+		t.Errorf("dstates = %d, want unchanged %d (no direct rivals => no split)",
+			m.NumGroups(), groupsBefore)
+	}
+	if m.NumStates() != statesBefore+1 {
+		t.Errorf("states = %d, want %d", m.NumStates(), statesBefore+1)
+	}
+	// The original target now lives only in the sender's dstate; the fork
+	// holds the virtual state of the foreign dstate.
+	if m.SuperDStateSize(net[2]) != 1 || m.SuperDStateSize(fork) != 1 {
+		t.Errorf("super-dstate sizes: target %d, fork %d; want 1, 1",
+			m.SuperDStateSize(net[2]), m.SuperDStateSize(fork))
+	}
+	// Verify membership via the structure dump: the fork must share a
+	// dstate with the branch sibling (the super-rival side).
+	foundForkWithSibling := false
+	for _, ds := range m.DStateActuals() {
+		has := map[*mockState]bool{}
+		for _, bucket := range ds {
+			for _, s := range bucket {
+				has[s] = true
+			}
+		}
+		if has[fork] && !has[net[0]] {
+			foundForkWithSibling = true
+		}
+		if has[fork] && has[net[2]] {
+			t.Error("fork and original target share a dstate")
+		}
+	}
+	if !foundForkWithSibling {
+		t.Error("fork did not take over the foreign dstate membership")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if d := duplicateGroups(m); d != 0 {
+		t.Errorf("duplicate groups = %d, want 0", d)
+	}
+}
+
+// buildFigure8 constructs the exact input of paper Figure 8(a) by hand
+// (white-box): four nodes, three dstates, a sender with virtual states in
+// dstates 0 and 1, direct rivals in both, three super-rivals in dstate 2,
+// and one target (B5) whose virtual states span dstates 1 and 2.
+func buildFigure8() (m *SDS[*mockState], sender *mockState, actual map[string]*mockState) {
+	alloc := &mockAlloc{}
+	mk := func(node int) *mockState {
+		return &mockState{id: alloc.newID(), node: node, alloc: alloc, cfg: alloc.next * 1000}
+	}
+	actual = map[string]*mockState{}
+	for _, name := range []string{"A1", "A2", "A3", "A4", "A5", "A6"} {
+		actual[name] = mk(0)
+	}
+	for _, name := range []string{"B1", "B2", "B3", "B4", "B5"} {
+		actual[name] = mk(1)
+	}
+	for _, name := range []string{"C1", "C2", "C3"} {
+		actual[name] = mk(2)
+	}
+	for _, name := range []string{"D1", "D2", "D3"} {
+		actual[name] = mk(3)
+	}
+	m = &SDS[*mockState]{
+		k:         4,
+		virtuals:  map[*mockState]*vlist[*mockState]{},
+		nRegister: 4,
+	}
+	addDS := func(names ...string) {
+		d := m.newDState()
+		for _, n := range names {
+			s := actual[n]
+			v := &vstate[*mockState]{actual: s}
+			d.add(v)
+			if m.virtuals[s] == nil {
+				m.virtuals[s] = &vlist[*mockState]{}
+			}
+			m.virtuals[s].prepend(v)
+		}
+		m.dstates = append(m.dstates, d)
+	}
+	// dstate 0: sender A1 + direct rival A2; three targets; bystanders.
+	addDS("A1", "A2", "B1", "B2", "B3", "C1", "D1")
+	// dstate 1: sender A1 + direct rival A3; two targets (B4, B5).
+	addDS("A1", "A3", "B4", "B5", "C2", "D2")
+	// dstate 2: three super-rivals; B5's second virtual state; bystanders.
+	addDS("A4", "A5", "A6", "B5", "C3", "D3")
+	return m, actual["A1"], actual
+}
+
+// TestSDSFigure8 replays the paper's Figure 8(a) -> 8(b) conflict
+// resolution: both sender dstates split (3 dstates become 5), every
+// target is forked exactly once, and no bystander or rival is forked.
+func TestSDSFigure8(t *testing.T) {
+	m, sender, actual := buildFigure8()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("hand-built Figure 8(a) is invalid: %v", err)
+	}
+	if got := m.NumStates(); got != 17 {
+		t.Fatalf("setup states = %d, want 17", got)
+	}
+	if got := m.SuperDStateSize(sender); got != 2 {
+		t.Fatalf("sender virtual states = %d, want 2", got)
+	}
+
+	del, err := m.MapSend(sender, 1)
+	if err != nil {
+		t.Fatalf("MapSend: %v", err)
+	}
+	deliverMock(sender, del.Receivers, 42)
+
+	// All five targets receive; all five are forked exactly once.
+	if len(del.Receivers) != 5 {
+		t.Errorf("receivers = %d, want 5", len(del.Receivers))
+	}
+	if len(del.Forked) != 5 {
+		t.Errorf("forked = %d, want 5", len(del.Forked))
+	}
+	forkCount := map[*mockState]int{}
+	for _, f := range del.Forked {
+		if f.node != 1 {
+			t.Errorf("non-target state of node %d was forked", f.node)
+		}
+		forkCount[f]++
+	}
+	for f, c := range forkCount {
+		if c != 1 {
+			t.Errorf("state %d forked %d times", f.ID(), c)
+		}
+	}
+	// Figure 8(b): five dstates.
+	if m.NumGroups() != 5 {
+		t.Errorf("dstates = %d, want 5", m.NumGroups())
+	}
+	// 17 original + 5 forks.
+	if m.NumStates() != 22 {
+		t.Errorf("states = %d, want 22", m.NumStates())
+	}
+	// "Note how no bystander has been forked (only their virtual states
+	// are forked)": C1/C2, D1/D2 gained a virtual state each.
+	for _, name := range []string{"C1", "C2", "D1", "D2"} {
+		if got := m.SuperDStateSize(actual[name]); got != 2 {
+			t.Errorf("bystander %s super-dstate size = %d, want 2", name, got)
+		}
+	}
+	// dstate-2 bystanders are untouched.
+	for _, name := range []string{"C3", "D3"} {
+		if got := m.SuperDStateSize(actual[name]); got != 1 {
+			t.Errorf("bystander %s super-dstate size = %d, want 1", name, got)
+		}
+	}
+	// B5's foreign (dstate 2) virtual state must now belong to B5's fork:
+	// the fork shares a dstate with the super-rivals A4..A6.
+	var b5Fork *mockState
+	for _, f := range del.Forked {
+		for _, ds := range m.DStateActuals() {
+			has := map[*mockState]bool{}
+			for _, bucket := range ds {
+				for _, s := range bucket {
+					has[s] = true
+				}
+			}
+			if has[f] && has[actual["A4"]] {
+				b5Fork = f
+			}
+		}
+	}
+	if b5Fork == nil {
+		t.Error("no fork took over B5's membership in the super-rival dstate")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// §III-D non-duplication: the mapping created no duplicate states.
+	if d := duplicateGroups(m); d != 0 {
+		t.Errorf("duplicate groups = %d, want 0", d)
+	}
+}
+
+func TestSDSMultipleSendsProgressive(t *testing.T) {
+	// A line of 4 nodes; node 0 branches, sends to 1; node 1 forwards to
+	// 2; node 2 forwards to 3. Invariants and non-duplication must hold
+	// throughout, and dscenario counts must stay consistent.
+	net := newMockNet(4)
+	m := NewSDS[*mockState](4)
+	register(t, m, net)
+	doBranch(m, net[0])
+
+	if _, err := doSend(m, net[0], 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, m)
+	if _, err := doSend(m, net[1], 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, m)
+	if _, err := doSend(m, net[2], 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	checkStep(t, m)
+}
+
+func checkStep(t *testing.T, m Mapper[*mockState]) {
+	t.Helper()
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if d := duplicateGroups(m); d != 0 {
+		t.Fatalf("SDS produced %d duplicate groups", d)
+	}
+}
+
+func TestSDSDScenarioCountMatchesExplode(t *testing.T) {
+	net := newMockNet(3)
+	m := NewSDS[*mockState](3)
+	register(t, m, net)
+	doBranch(m, net[0])
+	doBranch(m, net[1])
+	if _, err := doSend(m, net[0], 1, 9); err != nil {
+		t.Fatal(err)
+	}
+	want := m.DScenarioCount()
+	got := big.NewInt(int64(len(m.Explode(0))))
+	if want.Cmp(got) != 0 {
+		t.Errorf("DScenarioCount = %v, Explode yields %v", want, got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSDSForEachStateVisitsOnce(t *testing.T) {
+	net := newMockNet(4)
+	m := NewSDS[*mockState](4)
+	register(t, m, net)
+	doBranch(m, net[0])
+	if _, err := doSend(m, net[0], 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Bystanders now span two dstates; they must still be visited once.
+	counts := map[*mockState]int{}
+	m.ForEachState(func(s *mockState) { counts[s]++ })
+	for s, c := range counts {
+		if c != 1 {
+			t.Errorf("state %d visited %d times", s.ID(), c)
+		}
+	}
+	if len(counts) != m.NumStates() {
+		t.Errorf("visited %d states, NumStates = %d", len(counts), m.NumStates())
+	}
+}

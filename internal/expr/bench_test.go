@@ -1,0 +1,57 @@
+package expr
+
+import "testing"
+
+// BenchmarkInternHit measures the hash-consing fast case: rebuilding an
+// expression that already exists (every ALU instruction on hot loops).
+func BenchmarkInternHit(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var("x", 32)
+	y := bld.Var("y", 32)
+	bld.Add(x, y)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Add(x, y)
+	}
+}
+
+// BenchmarkConstFold measures fully concrete operations, the dominant
+// instruction mix of sensornet node software.
+func BenchmarkConstFold(b *testing.B) {
+	bld := NewBuilder()
+	c1 := bld.Const(12345, 32)
+	c2 := bld.Const(678, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Add(c1, c2)
+	}
+}
+
+// BenchmarkDeepBuild measures constructing a fresh expression tree.
+func BenchmarkDeepBuild(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var("x", 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := bld.Add(x, bld.Const(uint64(i), 32))
+		e = bld.Mul(e, x)
+		e = bld.Xor(e, bld.Const(uint64(i)*7, 32))
+		_ = bld.Ult(e, bld.Const(1<<30, 32))
+	}
+}
+
+// BenchmarkEval measures concrete evaluation of a shared DAG, the oracle
+// used by model validation and replay.
+func BenchmarkEval(b *testing.B) {
+	bld := NewBuilder()
+	x := bld.Var("x", 32)
+	e := x
+	for i := 0; i < 32; i++ {
+		e = bld.Xor(bld.Add(e, x), bld.Const(uint64(i), 32))
+	}
+	env := Env{"x": 12345}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Eval(e, env)
+	}
+}

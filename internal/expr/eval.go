@@ -1,0 +1,203 @@
+package expr
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Env maps variable names to concrete values for evaluation. Values are
+// truncated to the variable's width on lookup, so callers may store
+// un-masked integers.
+type Env map[string]uint64
+
+// Eval computes the concrete value of e under env. Unbound variables
+// evaluate to 0, matching the solver's convention that a model omits
+// don't-care inputs. The result is masked to e's width.
+//
+// Eval is the ground-truth oracle for the bit-blasting solver: property
+// tests check that every satisfying model the solver returns makes the
+// query evaluate to true.
+func Eval(e *Expr, env Env) uint64 {
+	memo := make(map[*Expr]uint64)
+	return evalMemo(e, env, memo)
+}
+
+func evalMemo(e *Expr, env Env, memo map[*Expr]uint64) uint64 {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var v uint64
+	switch e.kind {
+	case KindConst:
+		v = e.val
+	case KindVar:
+		v = env[e.name] & mask(e.width)
+	case KindAdd:
+		v = evalMemo(e.a, env, memo) + evalMemo(e.b, env, memo)
+	case KindSub:
+		v = evalMemo(e.a, env, memo) - evalMemo(e.b, env, memo)
+	case KindMul:
+		v = evalMemo(e.a, env, memo) * evalMemo(e.b, env, memo)
+	case KindUDiv:
+		d := evalMemo(e.b, env, memo)
+		if d == 0 {
+			v = mask(e.width)
+		} else {
+			v = evalMemo(e.a, env, memo) / d
+		}
+	case KindURem:
+		d := evalMemo(e.b, env, memo)
+		if d == 0 {
+			v = evalMemo(e.a, env, memo)
+		} else {
+			v = evalMemo(e.a, env, memo) % d
+		}
+	case KindAnd:
+		v = evalMemo(e.a, env, memo) & evalMemo(e.b, env, memo)
+	case KindOr:
+		v = evalMemo(e.a, env, memo) | evalMemo(e.b, env, memo)
+	case KindXor:
+		v = evalMemo(e.a, env, memo) ^ evalMemo(e.b, env, memo)
+	case KindNot:
+		v = ^evalMemo(e.a, env, memo)
+	case KindShl:
+		s := evalMemo(e.b, env, memo)
+		if s >= uint64(e.width) {
+			v = 0
+		} else {
+			v = evalMemo(e.a, env, memo) << s
+		}
+	case KindLShr:
+		s := evalMemo(e.b, env, memo)
+		if s >= uint64(e.width) {
+			v = 0
+		} else {
+			v = evalMemo(e.a, env, memo) >> s
+		}
+	case KindAShr:
+		s := evalMemo(e.b, env, memo)
+		sx := int64(signExtend(evalMemo(e.a, env, memo), e.width))
+		if s >= uint64(e.width) {
+			s = uint64(e.width) - 1
+		}
+		v = uint64(sx >> s)
+	case KindEq:
+		v = boolBit(evalMemo(e.a, env, memo) == evalMemo(e.b, env, memo))
+	case KindUlt:
+		v = boolBit(evalMemo(e.a, env, memo) < evalMemo(e.b, env, memo))
+	case KindUle:
+		v = boolBit(evalMemo(e.a, env, memo) <= evalMemo(e.b, env, memo))
+	case KindSlt:
+		w := e.a.width
+		v = boolBit(int64(signExtend(evalMemo(e.a, env, memo), w)) <
+			int64(signExtend(evalMemo(e.b, env, memo), w)))
+	case KindSle:
+		w := e.a.width
+		v = boolBit(int64(signExtend(evalMemo(e.a, env, memo), w)) <=
+			int64(signExtend(evalMemo(e.b, env, memo), w)))
+	case KindIte:
+		if evalMemo(e.a, env, memo) != 0 {
+			v = evalMemo(e.b, env, memo)
+		} else {
+			v = evalMemo(e.c, env, memo)
+		}
+	case KindZExt:
+		v = evalMemo(e.a, env, memo)
+	case KindSExt:
+		v = signExtend(evalMemo(e.a, env, memo), e.a.width)
+	case KindTrunc:
+		v = evalMemo(e.a, env, memo)
+	default:
+		panic("expr: Eval of invalid kind " + e.kind.String())
+	}
+	v &= mask(e.width)
+	memo[e] = v
+	return v
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CollectVars appends every distinct variable reachable from e to dst and
+// returns the extended slice, ordered by first encounter in a left-to-right
+// depth-first walk.
+func CollectVars(e *Expr, dst []*Expr) []*Expr {
+	seen := make(map[*Expr]bool)
+	for _, v := range dst {
+		seen[v] = true
+	}
+	visited := make(map[*Expr]bool)
+	var walk func(n *Expr)
+	walk = func(n *Expr) {
+		if n == nil || visited[n] {
+			return
+		}
+		visited[n] = true
+		if n.kind == KindVar && !seen[n] {
+			seen[n] = true
+			dst = append(dst, n)
+			return
+		}
+		walk(n.a)
+		walk(n.b)
+		walk(n.c)
+	}
+	walk(e)
+	return dst
+}
+
+// String renders e as a compact s-expression, e.g. "(add x (const 5 w32))".
+// It is intended for diagnostics and test failure messages, not parsing.
+func (e *Expr) String() string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+const maxPrintDepth = 24
+
+func writeExpr(sb *strings.Builder, e *Expr, depth int) {
+	if e == nil {
+		sb.WriteString("<nil>")
+		return
+	}
+	if depth > maxPrintDepth {
+		sb.WriteString("…")
+		return
+	}
+	switch e.kind {
+	case KindConst:
+		sb.WriteString(strconv.FormatUint(e.val, 10))
+		sb.WriteString(":w")
+		sb.WriteString(strconv.Itoa(int(e.width)))
+	case KindVar:
+		sb.WriteString(e.name)
+	default:
+		sb.WriteByte('(')
+		sb.WriteString(e.kind.String())
+		for i := 0; i < 3; i++ {
+			arg := e.Arg(i)
+			if arg == nil {
+				break
+			}
+			sb.WriteByte(' ')
+			writeExpr(sb, arg, depth+1)
+		}
+		if e.kind == KindZExt || e.kind == KindSExt || e.kind == KindTrunc {
+			sb.WriteString(" w")
+			sb.WriteString(strconv.Itoa(int(e.width)))
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// SortByName orders variables by name; useful for deterministic test-case
+// output.
+func SortByName(vars []*Expr) {
+	sort.Slice(vars, func(i, j int) bool { return vars[i].name < vars[j].name })
+}

@@ -1,0 +1,458 @@
+package isa
+
+// Textual assembly format. Programs can be written by hand or produced by
+// WriteAsm and loaded with ParseAsm; the two round-trip. The syntax is
+// line-based:
+//
+//	; comment (also #)
+//	func boot
+//	  movi r3, 0
+//	  load r4, r3, 2          ; rd, base, offset
+//	  timer send_data, r4, r0 ; handler, delay, arg
+//	  ret
+//
+//	func send_data
+//	loop:
+//	  subi r1, r1, 1
+//	  brnz r1, loop
+//	  send r2, r4, 5          ; dst, buf, len
+//	  sym r5, "input", 8
+//	  assert r6, "message"
+//	  ret
+//
+// Registers are r0..r15; immediates are decimal or 0x-hex; binary ALU ops
+// take a register or an immediate as their second operand (addi/add etc.
+// are the same mnemonic — the operand form decides).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles the textual program source.
+func ParseAsm(src string) (*Program, error) {
+	p := &asmParser{b: NewBuilder()}
+	for i, raw := range strings.Split(src, "\n") {
+		if err := p.line(raw); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", i+1, err)
+		}
+	}
+	return p.b.Build()
+}
+
+type asmParser struct {
+	b  *Builder
+	fn *FuncBuilder
+}
+
+func (p *asmParser) line(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		// Strip comments, but not inside string literals.
+		if q := strings.IndexByte(line, '"'); q < 0 || q > i {
+			line = line[:i]
+		} else if end := strings.IndexByte(line[q+1:], '"'); end >= 0 {
+			rest := line[q+1+end+1:]
+			if j := strings.IndexAny(rest, ";#"); j >= 0 {
+				line = line[:q+1+end+1+j]
+			}
+		}
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	if name, ok := strings.CutPrefix(line, "func "); ok {
+		p.fn = p.b.Func(strings.TrimSpace(name))
+		return nil
+	}
+	if label, ok := strings.CutSuffix(line, ":"); ok && !strings.ContainsAny(label, " \t,") {
+		if p.fn == nil {
+			return fmt.Errorf("label %q outside a function", label)
+		}
+		p.fn.Label(label)
+		return nil
+	}
+	if p.fn == nil {
+		return fmt.Errorf("instruction %q outside a function", line)
+	}
+	return p.instr(line)
+}
+
+// splitOperands splits on commas outside string literals.
+func splitOperands(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func (p *asmParser) instr(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.ToLower(strings.TrimSpace(mnemonic))
+	ops := splitOperands(rest)
+	f := p.fn
+
+	reg := func(i int) (Reg, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
+		}
+		return parseReg(ops[i])
+	}
+	imm := func(i int) (uint32, error) {
+		if i >= len(ops) {
+			return 0, fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
+		}
+		return parseImm(ops[i])
+	}
+	str := func(i int) (string, error) {
+		if i >= len(ops) {
+			return "", fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
+		}
+		s := ops[i]
+		if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+			return "", fmt.Errorf("%s: operand %d: want a quoted string, got %q", mnemonic, i+1, s)
+		}
+		return s[1 : len(s)-1], nil
+	}
+	name := func(i int) (string, error) {
+		if i >= len(ops) {
+			return "", fmt.Errorf("%s: missing operand %d", mnemonic, i+1)
+		}
+		return ops[i], nil
+	}
+
+	binaryOps := map[string]Op{
+		"add": OpAdd, "sub": OpSub, "mul": OpMul, "udiv": OpUDiv, "urem": OpURem,
+		"and": OpAnd, "or": OpOr, "xor": OpXor,
+		"shl": OpShl, "lshr": OpLShr, "ashr": OpAShr,
+		"eq": OpEq, "ne": OpNe, "ult": OpUlt, "ule": OpUle, "slt": OpSlt, "sle": OpSle,
+	}
+	if op, ok := binaryOps[mnemonic]; ok {
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if len(ops) < 3 {
+			return fmt.Errorf("%s: missing second operand", mnemonic)
+		}
+		if isRegToken(ops[2]) {
+			rb, err := reg(2)
+			if err != nil {
+				return err
+			}
+			f.emit(Instr{Op: op, Rd: rd, Ra: ra, Rb: rb})
+		} else {
+			v, err := imm(2)
+			if err != nil {
+				return err
+			}
+			f.emit(Instr{Op: op, Rd: rd, Ra: ra, Imm: v, BImm: true})
+		}
+		return nil
+	}
+
+	switch mnemonic {
+	case "nop":
+		f.Nop()
+	case "ret":
+		f.Ret()
+	case "halt":
+		f.Halt()
+	case "movi":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		v, err := imm(1)
+		if err != nil {
+			return err
+		}
+		f.MovI(rd, v)
+	case "mov":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		f.Mov(rd, ra)
+	case "not":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		f.Not(rd, ra)
+	case "jmp":
+		label, err := name(0)
+		if err != nil {
+			return err
+		}
+		f.Jmp(label)
+	case "brnz", "brz":
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		label, err := name(1)
+		if err != nil {
+			return err
+		}
+		if mnemonic == "brnz" {
+			f.BrNZ(ra, label)
+		} else {
+			f.BrZ(ra, label)
+		}
+	case "call":
+		fn, err := name(0)
+		if err != nil {
+			return err
+		}
+		f.Call(fn)
+	case "load":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		off, err := imm(2)
+		if err != nil {
+			return err
+		}
+		f.Load(rd, ra, off)
+	case "store":
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		off, err := imm(1)
+		if err != nil {
+			return err
+		}
+		rb, err := reg(2)
+		if err != nil {
+			return err
+		}
+		f.Store(ra, off, rb)
+	case "sym":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		nm, err := str(1)
+		if err != nil {
+			return err
+		}
+		w, err := imm(2)
+		if err != nil {
+			return err
+		}
+		f.Sym(rd, nm, w)
+	case "assert":
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		msg, err := str(1)
+		if err != nil {
+			return err
+		}
+		f.Assert(ra, msg)
+	case "assume":
+		ra, err := reg(0)
+		if err != nil {
+			return err
+		}
+		f.Assume(ra)
+	case "send":
+		dst, err := reg(0)
+		if err != nil {
+			return err
+		}
+		buf, err := reg(1)
+		if err != nil {
+			return err
+		}
+		length, err := imm(2)
+		if err != nil {
+			return err
+		}
+		f.Send(dst, buf, length)
+	case "timer":
+		fn, err := name(0)
+		if err != nil {
+			return err
+		}
+		delay, err := reg(1)
+		if err != nil {
+			return err
+		}
+		arg, err := reg(2)
+		if err != nil {
+			return err
+		}
+		f.Timer(fn, delay, arg)
+	case "nodeid":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		f.NodeID(rd)
+	case "time":
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		f.Time(rd)
+	case "print":
+		msg, err := str(0)
+		if err != nil {
+			return err
+		}
+		ra, err := reg(1)
+		if err != nil {
+			return err
+		}
+		f.Print(msg, ra)
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	return nil
+}
+
+func isRegToken(s string) bool {
+	return len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') && s[1] >= '0' && s[1] <= '9'
+}
+
+func parseReg(s string) (Reg, error) {
+	if !isRegToken(s) {
+		return 0, fmt.Errorf("want a register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	return Reg(n), nil
+}
+
+func parseImm(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("invalid immediate %q", s)
+	}
+	return uint32(v), nil
+}
+
+// WriteAsm serialises a program in the ParseAsm syntax; branch targets
+// become generated labels (L<index>).
+func WriteAsm(p *Program) string {
+	var sb strings.Builder
+	for fi := 0; fi < p.NumFuncs(); fi++ {
+		f := p.Func(fi)
+		if fi > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "func %s\n", f.Name)
+		// Collect branch targets needing labels.
+		targets := map[int]string{}
+		for _, in := range f.Instrs {
+			switch in.Op {
+			case OpJmp, OpBrNZ, OpBrZ:
+				if _, ok := targets[in.Target]; !ok {
+					targets[in.Target] = fmt.Sprintf("L%d", in.Target)
+				}
+			}
+		}
+		for idx, in := range f.Instrs {
+			if label, ok := targets[idx]; ok {
+				fmt.Fprintf(&sb, "%s:\n", label)
+			}
+			sb.WriteString("  ")
+			sb.WriteString(asmInstr(p, in, targets))
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func asmInstr(p *Program, in Instr, targets map[int]string) string {
+	r := func(reg Reg) string { return fmt.Sprintf("r%d", reg) }
+	switch {
+	case in.Op == OpNop:
+		return "nop"
+	case in.Op == OpRet:
+		return "ret"
+	case in.Op == OpHalt:
+		return "halt"
+	case in.Op == OpMovI:
+		return fmt.Sprintf("movi %s, %d", r(in.Rd), in.Imm)
+	case in.Op == OpMov:
+		return fmt.Sprintf("mov %s, %s", r(in.Rd), r(in.Ra))
+	case in.Op == OpNot:
+		return fmt.Sprintf("not %s, %s", r(in.Rd), r(in.Ra))
+	case in.Op.IsBinary():
+		second := r(in.Rb)
+		if in.BImm {
+			second = strconv.FormatUint(uint64(in.Imm), 10)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Ra), second)
+	case in.Op == OpJmp:
+		return "jmp " + targets[in.Target]
+	case in.Op == OpBrNZ:
+		return fmt.Sprintf("brnz %s, %s", r(in.Ra), targets[in.Target])
+	case in.Op == OpBrZ:
+		return fmt.Sprintf("brz %s, %s", r(in.Ra), targets[in.Target])
+	case in.Op == OpCall:
+		return "call " + p.Func(in.Fn).Name
+	case in.Op == OpLoad:
+		return fmt.Sprintf("load %s, %s, %d", r(in.Rd), r(in.Ra), in.Imm)
+	case in.Op == OpStore:
+		return fmt.Sprintf("store %s, %d, %s", r(in.Ra), in.Imm, r(in.Rb))
+	case in.Op == OpSym:
+		return fmt.Sprintf("sym %s, %q, %d", r(in.Rd), in.Sym, in.Imm)
+	case in.Op == OpAssert:
+		return fmt.Sprintf("assert %s, %q", r(in.Ra), in.Sym)
+	case in.Op == OpAssume:
+		return "assume " + r(in.Ra)
+	case in.Op == OpSend:
+		return fmt.Sprintf("send %s, %s, %d", r(in.Ra), r(in.Rb), in.Imm)
+	case in.Op == OpTimer:
+		return fmt.Sprintf("timer %s, %s, %s", p.Func(in.Fn).Name, r(in.Ra), r(in.Rb))
+	case in.Op == OpNodeID:
+		return "nodeid " + r(in.Rd)
+	case in.Op == OpTime:
+		return "time " + r(in.Rd)
+	case in.Op == OpPrint:
+		return fmt.Sprintf("print %q, %s", in.Sym, r(in.Ra))
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,363 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Builder assembles a Program function by function. Typical use:
+//
+//	b := isa.NewBuilder()
+//	f := b.Func("boot")
+//	f.MovI(isa.R0, 100)
+//	f.Label("loop")
+//	f.SubI(isa.R0, isa.R0, 1)
+//	f.BrNZ(isa.R0, "loop")
+//	f.Ret()
+//	prog, err := b.Build()
+//
+// Labels are local to a function. Call targets and timer handlers are
+// referenced by function name and resolved at Build time, so functions may
+// be declared in any order.
+type Builder struct {
+	funcs []*FuncBuilder
+	errs  []error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// Func starts (or returns the existing) function builder with this name.
+func (b *Builder) Func(name string) *FuncBuilder {
+	for _, f := range b.funcs {
+		if f.name == name {
+			return f
+		}
+	}
+	f := &FuncBuilder{name: name, prog: b, labels: make(map[string]int)}
+	b.funcs = append(b.funcs, f)
+	return f
+}
+
+// Build resolves labels and call targets, validates the program, and
+// returns the immutable Program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if len(b.funcs) == 0 {
+		return nil, errors.New("isa: program has no functions")
+	}
+	byName := make(map[string]int, len(b.funcs))
+	for i, f := range b.funcs {
+		byName[f.name] = i
+	}
+	prog := &Program{byName: byName}
+	for fi, f := range b.funcs {
+		instrs := append([]Instr(nil), f.instrs...)
+		// Resolve label references.
+		for _, ref := range f.labelRefs {
+			target, ok := f.labels[ref.label]
+			if !ok {
+				return nil, fmt.Errorf("isa: %s: undefined label %q", f.name, ref.label)
+			}
+			instrs[ref.instr].Target = target
+		}
+		// Resolve function references.
+		for _, ref := range f.fnRefs {
+			target, ok := byName[ref.fn]
+			if !ok {
+				return nil, fmt.Errorf("isa: %s: call to undefined function %q", f.name, ref.fn)
+			}
+			instrs[ref.instr].Fn = target
+		}
+		if err := validateFunc(f.name, instrs, len(b.funcs)); err != nil {
+			return nil, err
+		}
+		prog.funcs = append(prog.funcs, Func{Name: b.funcs[fi].name, Instrs: instrs})
+	}
+	return prog, nil
+}
+
+func validateFunc(name string, instrs []Instr, numFuncs int) error {
+	if len(instrs) == 0 {
+		return fmt.Errorf("isa: %s: empty function", name)
+	}
+	for i, in := range instrs {
+		if in.Op == 0 {
+			return fmt.Errorf("isa: %s:%d: zero opcode", name, i)
+		}
+		if int(in.Rd) >= NumRegs || int(in.Ra) >= NumRegs || int(in.Rb) >= NumRegs {
+			return fmt.Errorf("isa: %s:%d: register out of range", name, i)
+		}
+		switch in.Op {
+		case OpJmp, OpBrNZ, OpBrZ:
+			if in.Target < 0 || in.Target >= len(instrs) {
+				return fmt.Errorf("isa: %s:%d: branch target %d out of range", name, i, in.Target)
+			}
+		case OpCall, OpTimer:
+			if in.Fn < 0 || in.Fn >= numFuncs {
+				return fmt.Errorf("isa: %s:%d: function index %d out of range", name, i, in.Fn)
+			}
+		case OpSym:
+			if in.Imm < 1 || in.Imm > 64 {
+				return fmt.Errorf("isa: %s:%d: symbolic width %d out of range", name, i, in.Imm)
+			}
+			if in.Sym == "" {
+				return fmt.Errorf("isa: %s:%d: symbolic input needs a name", name, i)
+			}
+		}
+	}
+	last := instrs[len(instrs)-1]
+	switch last.Op {
+	case OpRet, OpHalt, OpJmp:
+	default:
+		return fmt.Errorf("isa: %s: control flow falls off the end (last op %s)", name, last.Op)
+	}
+	return nil
+}
+
+type labelRef struct {
+	instr int
+	label string
+}
+
+type fnRef struct {
+	instr int
+	fn    string
+}
+
+// FuncBuilder accumulates the instructions of one function.
+type FuncBuilder struct {
+	name      string
+	prog      *Builder
+	instrs    []Instr
+	labels    map[string]int
+	labelRefs []labelRef
+	fnRefs    []fnRef
+}
+
+// Name returns the function's name.
+func (f *FuncBuilder) Name() string { return f.name }
+
+// Len returns the number of instructions emitted so far (the index the
+// next instruction will get).
+func (f *FuncBuilder) Len() int { return len(f.instrs) }
+
+func (f *FuncBuilder) emit(in Instr) *FuncBuilder {
+	f.instrs = append(f.instrs, in)
+	return f
+}
+
+// Label binds a label name to the next instruction's index.
+func (f *FuncBuilder) Label(name string) *FuncBuilder {
+	if _, dup := f.labels[name]; dup {
+		f.prog.errs = append(f.prog.errs,
+			fmt.Errorf("isa: %s: duplicate label %q", f.name, name))
+	}
+	f.labels[name] = len(f.instrs)
+	return f
+}
+
+// Nop emits a no-op.
+func (f *FuncBuilder) Nop() *FuncBuilder { return f.emit(Instr{Op: OpNop}) }
+
+// MovI emits rd = imm.
+func (f *FuncBuilder) MovI(rd Reg, imm uint32) *FuncBuilder {
+	return f.emit(Instr{Op: OpMovI, Rd: rd, Imm: imm})
+}
+
+// Mov emits rd = ra.
+func (f *FuncBuilder) Mov(rd, ra Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpMov, Rd: rd, Ra: ra})
+}
+
+func (f *FuncBuilder) bin(op Op, rd, ra, rb Reg) *FuncBuilder {
+	return f.emit(Instr{Op: op, Rd: rd, Ra: ra, Rb: rb})
+}
+
+func (f *FuncBuilder) binI(op Op, rd, ra Reg, imm uint32) *FuncBuilder {
+	return f.emit(Instr{Op: op, Rd: rd, Ra: ra, Imm: imm, BImm: true})
+}
+
+// Add emits rd = ra + rb.
+func (f *FuncBuilder) Add(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpAdd, rd, ra, rb) }
+
+// AddI emits rd = ra + imm.
+func (f *FuncBuilder) AddI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpAdd, rd, ra, imm) }
+
+// Sub emits rd = ra - rb.
+func (f *FuncBuilder) Sub(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpSub, rd, ra, rb) }
+
+// SubI emits rd = ra - imm.
+func (f *FuncBuilder) SubI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpSub, rd, ra, imm) }
+
+// Mul emits rd = ra * rb.
+func (f *FuncBuilder) Mul(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpMul, rd, ra, rb) }
+
+// MulI emits rd = ra * imm.
+func (f *FuncBuilder) MulI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpMul, rd, ra, imm) }
+
+// UDiv emits rd = ra / rb (unsigned; /0 = all-ones).
+func (f *FuncBuilder) UDiv(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpUDiv, rd, ra, rb) }
+
+// URem emits rd = ra % rb (unsigned; %0 = ra).
+func (f *FuncBuilder) URem(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpURem, rd, ra, rb) }
+
+// URemI emits rd = ra % imm.
+func (f *FuncBuilder) URemI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpURem, rd, ra, imm) }
+
+// And emits rd = ra & rb.
+func (f *FuncBuilder) And(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpAnd, rd, ra, rb) }
+
+// AndI emits rd = ra & imm.
+func (f *FuncBuilder) AndI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpAnd, rd, ra, imm) }
+
+// Or emits rd = ra | rb.
+func (f *FuncBuilder) Or(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpOr, rd, ra, rb) }
+
+// OrI emits rd = ra | imm.
+func (f *FuncBuilder) OrI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpOr, rd, ra, imm) }
+
+// Xor emits rd = ra ^ rb.
+func (f *FuncBuilder) Xor(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpXor, rd, ra, rb) }
+
+// XorI emits rd = ra ^ imm.
+func (f *FuncBuilder) XorI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpXor, rd, ra, imm) }
+
+// Shl emits rd = ra << rb.
+func (f *FuncBuilder) Shl(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpShl, rd, ra, rb) }
+
+// ShlI emits rd = ra << imm.
+func (f *FuncBuilder) ShlI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpShl, rd, ra, imm) }
+
+// LShr emits rd = ra >> rb (logical).
+func (f *FuncBuilder) LShr(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpLShr, rd, ra, rb) }
+
+// LShrI emits rd = ra >> imm (logical).
+func (f *FuncBuilder) LShrI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpLShr, rd, ra, imm) }
+
+// AShr emits rd = ra >> rb (arithmetic).
+func (f *FuncBuilder) AShr(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpAShr, rd, ra, rb) }
+
+// Not emits rd = ^ra.
+func (f *FuncBuilder) Not(rd, ra Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpNot, Rd: rd, Ra: ra})
+}
+
+// Eq emits rd = (ra == rb).
+func (f *FuncBuilder) Eq(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpEq, rd, ra, rb) }
+
+// EqI emits rd = (ra == imm).
+func (f *FuncBuilder) EqI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpEq, rd, ra, imm) }
+
+// Ne emits rd = (ra != rb).
+func (f *FuncBuilder) Ne(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpNe, rd, ra, rb) }
+
+// NeI emits rd = (ra != imm).
+func (f *FuncBuilder) NeI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpNe, rd, ra, imm) }
+
+// Ult emits rd = (ra <u rb).
+func (f *FuncBuilder) Ult(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpUlt, rd, ra, rb) }
+
+// UltI emits rd = (ra <u imm).
+func (f *FuncBuilder) UltI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpUlt, rd, ra, imm) }
+
+// Ule emits rd = (ra <=u rb).
+func (f *FuncBuilder) Ule(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpUle, rd, ra, rb) }
+
+// UleI emits rd = (ra <=u imm).
+func (f *FuncBuilder) UleI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpUle, rd, ra, imm) }
+
+// Slt emits rd = (ra <s rb).
+func (f *FuncBuilder) Slt(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpSlt, rd, ra, rb) }
+
+// SltI emits rd = (ra <s imm).
+func (f *FuncBuilder) SltI(rd, ra Reg, imm uint32) *FuncBuilder { return f.binI(OpSlt, rd, ra, imm) }
+
+// Sle emits rd = (ra <=s rb).
+func (f *FuncBuilder) Sle(rd, ra, rb Reg) *FuncBuilder { return f.bin(OpSle, rd, ra, rb) }
+
+// Jmp emits an unconditional jump to the label.
+func (f *FuncBuilder) Jmp(label string) *FuncBuilder {
+	f.labelRefs = append(f.labelRefs, labelRef{instr: len(f.instrs), label: label})
+	return f.emit(Instr{Op: OpJmp})
+}
+
+// BrNZ emits a branch to the label taken when ra != 0.
+func (f *FuncBuilder) BrNZ(ra Reg, label string) *FuncBuilder {
+	f.labelRefs = append(f.labelRefs, labelRef{instr: len(f.instrs), label: label})
+	return f.emit(Instr{Op: OpBrNZ, Ra: ra})
+}
+
+// BrZ emits a branch to the label taken when ra == 0.
+func (f *FuncBuilder) BrZ(ra Reg, label string) *FuncBuilder {
+	f.labelRefs = append(f.labelRefs, labelRef{instr: len(f.instrs), label: label})
+	return f.emit(Instr{Op: OpBrZ, Ra: ra})
+}
+
+// Call emits a call to the named function.
+func (f *FuncBuilder) Call(fn string) *FuncBuilder {
+	f.fnRefs = append(f.fnRefs, fnRef{instr: len(f.instrs), fn: fn})
+	return f.emit(Instr{Op: OpCall})
+}
+
+// Ret emits a return.
+func (f *FuncBuilder) Ret() *FuncBuilder { return f.emit(Instr{Op: OpRet}) }
+
+// Halt emits a permanent node halt.
+func (f *FuncBuilder) Halt() *FuncBuilder { return f.emit(Instr{Op: OpHalt}) }
+
+// Load emits rd = mem[ra + off].
+func (f *FuncBuilder) Load(rd, ra Reg, off uint32) *FuncBuilder {
+	return f.emit(Instr{Op: OpLoad, Rd: rd, Ra: ra, Imm: off})
+}
+
+// Store emits mem[ra + off] = rb.
+func (f *FuncBuilder) Store(ra Reg, off uint32, rb Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpStore, Ra: ra, Imm: off, Rb: rb})
+}
+
+// Sym emits rd = fresh symbolic input. The runtime appends a per-node,
+// per-occurrence suffix to name so inputs are unique across states.
+func (f *FuncBuilder) Sym(rd Reg, name string, width uint32) *FuncBuilder {
+	return f.emit(Instr{Op: OpSym, Rd: rd, Imm: width, Sym: name})
+}
+
+// Assert emits a check that ra != 0, reporting msg on violation.
+func (f *FuncBuilder) Assert(ra Reg, msg string) *FuncBuilder {
+	return f.emit(Instr{Op: OpAssert, Ra: ra, Sym: msg})
+}
+
+// Assume emits a constraint that ra != 0.
+func (f *FuncBuilder) Assume(ra Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpAssume, Ra: ra})
+}
+
+// Send emits a packet transmission of len words at mem[rb] to node ra.
+func (f *FuncBuilder) Send(dst, buf Reg, length uint32) *FuncBuilder {
+	return f.emit(Instr{Op: OpSend, Ra: dst, Rb: buf, Imm: length})
+}
+
+// Timer emits scheduling of handler fn at now + ra ticks with argument rb.
+func (f *FuncBuilder) Timer(fn string, delay, arg Reg) *FuncBuilder {
+	f.fnRefs = append(f.fnRefs, fnRef{instr: len(f.instrs), fn: fn})
+	return f.emit(Instr{Op: OpTimer, Ra: delay, Rb: arg})
+}
+
+// NodeID emits rd = own node id.
+func (f *FuncBuilder) NodeID(rd Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpNodeID, Rd: rd})
+}
+
+// Time emits rd = low 32 bits of the virtual clock.
+func (f *FuncBuilder) Time(rd Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpTime, Rd: rd})
+}
+
+// Print emits a diagnostic trace entry (msg, ra).
+func (f *FuncBuilder) Print(msg string, ra Reg) *FuncBuilder {
+	return f.emit(Instr{Op: OpPrint, Ra: ra, Sym: msg})
+}

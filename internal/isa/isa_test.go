@@ -1,0 +1,209 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSimpleProgram(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.MovI(R0, 10)
+	f.Label("loop")
+	f.SubI(R0, R0, 1)
+	f.BrNZ(R0, "loop")
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if prog.NumFuncs() != 1 {
+		t.Fatalf("NumFuncs = %d, want 1", prog.NumFuncs())
+	}
+	main := prog.Func(0)
+	if main.Name != "main" {
+		t.Errorf("Func(0).Name = %q", main.Name)
+	}
+	br := main.Instrs[2]
+	if br.Op != OpBrNZ || br.Target != 1 {
+		t.Errorf("branch = %+v, want BrNZ to 1", br)
+	}
+}
+
+func TestLabelForwardReference(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.BrZ(R0, "end")
+	f.MovI(R1, 1)
+	f.Label("end")
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := prog.Func(0).Instrs[0].Target; got != 2 {
+		t.Errorf("forward label resolved to %d, want 2", got)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Jmp("nowhere")
+	f.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Label("x")
+	f.Nop()
+	f.Label("x")
+	f.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted duplicate label")
+	}
+}
+
+func TestCallResolution(t *testing.T) {
+	b := NewBuilder()
+	main := b.Func("main")
+	main.Call("helper") // declared later: order must not matter
+	main.Ret()
+	helper := b.Func("helper")
+	helper.MovI(R0, 42)
+	helper.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	call := prog.Func(0).Instrs[0]
+	if call.Op != OpCall || call.Fn != prog.FuncIndex("helper") {
+		t.Errorf("call = %+v", call)
+	}
+}
+
+func TestUndefinedCall(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Call("missing")
+	f.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted call to undefined function")
+	}
+}
+
+func TestFallOffEnd(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.MovI(R0, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted function without terminator")
+	}
+}
+
+func TestEmptyFunction(t *testing.T) {
+	b := NewBuilder()
+	b.Func("main")
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted empty function")
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if _, err := NewBuilder().Build(); err == nil {
+		t.Error("Build accepted empty program")
+	}
+}
+
+func TestSymValidation(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.Sym(R0, "x", 0)
+	f.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted symbolic width 0")
+	}
+
+	b2 := NewBuilder()
+	f2 := b2.Func("main")
+	f2.Sym(R0, "", 32)
+	f2.Ret()
+	if _, err := b2.Build(); err == nil {
+		t.Error("Build accepted unnamed symbolic input")
+	}
+}
+
+func TestFuncIndex(t *testing.T) {
+	b := NewBuilder()
+	b.Func("a").Ret()
+	b.Func("b").Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if prog.FuncIndex("a") != 0 || prog.FuncIndex("b") != 1 {
+		t.Error("FuncIndex misresolved")
+	}
+	if prog.FuncIndex("zzz") != -1 {
+		t.Error("FuncIndex of missing function should be -1")
+	}
+}
+
+func TestFuncReturnsExisting(t *testing.T) {
+	b := NewBuilder()
+	f1 := b.Func("main")
+	f2 := b.Func("main")
+	if f1 != f2 {
+		t.Error("Func returned a new builder for an existing name")
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	b := NewBuilder()
+	f := b.Func("main")
+	f.MovI(R1, 7)
+	f.AddI(R2, R1, 3)
+	f.Send(R0, R2, 4)
+	f.Assert(R1, "r1 nonzero")
+	f.Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	asm := prog.Disasm()
+	for _, want := range []string{"movi r1, #7", "add r2, r1, #3",
+		"send dst=r0, buf=r2, len=4", `assert r1, "r1 nonzero"`, "ret"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("Disasm missing %q in:\n%s", want, asm)
+		}
+	}
+}
+
+func TestInstrStringCoverage(t *testing.T) {
+	// Every opcode must render without the fallback formatting.
+	ops := []Instr{
+		{Op: OpNop}, {Op: OpMovI, Rd: R1, Imm: 2}, {Op: OpMov, Rd: R1, Ra: R2},
+		{Op: OpAdd, Rd: R1, Ra: R2, Rb: R3}, {Op: OpNot, Rd: R1, Ra: R2},
+		{Op: OpEq, Rd: R1, Ra: R2, Imm: 7, BImm: true},
+		{Op: OpJmp, Target: 3}, {Op: OpBrNZ, Ra: R1, Target: 4},
+		{Op: OpBrZ, Ra: R1, Target: 5}, {Op: OpCall, Fn: 1}, {Op: OpRet},
+		{Op: OpHalt}, {Op: OpLoad, Rd: R1, Ra: R2, Imm: 8},
+		{Op: OpStore, Ra: R1, Imm: 4, Rb: R2},
+		{Op: OpSym, Rd: R1, Sym: "x", Imm: 32},
+		{Op: OpAssert, Ra: R1, Sym: "m"}, {Op: OpAssume, Ra: R1},
+		{Op: OpSend, Ra: R1, Rb: R2, Imm: 3},
+		{Op: OpTimer, Fn: 0, Ra: R1, Rb: R2},
+		{Op: OpNodeID, Rd: R1}, {Op: OpTime, Rd: R1},
+		{Op: OpPrint, Ra: R1, Sym: "v"},
+	}
+	for _, in := range ops {
+		s := in.String()
+		if strings.HasPrefix(s, "op(") {
+			t.Errorf("opcode %d renders as fallback %q", in.Op, s)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package metrics collects the time series the paper's evaluation plots:
+// the number of execution states and the modeled memory footprint of the
+// whole SDE process over (wall and virtual) time — Figure 10's state
+// growth and memory growth curves.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Sample is one measurement point.
+type Sample struct {
+	Wall         time.Duration // wall-clock time since the run started
+	VirtualTime  uint64        // engine virtual clock (ticks)
+	States       int           // live execution states
+	Groups       int           // dscenarios (COB) or dstates (COW/SDS)
+	MemBytes     int64         // modeled RAM (deduplicated pages + overheads)
+	Instructions uint64        // instructions executed so far
+}
+
+// Series accumulates samples in order.
+type Series struct {
+	samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(sm Sample) { s.samples = append(s.samples, sm) }
+
+// Samples returns the recorded samples (shared slice; do not modify).
+func (s *Series) Samples() []Sample { return s.samples }
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// Last returns the most recent sample; ok is false when empty.
+func (s *Series) Last() (Sample, bool) {
+	if len(s.samples) == 0 {
+		return Sample{}, false
+	}
+	return s.samples[len(s.samples)-1], true
+}
+
+// PeakMem returns the largest MemBytes seen.
+func (s *Series) PeakMem() int64 {
+	var peak int64
+	for _, sm := range s.samples {
+		if sm.MemBytes > peak {
+			peak = sm.MemBytes
+		}
+	}
+	return peak
+}
+
+// PeakStates returns the largest state count seen.
+func (s *Series) PeakStates() int {
+	peak := 0
+	for _, sm := range s.samples {
+		if sm.States > peak {
+			peak = sm.States
+		}
+	}
+	return peak
+}
+
+// Downsample returns at most n samples, evenly spaced, always keeping the
+// first and last. It is used to keep figure outputs readable.
+func (s *Series) Downsample(n int) []Sample {
+	if n <= 0 || len(s.samples) <= n {
+		return append([]Sample(nil), s.samples...)
+	}
+	out := make([]Sample, 0, n)
+	step := float64(len(s.samples)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, s.samples[int(float64(i)*step+0.5)])
+	}
+	out[n-1] = s.samples[len(s.samples)-1]
+	return out
+}
+
+// CSV renders the series with a header row, one sample per line.
+func (s *Series) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions\n")
+	for _, sm := range s.samples {
+		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d\n",
+			float64(sm.Wall.Microseconds())/1000.0,
+			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions)
+	}
+	return sb.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// AsciiChart renders a crude log-scale chart of one column over sample
+// index — enough to eyeball the Figure 10 curve shapes in a terminal.
+func AsciiChart(title string, series map[string][]Sample, value func(Sample) float64, width, height int) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	maxV := 1.0
+	for _, ss := range series {
+		for _, sm := range ss {
+			if v := value(sm); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := series[name]
+		fmt.Fprintf(&sb, "%-4s |", name)
+		pts := resample(ss, width)
+		for _, sm := range pts {
+			v := value(sm)
+			frac := logFrac(v, maxV)
+			sb.WriteByte(" .:-=+*#%@"[int(frac*9.999)])
+		}
+		last := 0.0
+		if len(ss) > 0 {
+			last = value(ss[len(ss)-1])
+		}
+		fmt.Fprintf(&sb, "| final %.4g\n", last)
+	}
+	_ = height
+	return sb.String()
+}
+
+func resample(ss []Sample, n int) []Sample {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]Sample, n)
+	div := n - 1
+	if div < 1 {
+		div = 1
+	}
+	for i := 0; i < n; i++ {
+		out[i] = ss[i*(len(ss)-1)/div]
+	}
+	return out
+}
+
+func logFrac(v, maxV float64) float64 {
+	if v <= 1 {
+		return 0
+	}
+	if maxV <= 1 {
+		return 1
+	}
+	l := math.Log2(v) / math.Log2(maxV)
+	if l > 1 {
+		l = 1
+	}
+	return l
+}

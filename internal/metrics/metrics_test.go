@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSeries(n int) *Series {
+	var s Series
+	for i := 0; i < n; i++ {
+		s.Add(Sample{
+			Wall:        time.Duration(i) * time.Millisecond,
+			VirtualTime: uint64(i * 10),
+			States:      i + 1,
+			MemBytes:    int64((i + 1) * 1000),
+		})
+	}
+	return &s
+}
+
+func TestSeriesBasics(t *testing.T) {
+	s := sampleSeries(5)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	last, ok := s.Last()
+	if !ok || last.States != 5 {
+		t.Errorf("Last = %+v, ok=%v", last, ok)
+	}
+	if got := s.PeakStates(); got != 5 {
+		t.Errorf("PeakStates = %d, want 5", got)
+	}
+	if got := s.PeakMem(); got != 5000 {
+		t.Errorf("PeakMem = %d, want 5000", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if _, ok := s.Last(); ok {
+		t.Error("Last on empty series reported ok")
+	}
+	if s.PeakMem() != 0 || s.PeakStates() != 0 {
+		t.Error("peaks on empty series nonzero")
+	}
+	if got := s.Downsample(10); len(got) != 0 {
+		t.Errorf("Downsample(empty) = %d samples", len(got))
+	}
+}
+
+func TestPeakNotLast(t *testing.T) {
+	var s Series
+	s.Add(Sample{States: 10, MemBytes: 100})
+	s.Add(Sample{States: 50, MemBytes: 900})
+	s.Add(Sample{States: 20, MemBytes: 300})
+	if s.PeakStates() != 50 || s.PeakMem() != 900 {
+		t.Errorf("peaks = %d/%d, want 50/900", s.PeakStates(), s.PeakMem())
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := sampleSeries(100)
+	got := s.Downsample(10)
+	if len(got) != 10 {
+		t.Fatalf("Downsample(10) = %d samples", len(got))
+	}
+	if got[0].States != 1 {
+		t.Errorf("first sample = %+v, want the series head", got[0])
+	}
+	if got[9].States != 100 {
+		t.Errorf("last sample = %+v, want the series tail", got[9])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].States < got[i-1].States {
+			t.Errorf("downsampled series not monotone at %d", i)
+		}
+	}
+	// Fewer samples than requested: return all.
+	if got := sampleSeries(3).Downsample(10); len(got) != 3 {
+		t.Errorf("Downsample beyond length = %d samples, want 3", len(got))
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s := sampleSeries(2)
+	csv := s.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3 (header + 2)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "wall_ms,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], ",2,") {
+		t.Errorf("second sample line = %q", lines[2])
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{5 << 30, "5.00 GiB"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.in); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	series := map[string][]Sample{
+		"COB": sampleSeries(50).Samples(),
+		"SDS": sampleSeries(10).Samples(),
+	}
+	chart := AsciiChart("states", series, func(s Sample) float64 { return float64(s.States) }, 40, 8)
+	if !strings.Contains(chart, "COB") || !strings.Contains(chart, "SDS") {
+		t.Errorf("chart lacks series labels:\n%s", chart)
+	}
+	// COB (sorted first) must appear before SDS for deterministic output.
+	if strings.Index(chart, "COB") > strings.Index(chart, "SDS") {
+		t.Error("series not sorted by name")
+	}
+	if !strings.Contains(chart, "final 50") {
+		t.Errorf("chart lacks final value:\n%s", chart)
+	}
+}
+
+func TestAsciiChartEmpty(t *testing.T) {
+	chart := AsciiChart("empty", map[string][]Sample{"X": nil},
+		func(s Sample) float64 { return 0 }, 10, 4)
+	if !strings.Contains(chart, "X") {
+		t.Errorf("chart lacks label for empty series:\n%s", chart)
+	}
+}

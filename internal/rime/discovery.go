@@ -1,0 +1,115 @@
+package rime
+
+import (
+	"sde/internal/expr"
+	"sde/internal/isa"
+	"sde/internal/vm"
+)
+
+// Neighbor-discovery protocol — the second flooding-class workload named
+// by the paper's §IV-C ("Further examples comprise communication
+// protocols based on network flooding such as neighbor discovery or data
+// dissemination"). Every node periodically broadcasts a HELLO beacon and
+// records the senders it hears. Because every node transmits, every
+// transmission has k-1 perceivers and no node is ever a bystander — the
+// workload that erodes COW's and SDS's advantage.
+
+// HelloMagic identifies discovery beacons.
+const HelloMagic = 0x4E110
+
+// Discovery word addresses (shared config words reuse the collect layout).
+const (
+	AddrNbrCount = 0x20 // number of distinct neighbours heard
+	AddrNbrBase  = 0x60 // AddrNbrBase+n = 1 once node n was heard
+	AddrRounds   = 0x21 // beacons sent so far
+)
+
+// Hello packet layout (words).
+const (
+	HelloPktMagic  = 0
+	HelloPktOrigin = 1
+	HelloPktRound  = 2
+	HelloPktLen    = 3
+)
+
+// DiscoveryProgram builds the neighbour-discovery node software: every
+// node arms a periodic beacon timer at boot (AddrInterval, AddrNumPackets
+// control period and round count) and updates its neighbour table on
+// every HELLO it hears.
+func DiscoveryProgram() (*isa.Program, error) {
+	b := isa.NewBuilder()
+
+	boot := b.Func("boot")
+	boot.MovI(isa.R3, 0)
+	boot.Load(isa.R4, isa.R3, AddrInterval)
+	// Desynchronise first beacons: node id modulates the initial delay,
+	// like Contiki's randomised timer offsets (deterministic here).
+	boot.NodeID(isa.R5)
+	boot.AddI(isa.R5, isa.R5, 1)
+	boot.Add(isa.R4, isa.R4, isa.R5)
+	boot.Timer("send_hello", isa.R4, isa.R0)
+	boot.Ret()
+
+	send := b.Func("send_hello")
+	send.MovI(isa.R3, 0)
+	send.Load(isa.R1, isa.R3, AddrRounds)
+	send.MovI(isa.R4, TxBuf)
+	send.MovI(isa.R5, HelloMagic)
+	send.Store(isa.R4, HelloPktMagic, isa.R5)
+	send.NodeID(isa.R5)
+	send.Store(isa.R4, HelloPktOrigin, isa.R5)
+	send.Store(isa.R4, HelloPktRound, isa.R1)
+	send.MovI(isa.R6, isa.BroadcastAddr)
+	send.Send(isa.R6, isa.R4, HelloPktLen)
+	send.AddI(isa.R1, isa.R1, 1)
+	send.Store(isa.R3, AddrRounds, isa.R1)
+	send.Load(isa.R5, isa.R3, AddrNumPackets)
+	send.Ult(isa.R2, isa.R1, isa.R5)
+	send.BrZ(isa.R2, "stop")
+	send.Load(isa.R4, isa.R3, AddrInterval)
+	send.Timer("send_hello", isa.R4, isa.R0)
+	send.Label("stop")
+	send.Ret()
+
+	recv := b.Func("on_recv")
+	recv.MovI(isa.R3, 0)
+	recv.Load(isa.R4, isa.R1, HelloPktMagic)
+	recv.EqI(isa.R5, isa.R4, HelloMagic)
+	recv.BrZ(isa.R5, "ignore")
+	recv.Load(isa.R4, isa.R1, HelloPktOrigin)
+	// A node never hears itself; the radio model guarantees it, and the
+	// neighbour table relies on it.
+	recv.NodeID(isa.R5)
+	recv.Ne(isa.R6, isa.R4, isa.R5)
+	recv.Assert(isa.R6, "discovery: received own beacon")
+	// Mark the sender; count it the first time only.
+	recv.AddI(isa.R6, isa.R4, AddrNbrBase)
+	recv.Load(isa.R7, isa.R6, 0)
+	recv.BrNZ(isa.R7, "known")
+	recv.MovI(isa.R7, 1)
+	recv.Store(isa.R6, 0, isa.R7)
+	recv.Load(isa.R7, isa.R3, AddrNbrCount)
+	recv.AddI(isa.R7, isa.R7, 1)
+	recv.Store(isa.R3, AddrNbrCount, isa.R7)
+	recv.Label("known")
+	recv.Ret()
+
+	recv.Label("ignore")
+	recv.Ret()
+
+	return b.Build()
+}
+
+// DiscoveryConfig parameterises a neighbour-discovery scenario.
+type DiscoveryConfig struct {
+	Interval uint64 // beacon period in ticks
+	Rounds   uint32 // beacons per node
+}
+
+// NodeInit returns the engine callback for the discovery scenario.
+func (c DiscoveryConfig) NodeInit() func(node int, s *vm.State, eb *expr.Builder) {
+	return func(node int, s *vm.State, eb *expr.Builder) {
+		s.StoreWord(AddrInterval, eb.Const(c.Interval, vm.WordBits))
+		s.StoreWord(AddrNumPackets, eb.Const(uint64(c.Rounds), vm.WordBits))
+	}
+}

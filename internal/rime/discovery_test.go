@@ -1,0 +1,100 @@
+package rime_test
+
+import (
+	"testing"
+
+	"sde/internal/rime"
+	"sde/internal/sim"
+	"sde/internal/vm"
+)
+
+func TestDiscoveryProgramBuilds(t *testing.T) {
+	prog, err := rime.DiscoveryProgram()
+	if err != nil {
+		t.Fatalf("DiscoveryProgram: %v", err)
+	}
+	for _, fn := range []string{"boot", "send_hello", "on_recv"} {
+		if prog.FuncIndex(fn) < 0 {
+			t.Errorf("program lacks function %q", fn)
+		}
+	}
+}
+
+func TestDiscoveryFindsAllNeighbors(t *testing.T) {
+	prog, err := rime.DiscoveryProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sim.NewGrid(3, 3)
+	dc := rime.DiscoveryConfig{Interval: 100, Rounds: 2}
+	res := runConcrete(t, g, prog, dc.NodeInit(), 10000)
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %+v", res.Violations)
+	}
+	for n := 0; n < g.K(); n++ {
+		s := nodeState(res, n)
+		wantDeg := len(g.Neighbors(n))
+		if got := word(t, s, rime.AddrNbrCount); got != uint64(wantDeg) {
+			t.Errorf("node %d discovered %d neighbours, want %d", n, got, wantDeg)
+		}
+		for _, nb := range g.Neighbors(n) {
+			if got := word(t, s, rime.AddrNbrBase+uint32(nb)); got != 1 {
+				t.Errorf("node %d missed neighbour %d", n, nb)
+			}
+		}
+		// No phantom neighbours.
+		for other := 0; other < g.K(); other++ {
+			isNb := false
+			for _, nb := range g.Neighbors(n) {
+				if nb == other {
+					isNb = true
+				}
+			}
+			if got := word(t, s, rime.AddrNbrBase+uint32(other)); !isNb && got != 0 {
+				t.Errorf("node %d recorded non-neighbour %d", n, other)
+			}
+		}
+		// Each node beaconed exactly Rounds times.
+		if got := word(t, s, rime.AddrRounds); got != 2 {
+			t.Errorf("node %d sent %d rounds, want 2", n, got)
+		}
+	}
+}
+
+func TestDiscoveryDedupAcrossRounds(t *testing.T) {
+	// Two rounds of beacons: neighbour counts must not double.
+	prog, err := rime.DiscoveryProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := sim.NewLine(3)
+	dc := rime.DiscoveryConfig{Interval: 50, Rounds: 3}
+	res := runConcrete(t, l, prog, dc.NodeInit(), 10000)
+	mid := nodeState(res, 1)
+	if got := word(t, mid, rime.AddrNbrCount); got != 2 {
+		t.Errorf("middle node count = %d, want 2 despite 3 rounds", got)
+	}
+}
+
+func TestDiscoveryIgnoresForeignPackets(t *testing.T) {
+	// A collect packet delivered to a discovery node must be ignored.
+	prog, err := rime.DiscoveryProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := vm.NewContext()
+	s := vm.NewState(ctx, prog, 1)
+	junk := []uint64{rime.CollectMagic, 1, 2, 3, 4}
+	ev := vm.Event{Time: 5, Kind: vm.EventRecv, Fn: prog.FuncIndex("on_recv"), Src: 0}
+	for _, w := range junk {
+		ev.Data = append(ev.Data, ctx.Exprs.Const(w, vm.WordBits))
+	}
+	s.PushEvent(ev)
+	s.BeginEvent(rime.RxBuf)
+	if err := s.Run(5, 0, vm.NopHooks{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.LoadWord(rime.AddrNbrCount); !got.IsConst() || got.ConstVal() != 0 {
+		t.Errorf("foreign packet changed neighbour count: %v", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Package rime provides the node software of the evaluation scenarios as
+// isa programs — the repository's stand-in for Contiki OS and its Rime
+// communication stack (paper §IV: "we use the latest Contiki OS CVS
+// snapshot, specifically the Rime communication stack — a lightweight
+// protocol stack designed for low-power radios").
+//
+// Three protocol primitives are modeled after Rime:
+//
+//   - anonymous best-effort broadcast (abc/broadcast): a link-layer
+//     transmission perceived by every radio neighbour;
+//   - identified unicast (unicast): a transmission carrying an intended
+//     next-hop address, filtered by the receiver;
+//   - multihop forwarding (multihop/collect): hop-by-hop forwarding along
+//     a preconfigured static route towards a sink.
+//
+// The programs communicate through a small packet header and per-node
+// configuration words seeded by the NodeInit callbacks below, mirroring
+// how the paper's scenarios preconfigure static routes (Figure 9).
+package rime
+
+import (
+	"fmt"
+
+	"sde/internal/expr"
+	"sde/internal/isa"
+	"sde/internal/sim"
+	"sde/internal/vm"
+)
+
+// Word addresses of the per-node configuration and state (all programs).
+const (
+	AddrRole       = 0x00 // RoleForwarder / RoleSource / RoleSink
+	AddrNextHop    = 0x01 // next hop towards the sink; NoNextHop if none
+	AddrInterval   = 0x02 // source transmission interval (ticks)
+	AddrNumPackets = 0x03 // number of data packets the source emits
+
+	AddrSeq       = 0x10 // source: next sequence number
+	AddrDelivered = 0x11 // sink: packets delivered
+	AddrLastSeq   = 0x12 // sink: last delivered sequence number (+1)
+	AddrOverheard = 0x13 // packets overheard (not addressed to this node)
+	AddrForwarded = 0x14 // packets forwarded
+	AddrFloodSeen = 0x40 // flood: AddrFloodSeen+origin = last seq seen +1
+
+	// TxBuf is where programs assemble outgoing packets.
+	TxBuf = 0x200
+	// RxBuf is where the runtime places incoming payloads.
+	RxBuf = 0x8000
+)
+
+// Node roles.
+const (
+	RoleForwarder = 0
+	RoleSource    = 1
+	RoleSink      = 2
+)
+
+// NoNextHop marks the absence of a configured route.
+const NoNextHop = 0xffffffff
+
+// Collect packet layout (words).
+const (
+	PktMagic  = 0 // CollectMagic
+	PktTarget = 1 // intended next hop (link destination)
+	PktOrigin = 2 // originating node
+	PktSeq    = 3 // sequence number
+	PktHops   = 4 // hop count
+	PktLen    = 5
+)
+
+// CollectMagic identifies collect data packets.
+const CollectMagic = 0xC011
+
+// MaxHops bounds forwarding chains; exceeding it trips an assertion
+// (routing loop detection).
+const MaxHops = 64
+
+// CollectProgram builds the paper's evaluation application: a source
+// emits a data packet every interval; every transmission is a link-layer
+// broadcast perceived by all neighbours; the node addressed as the next
+// hop forwards the packet along the static route; the sink checks
+// delivery invariants (paper §IV-A).
+func CollectProgram() (*isa.Program, error) {
+	b := isa.NewBuilder()
+
+	boot := b.Func("boot")
+	boot.MovI(isa.R3, 0)
+	boot.Load(isa.R1, isa.R3, AddrRole)
+	boot.NeI(isa.R2, isa.R1, RoleSource)
+	boot.BrNZ(isa.R2, "done") // only the source arms the send timer
+	boot.Load(isa.R4, isa.R3, AddrInterval)
+	boot.Timer("send_data", isa.R4, isa.R0)
+	boot.Label("done")
+	boot.Ret()
+
+	send := b.Func("send_data")
+	send.MovI(isa.R3, 0)
+	send.Load(isa.R1, isa.R3, AddrSeq) // r1 = seq
+	// Assemble the packet in the TX buffer.
+	send.MovI(isa.R4, TxBuf)
+	send.MovI(isa.R5, CollectMagic)
+	send.Store(isa.R4, PktMagic, isa.R5)
+	send.Load(isa.R5, isa.R3, AddrNextHop)
+	send.Store(isa.R4, PktTarget, isa.R5)
+	send.NodeID(isa.R5)
+	send.Store(isa.R4, PktOrigin, isa.R5)
+	send.Store(isa.R4, PktSeq, isa.R1)
+	send.MovI(isa.R5, 0)
+	send.Store(isa.R4, PktHops, isa.R5)
+	// Link-layer broadcast: all neighbours perceive the packet.
+	send.MovI(isa.R6, isa.BroadcastAddr)
+	send.Send(isa.R6, isa.R4, PktLen)
+	// seq++ and re-arm while data remains.
+	send.AddI(isa.R1, isa.R1, 1)
+	send.Store(isa.R3, AddrSeq, isa.R1)
+	send.Load(isa.R5, isa.R3, AddrNumPackets)
+	send.Ult(isa.R2, isa.R1, isa.R5)
+	send.BrZ(isa.R2, "stop")
+	send.Load(isa.R4, isa.R3, AddrInterval)
+	send.Timer("send_data", isa.R4, isa.R0)
+	send.Label("stop")
+	send.Ret()
+
+	// on_recv(src=r0, buf=r1, len=r2)
+	recv := b.Func("on_recv")
+	recv.MovI(isa.R3, 0)
+	recv.Load(isa.R4, isa.R1, PktMagic)
+	recv.EqI(isa.R5, isa.R4, CollectMagic)
+	recv.BrZ(isa.R5, "ignore") // not a collect packet
+	recv.Load(isa.R4, isa.R1, PktTarget)
+	recv.NodeID(isa.R5)
+	recv.Eq(isa.R6, isa.R4, isa.R5)
+	recv.BrNZ(isa.R6, "addressed")
+	// Overheard: perceived but not addressed to us.
+	recv.Load(isa.R4, isa.R3, AddrOverheard)
+	recv.AddI(isa.R4, isa.R4, 1)
+	recv.Store(isa.R3, AddrOverheard, isa.R4)
+	recv.Ret()
+
+	recv.Label("addressed")
+	recv.Load(isa.R4, isa.R3, AddrRole)
+	recv.EqI(isa.R5, isa.R4, RoleSink)
+	recv.BrNZ(isa.R5, "deliver")
+	recv.Call("forward")
+	recv.Ret()
+
+	// Sink delivery: count and check sequence monotonicity. With ideal
+	// conditions and drop failures only, sequence numbers at the sink are
+	// strictly increasing; a duplicated packet violates the assertion —
+	// the kind of corner case the paper's symbolic failures surface.
+	recv.Label("deliver")
+	recv.Load(isa.R4, isa.R3, AddrDelivered)
+	recv.AddI(isa.R4, isa.R4, 1)
+	recv.Store(isa.R3, AddrDelivered, isa.R4)
+	recv.Load(isa.R4, isa.R1, PktSeq) // received seq
+	recv.Load(isa.R5, isa.R3, AddrLastSeq)
+	recv.Ule(isa.R6, isa.R5, isa.R4) // lastSeq+1 stored, so check last <= seq
+	recv.Assert(isa.R6, "sink: sequence number regression (duplicate or reorder)")
+	recv.AddI(isa.R4, isa.R4, 1)
+	recv.Store(isa.R3, AddrLastSeq, isa.R4)
+	recv.Ret()
+
+	recv.Label("ignore")
+	recv.Ret()
+
+	// forward: rebuild the packet for the next hop and rebroadcast.
+	fwd := b.Func("forward")
+	fwd.MovI(isa.R3, 0)
+	fwd.Load(isa.R4, isa.R3, AddrNextHop)
+	fwd.NeI(isa.R5, isa.R4, NoNextHop)
+	fwd.BrZ(isa.R5, "noroute")
+	fwd.MovI(isa.R6, TxBuf)
+	fwd.MovI(isa.R7, CollectMagic)
+	fwd.Store(isa.R6, PktMagic, isa.R7)
+	fwd.Store(isa.R6, PktTarget, isa.R4)
+	fwd.Load(isa.R7, isa.R1, PktOrigin)
+	fwd.Store(isa.R6, PktOrigin, isa.R7)
+	fwd.Load(isa.R7, isa.R1, PktSeq)
+	fwd.Store(isa.R6, PktSeq, isa.R7)
+	fwd.Load(isa.R7, isa.R1, PktHops)
+	fwd.AddI(isa.R7, isa.R7, 1)
+	fwd.UltI(isa.R8, isa.R7, MaxHops)
+	fwd.Assert(isa.R8, "forward: hop count overflow (routing loop)")
+	fwd.Store(isa.R6, PktHops, isa.R7)
+	fwd.MovI(isa.R8, isa.BroadcastAddr)
+	fwd.Send(isa.R8, isa.R6, PktLen)
+	fwd.Load(isa.R7, isa.R3, AddrForwarded)
+	fwd.AddI(isa.R7, isa.R7, 1)
+	fwd.Store(isa.R3, AddrForwarded, isa.R7)
+	fwd.Label("noroute")
+	fwd.Ret()
+
+	return b.Build()
+}
+
+// CollectConfig parameterises a collect scenario.
+type CollectConfig struct {
+	Source   int
+	Sink     int
+	Route    []int  // static route from Source to Sink (inclusive)
+	Interval uint64 // ticks between source transmissions
+	Packets  uint32 // number of packets the source emits
+}
+
+// NodeInit returns the engine callback seeding each node's configuration
+// memory for the collect scenario.
+func (c CollectConfig) NodeInit(k int) (func(node int, s *vm.State, eb *expr.Builder), error) {
+	if len(c.Route) < 2 {
+		return nil, fmt.Errorf("rime: route must span source and sink, got %v", c.Route)
+	}
+	if c.Route[0] != c.Source || c.Route[len(c.Route)-1] != c.Sink {
+		return nil, fmt.Errorf("rime: route %v does not go %d -> %d", c.Route, c.Source, c.Sink)
+	}
+	hops := sim.NextHops(k, c.Route)
+	return func(node int, s *vm.State, eb *expr.Builder) {
+		cw := func(addr uint32, v uint64) {
+			s.StoreWord(addr, eb.Const(v, vm.WordBits))
+		}
+		role := uint64(RoleForwarder)
+		switch node {
+		case c.Source:
+			role = RoleSource
+		case c.Sink:
+			role = RoleSink
+		}
+		cw(AddrRole, role)
+		next := uint64(NoNextHop)
+		if hops[node] >= 0 {
+			next = uint64(hops[node])
+		}
+		cw(AddrNextHop, next)
+		cw(AddrInterval, c.Interval)
+		cw(AddrNumPackets, uint64(c.Packets))
+	}, nil
+}
+
+// FloodMagic identifies flooding packets.
+const FloodMagic = 0xF100D
+
+// Flood packet layout (words).
+const (
+	FloodPktMagic  = 0
+	FloodPktOrigin = 1
+	FloodPktSeq    = 2
+	FloodPktLen    = 3
+)
+
+// FloodProgram builds the §IV-C limitation workload: network-wide
+// flooding ("communication protocols based on network flooding such as
+// neighbor discovery or data dissemination"). The source periodically
+// broadcasts; every node rebroadcasts each packet it has not seen before,
+// so every node talks to all of its neighbours and the bystander-saving
+// structure of COW/SDS buys little.
+func FloodProgram() (*isa.Program, error) {
+	b := isa.NewBuilder()
+
+	boot := b.Func("boot")
+	boot.MovI(isa.R3, 0)
+	boot.Load(isa.R1, isa.R3, AddrRole)
+	boot.NeI(isa.R2, isa.R1, RoleSource)
+	boot.BrNZ(isa.R2, "done")
+	boot.Load(isa.R4, isa.R3, AddrInterval)
+	boot.Timer("send_flood", isa.R4, isa.R0)
+	boot.Label("done")
+	boot.Ret()
+
+	send := b.Func("send_flood")
+	send.MovI(isa.R3, 0)
+	send.Load(isa.R1, isa.R3, AddrSeq)
+	send.MovI(isa.R4, TxBuf)
+	send.MovI(isa.R5, FloodMagic)
+	send.Store(isa.R4, FloodPktMagic, isa.R5)
+	send.NodeID(isa.R5)
+	send.Store(isa.R4, FloodPktOrigin, isa.R5)
+	send.Store(isa.R4, FloodPktSeq, isa.R1)
+	send.MovI(isa.R6, isa.BroadcastAddr)
+	send.Send(isa.R6, isa.R4, FloodPktLen)
+	send.AddI(isa.R1, isa.R1, 1)
+	send.Store(isa.R3, AddrSeq, isa.R1)
+	send.Load(isa.R5, isa.R3, AddrNumPackets)
+	send.Ult(isa.R2, isa.R1, isa.R5)
+	send.BrZ(isa.R2, "stop")
+	send.Load(isa.R4, isa.R3, AddrInterval)
+	send.Timer("send_flood", isa.R4, isa.R0)
+	send.Label("stop")
+	send.Ret()
+
+	// on_recv: rebroadcast unseen packets.
+	recv := b.Func("on_recv")
+	recv.Load(isa.R4, isa.R1, FloodPktMagic)
+	recv.EqI(isa.R5, isa.R4, FloodMagic)
+	recv.BrZ(isa.R5, "ignore")
+	recv.Load(isa.R4, isa.R1, FloodPktOrigin) // origin
+	recv.Load(isa.R5, isa.R1, FloodPktSeq)    // seq
+	// seen[origin] holds last seen seq + 1 (0 = nothing seen).
+	recv.AddI(isa.R6, isa.R4, AddrFloodSeen)
+	recv.Load(isa.R7, isa.R6, 0)
+	recv.Ult(isa.R8, isa.R5, isa.R7)
+	recv.BrNZ(isa.R8, "ignore") // already seen
+	recv.AddI(isa.R7, isa.R5, 1)
+	recv.Store(isa.R6, 0, isa.R7)
+	// Rebroadcast.
+	recv.MovI(isa.R6, TxBuf)
+	recv.MovI(isa.R7, FloodMagic)
+	recv.Store(isa.R6, FloodPktMagic, isa.R7)
+	recv.Store(isa.R6, FloodPktOrigin, isa.R4)
+	recv.Store(isa.R6, FloodPktSeq, isa.R5)
+	recv.MovI(isa.R8, isa.BroadcastAddr)
+	recv.Send(isa.R8, isa.R6, FloodPktLen)
+	recv.Label("ignore")
+	recv.Ret()
+
+	return b.Build()
+}
+
+// FloodConfig parameterises a flooding scenario.
+type FloodConfig struct {
+	Source   int
+	Interval uint64
+	Packets  uint32
+}
+
+// NodeInit returns the engine callback for the flood scenario.
+func (c FloodConfig) NodeInit() func(node int, s *vm.State, eb *expr.Builder) {
+	return func(node int, s *vm.State, eb *expr.Builder) {
+		cw := func(addr uint32, v uint64) {
+			s.StoreWord(addr, eb.Const(v, vm.WordBits))
+		}
+		role := uint64(RoleForwarder)
+		if node == c.Source {
+			role = RoleSource
+		}
+		cw(AddrRole, role)
+		cw(AddrInterval, c.Interval)
+		cw(AddrNumPackets, uint64(c.Packets))
+	}
+}

@@ -1,0 +1,227 @@
+package rime
+
+import (
+	"sde/internal/expr"
+	"sde/internal/isa"
+	"sde/internal/vm"
+)
+
+// Reliable unicast (Rime's "runicast" primitive): DATA packets are
+// acknowledged per sequence number and retransmitted on a timeout until
+// acknowledged or a retry budget is exhausted. Receivers deduplicate
+// retransmissions. Under a symbolic packet drop the protocol *heals*: the
+// branch that lost the first DATA recovers it through a retransmission,
+// so the sender-side delivery assertions hold on every explored path —
+// the kind of positive protocol property SDE establishes exhaustively.
+
+// Runicast word addresses (the shared AddrInterval/AddrNumPackets config
+// words are reused; AddrSeq counts transmissions).
+const (
+	AddrRuPeer      = 0x25 // destination node id; NoNextHop = pure receiver
+	AddrRuFailures  = 0x26 // sequences that exhausted their retries
+	AddrRuDelivered = 0x27 // receiver: distinct DATA sequences delivered
+	AddrRuAckSeen   = 0x28 // sender: ACKs received (incl. duplicates)
+	AddrRuAckedBase = 0x80 // AddrRuAckedBase+seq = 1 once ACK(seq) arrived
+	AddrRuTriesBase = 0xA0 // AddrRuTriesBase+seq = retransmissions so far
+	AddrRuSeenBase  = 0xC0 // receiver: AddrRuSeenBase+seq = 1 once delivered
+)
+
+// Runicast packet layout (words).
+const (
+	RuPktMagic  = 0
+	RuPktTarget = 1
+	RuPktOrigin = 2
+	RuPktSeq    = 3
+	RuPktLen    = 4
+)
+
+// Runicast packet magics.
+const (
+	RuMagicData = 0xDA7A
+	RuMagicAck  = 0xACED
+)
+
+// RuMaxRetries bounds retransmissions per sequence number.
+const RuMaxRetries = 3
+
+// RuRTO is the retransmission timeout in ticks (must exceed one round
+// trip at the default latency of 2 ticks per hop).
+const RuRTO = 16
+
+// RunicastProgram builds the reliable-unicast node software. A node whose
+// AddrRuPeer is configured sends AddrNumPackets DATA packets, one per
+// AddrInterval ticks, and checks at the end that every sequence was
+// acknowledged and no retry budget was exhausted.
+func RunicastProgram() (*isa.Program, error) {
+	b := isa.NewBuilder()
+
+	boot := b.Func("boot")
+	boot.MovI(isa.R3, 0)
+	boot.Load(isa.R4, isa.R3, AddrRuPeer)
+	boot.EqI(isa.R5, isa.R4, NoNextHop)
+	boot.BrNZ(isa.R5, "done") // pure receiver
+	boot.Load(isa.R4, isa.R3, AddrInterval)
+	boot.Timer("send_data", isa.R4, isa.R0)
+	boot.Label("done")
+	boot.Ret()
+
+	// send_data: transmit DATA(seq), arm the retransmit timer for it,
+	// schedule the next packet or the final check.
+	send := b.Func("send_data")
+	send.MovI(isa.R3, 0)
+	send.Load(isa.R1, isa.R3, AddrSeq) // r1 = seq
+	send.Mov(isa.R0, isa.R1)
+	send.Call("xmit_data")
+	// Arm the per-sequence retransmission timeout.
+	send.MovI(isa.R4, RuRTO)
+	send.Timer("retransmit", isa.R4, isa.R1)
+	// seq++ and continue or finish.
+	send.AddI(isa.R1, isa.R1, 1)
+	send.Store(isa.R3, AddrSeq, isa.R1)
+	send.Load(isa.R5, isa.R3, AddrNumPackets)
+	send.Ult(isa.R2, isa.R1, isa.R5)
+	send.BrZ(isa.R2, "last")
+	send.Load(isa.R4, isa.R3, AddrInterval)
+	send.Timer("send_data", isa.R4, isa.R0)
+	send.Ret()
+	send.Label("last")
+	// Check after the retry budget of the final packet can elapse.
+	send.MovI(isa.R4, RuRTO*(RuMaxRetries+2))
+	send.Timer("check", isa.R4, isa.R0)
+	send.Ret()
+
+	// xmit_data(r0 = seq): build and unicast DATA(seq) to the peer.
+	xmit := b.Func("xmit_data")
+	xmit.MovI(isa.R3, 0)
+	xmit.MovI(isa.R6, TxBuf)
+	xmit.MovI(isa.R7, RuMagicData)
+	xmit.Store(isa.R6, RuPktMagic, isa.R7)
+	xmit.Load(isa.R7, isa.R3, AddrRuPeer)
+	xmit.Store(isa.R6, RuPktTarget, isa.R7)
+	xmit.NodeID(isa.R8)
+	xmit.Store(isa.R6, RuPktOrigin, isa.R8)
+	xmit.Store(isa.R6, RuPktSeq, isa.R0)
+	xmit.Send(isa.R7, isa.R6, RuPktLen)
+	xmit.Ret()
+
+	// retransmit(r0 = seq): resend unless acknowledged; give up after
+	// RuMaxRetries.
+	rtx := b.Func("retransmit")
+	rtx.MovI(isa.R3, 0)
+	rtx.Mov(isa.R1, isa.R0) // r1 = seq
+	rtx.AddI(isa.R4, isa.R1, AddrRuAckedBase)
+	rtx.Load(isa.R5, isa.R4, 0)
+	rtx.BrNZ(isa.R5, "acked") // nothing to do
+	rtx.AddI(isa.R4, isa.R1, AddrRuTriesBase)
+	rtx.Load(isa.R5, isa.R4, 0)
+	rtx.UltI(isa.R6, isa.R5, RuMaxRetries)
+	rtx.BrZ(isa.R6, "giveup")
+	rtx.AddI(isa.R5, isa.R5, 1)
+	rtx.Store(isa.R4, 0, isa.R5)
+	rtx.Mov(isa.R0, isa.R1)
+	rtx.Call("xmit_data")
+	rtx.MovI(isa.R4, RuRTO)
+	rtx.Timer("retransmit", isa.R4, isa.R1)
+	rtx.Ret()
+	rtx.Label("giveup")
+	rtx.Load(isa.R5, isa.R3, AddrRuFailures)
+	rtx.AddI(isa.R5, isa.R5, 1)
+	rtx.Store(isa.R3, AddrRuFailures, isa.R5)
+	rtx.Label("acked")
+	rtx.Ret()
+
+	// on_recv: DATA -> deliver once, always (re-)acknowledge;
+	// ACK -> mark the sequence acknowledged.
+	recv := b.Func("on_recv")
+	recv.MovI(isa.R3, 0)
+	recv.Load(isa.R4, isa.R1, RuPktMagic)
+	recv.Load(isa.R5, isa.R1, RuPktTarget)
+	recv.NodeID(isa.R6)
+	recv.Ne(isa.R7, isa.R5, isa.R6)
+	recv.BrNZ(isa.R7, "ignore") // not addressed to us (overheard)
+	recv.EqI(isa.R7, isa.R4, RuMagicData)
+	recv.BrNZ(isa.R7, "data")
+	recv.EqI(isa.R7, isa.R4, RuMagicAck)
+	recv.BrNZ(isa.R7, "ack")
+	recv.Label("ignore")
+	recv.Ret()
+
+	recv.Label("data")
+	recv.Load(isa.R8, isa.R1, RuPktSeq) // r8 = seq
+	recv.AddI(isa.R9, isa.R8, AddrRuSeenBase)
+	recv.Load(isa.R10, isa.R9, 0)
+	recv.BrNZ(isa.R10, "reack") // duplicate: deliver once only
+	recv.MovI(isa.R10, 1)
+	recv.Store(isa.R9, 0, isa.R10)
+	recv.Load(isa.R10, isa.R3, AddrRuDelivered)
+	recv.AddI(isa.R10, isa.R10, 1)
+	recv.Store(isa.R3, AddrRuDelivered, isa.R10)
+	recv.Label("reack")
+	// Build and send ACK(seq) back to the origin.
+	recv.Load(isa.R5, isa.R1, RuPktOrigin)
+	recv.MovI(isa.R6, TxBuf)
+	recv.MovI(isa.R7, RuMagicAck)
+	recv.Store(isa.R6, RuPktMagic, isa.R7)
+	recv.Store(isa.R6, RuPktTarget, isa.R5)
+	recv.NodeID(isa.R7)
+	recv.Store(isa.R6, RuPktOrigin, isa.R7)
+	recv.Store(isa.R6, RuPktSeq, isa.R8)
+	recv.Send(isa.R5, isa.R6, RuPktLen)
+	recv.Ret()
+
+	recv.Label("ack")
+	recv.Load(isa.R8, isa.R1, RuPktSeq)
+	recv.AddI(isa.R9, isa.R8, AddrRuAckedBase)
+	recv.MovI(isa.R10, 1)
+	recv.Store(isa.R9, 0, isa.R10)
+	recv.Load(isa.R10, isa.R3, AddrRuAckSeen)
+	recv.AddI(isa.R10, isa.R10, 1)
+	recv.Store(isa.R3, AddrRuAckSeen, isa.R10)
+	recv.Ret()
+
+	// check: every sequence acknowledged, no retry budget exhausted.
+	check := b.Func("check")
+	check.MovI(isa.R3, 0)
+	check.Load(isa.R4, isa.R3, AddrRuFailures)
+	check.EqI(isa.R5, isa.R4, 0)
+	check.Assert(isa.R5, "runicast: delivery failed after retries")
+	check.Load(isa.R6, isa.R3, AddrNumPackets)
+	check.MovI(isa.R7, 0) // seq iterator
+	check.Label("loop")
+	check.Ult(isa.R8, isa.R7, isa.R6)
+	check.BrZ(isa.R8, "end")
+	check.AddI(isa.R9, isa.R7, AddrRuAckedBase)
+	check.Load(isa.R10, isa.R9, 0)
+	check.Assert(isa.R10, "runicast: sequence never acknowledged")
+	check.AddI(isa.R7, isa.R7, 1)
+	check.Jmp("loop")
+	check.Label("end")
+	check.Ret()
+
+	return b.Build()
+}
+
+// RunicastConfig parameterises a reliable-unicast scenario: Sender
+// transmits Packets DATA packets to Receiver.
+type RunicastConfig struct {
+	Sender   int
+	Receiver int
+	Interval uint64
+	Packets  uint32
+}
+
+// NodeInit returns the engine callback for the runicast scenario.
+func (c RunicastConfig) NodeInit() func(node int, s *vm.State, eb *expr.Builder) {
+	return func(node int, s *vm.State, eb *expr.Builder) {
+		cw := func(addr uint32, v uint64) {
+			s.StoreWord(addr, eb.Const(v, vm.WordBits))
+		}
+		peer := uint64(NoNextHop)
+		if node == c.Sender {
+			peer = uint64(c.Receiver)
+		}
+		cw(AddrRuPeer, peer)
+		cw(AddrInterval, c.Interval)
+		cw(AddrNumPackets, uint64(c.Packets))
+	}
+}

@@ -1,0 +1,731 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"sde/internal/core"
+	"sde/internal/expr"
+	"sde/internal/isa"
+	"sde/internal/metrics"
+	"sde/internal/solver"
+	"sde/internal/vm"
+)
+
+// FailurePlan selects which nodes are subject to which symbolic network
+// failures (paper §IV-A). Each failure triggers on a state's first
+// reception and forks the receiving state: one side experiences the
+// failure, the other does not.
+type FailurePlan struct {
+	// DropFirst: the first received packet is symbolically dropped above
+	// the radio ("in one state the radio receives the packet while in the
+	// other the packet is dropped").
+	DropFirst map[int]bool
+	// DuplicateFirst: the first received packet is symbolically
+	// duplicated (the receive handler runs twice in one branch).
+	DuplicateFirst map[int]bool
+	// RebootOnFirst: the node symbolically reboots upon its first
+	// reception, losing volatile state.
+	RebootOnFirst map[int]bool
+}
+
+// NodeSet builds a membership map from a node list.
+func NodeSet(nodes []int) map[int]bool {
+	set := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		set[n] = true
+	}
+	return set
+}
+
+// Caps bound a run; the paper capped the COB run at ~40 GB RAM and aborted
+// it ("we had to abort the test after 9 hours of execution due to the
+// physical memory limit").
+type Caps struct {
+	MaxStates       int           // abort when live states exceed this (0 = unlimited)
+	MaxMemBytes     int64         // abort when modeled RAM exceeds this (0 = unlimited)
+	MaxWall         time.Duration // abort after this much wall time (0 = unlimited)
+	MaxInstructions uint64        // abort after this many instructions (0 = unlimited)
+}
+
+// Config describes one SDE run.
+type Config struct {
+	Topo      Topology
+	Prog      *isa.Program
+	Algorithm core.Algorithm
+
+	// BootFn and RecvFn name the entry points; they default to "boot"
+	// and "on_recv". RecvFn may be absent if the program never receives.
+	BootFn string
+	RecvFn string
+
+	// RXBufAddr is the word address the runtime copies received payloads
+	// to before invoking RecvFn (default 0x8000).
+	RXBufAddr uint32
+
+	// Latency is the transmission delay in ticks (default 2, minimum 1).
+	Latency uint64
+
+	// Horizon stops the run at this virtual time; events scheduled later
+	// are not executed (paper: "The simulation time is 10 seconds").
+	Horizon uint64
+
+	Failures FailurePlan
+
+	// NodeInit seeds per-node memory (roles, routing tables) before boot.
+	NodeInit func(node int, s *vm.State, eb *expr.Builder)
+
+	Caps Caps
+
+	// StepBudget bounds instructions per event handler activation.
+	StepBudget int
+
+	// SampleEvery takes a metrics sample every n processed events
+	// (default 64; 0 disables all sampling except the final one).
+	SampleEvery int
+
+	// CheckInvariants runs the mapper's structural self-checks after
+	// every mapping operation. Expensive; meant for tests.
+	CheckInvariants bool
+
+	// Replay, when non-nil, runs one concrete execution instead of a
+	// symbolic one: symbolic inputs take their value from this test case
+	// and failure decisions follow their variables (0 selects the
+	// failure branch, matching the solver's don't-care default). No
+	// forking occurs; the run yields exactly one state per node.
+	Replay expr.Env
+
+	// Pin pre-decides individual failure variables without forking: the
+	// named decision takes the given value (0 = failure branch) and the
+	// matching constraint is still added to the path condition, so test
+	// cases and dscenario fingerprints remain complete. Pinning
+	// partitions the dscenario space — the mechanism behind the parallel
+	// SDE extension (paper §VI): shards explore disjoint halves of the
+	// space on independent engines.
+	Pin map[string]uint64
+}
+
+// Result summarises a finished (or aborted) run.
+type Result struct {
+	Algorithm   core.Algorithm
+	Topology    string
+	Aborted     bool
+	AbortReason string
+
+	Wall         time.Duration
+	VirtualTime  uint64
+	Instructions uint64
+	Events       uint64
+
+	FinalStates int
+	PeakStates  int
+	Groups      int
+	DScenarios  *big.Int
+	FinalMem    int64
+	PeakMem     int64
+
+	Violations []*vm.Violation
+	Series     *metrics.Series
+
+	// SolverStats snapshots the constraint-solver activity counters.
+	SolverStats solver.Stats
+
+	// Mapper and Ctx expose the final symbolic state population for
+	// post-processing: dscenario explosion, test-case generation.
+	Mapper core.Mapper[*vm.State]
+	Ctx    *vm.Context
+}
+
+// Engine executes one SDE run. Create with NewEngine, then call Run (or
+// Step repeatedly for fine-grained control in tests).
+type Engine struct {
+	cfg    Config
+	ctx    *vm.Context
+	mapper core.Mapper[*vm.State]
+
+	states   []*vm.State
+	runnable []*vm.State // mid-event states (branch siblings), LIFO
+	evHeap   entryHeap
+	entrySeq map[*vm.State]uint64
+
+	clock      uint64
+	events     uint64
+	peakStates int
+	peakMem    int64
+	violations []*vm.Violation
+	series     metrics.Series
+	started    time.Time
+
+	bootFn, recvFn int
+	aborted        bool
+	abortReason    string
+	finished       bool
+	err            error
+}
+
+type heapEntry struct {
+	time    uint64
+	stateID uint64
+	seq     uint64
+	state   *vm.State
+}
+
+type entryHeap []heapEntry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].stateID < h[j].stateID
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x any)   { *h = append(*h, x.(heapEntry)) }
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewEngine validates the configuration and builds the initial k node
+// states (node i runs cfg.Prog with a boot event at time 0).
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Topo == nil {
+		return nil, errors.New("sim: config needs a topology")
+	}
+	if cfg.Prog == nil {
+		return nil, errors.New("sim: config needs a program")
+	}
+	if cfg.BootFn == "" {
+		cfg.BootFn = "boot"
+	}
+	if cfg.RecvFn == "" {
+		cfg.RecvFn = "on_recv"
+	}
+	if cfg.RXBufAddr == 0 {
+		cfg.RXBufAddr = 0x8000
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 2
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 64
+	}
+	bootFn := cfg.Prog.FuncIndex(cfg.BootFn)
+	if bootFn < 0 {
+		return nil, fmt.Errorf("sim: program lacks boot function %q", cfg.BootFn)
+	}
+	recvFn := cfg.Prog.FuncIndex(cfg.RecvFn) // may be -1: send-only programs
+
+	ctx := vm.NewContext()
+	ctx.Replay = cfg.Replay
+	mapper, err := core.New[*vm.State](cfg.Algorithm, cfg.Topo.K())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		ctx:      ctx,
+		mapper:   mapper,
+		entrySeq: make(map[*vm.State]uint64),
+		bootFn:   bootFn,
+		recvFn:   recvFn,
+		started:  time.Now(),
+	}
+	for node := 0; node < cfg.Topo.K(); node++ {
+		s := vm.NewState(ctx, cfg.Prog, node)
+		if cfg.NodeInit != nil {
+			cfg.NodeInit(node, s, ctx.Exprs)
+		}
+		s.PushEvent(vm.Event{Time: 0, Kind: vm.EventBoot, Fn: bootFn})
+		e.states = append(e.states, s)
+		mapper.Register(s)
+		e.scheduleHeap(s)
+	}
+	e.peakStates = len(e.states)
+	return e, nil
+}
+
+// Ctx returns the engine's VM context.
+func (e *Engine) Ctx() *vm.Context { return e.ctx }
+
+// Mapper returns the engine's state mapper.
+func (e *Engine) Mapper() core.Mapper[*vm.State] { return e.mapper }
+
+// Clock returns the current virtual time.
+func (e *Engine) Clock() uint64 { return e.clock }
+
+// NumStates returns the number of states the engine has adopted.
+func (e *Engine) NumStates() int { return len(e.states) }
+
+// scheduleHeap (re-)registers the state's earliest pending event in the
+// global heap. Stale entries are invalidated via the per-state sequence.
+func (e *Engine) scheduleHeap(s *vm.State) {
+	t, ok := s.NextEventTime()
+	if !ok || s.Status() != vm.StatusIdle {
+		return
+	}
+	e.entrySeq[s]++
+	heap.Push(&e.evHeap, heapEntry{time: t, stateID: s.ID(), seq: e.entrySeq[s], state: s})
+}
+
+// adopt integrates mapper- or failure-created states into the engine.
+func (e *Engine) adopt(states []*vm.State) {
+	for _, s := range states {
+		e.states = append(e.states, s)
+		e.scheduleHeap(s)
+	}
+	if len(e.states) > e.peakStates {
+		e.peakStates = len(e.states)
+	}
+}
+
+// Step processes the next pending event (including all branch siblings it
+// spawns). It returns false when the run is complete: no events remain
+// before the horizon, the run was aborted, or a fatal error occurred.
+func (e *Engine) Step() bool {
+	if e.finished || e.aborted || e.err != nil {
+		return false
+	}
+	if reason := e.capExceeded(); reason != "" {
+		e.abort(reason)
+		return false
+	}
+	for {
+		if e.evHeap.Len() == 0 {
+			e.finished = true
+			return false
+		}
+		entry := heap.Pop(&e.evHeap).(heapEntry)
+		s := entry.state
+		if entry.seq != e.entrySeq[s] || s.Status() != vm.StatusIdle {
+			continue // stale
+		}
+		t, ok := s.NextEventTime()
+		if !ok {
+			continue
+		}
+		if t != entry.time {
+			e.scheduleHeap(s)
+			continue
+		}
+		if e.cfg.Horizon > 0 && t > e.cfg.Horizon {
+			// Nothing before the horizon remains for this state; the heap
+			// is time-ordered, so the whole run is done.
+			e.finished = true
+			return false
+		}
+		e.clock = t
+		e.processEvent(s)
+		e.events++
+		if e.cfg.SampleEvery > 0 && e.events%uint64(e.cfg.SampleEvery) == 0 {
+			e.sample()
+		}
+		return e.err == nil && !e.aborted
+	}
+}
+
+// Run drives the engine to completion and returns the result.
+func (e *Engine) Run() (*Result, error) {
+	for e.Step() {
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.Finish(), nil
+}
+
+// Finish finalises metrics and assembles the result. It may be called
+// once, after Step has returned false.
+func (e *Engine) Finish() *Result {
+	e.sample()
+	mem := e.modelBytes()
+	res := &Result{
+		Algorithm:    e.cfg.Algorithm,
+		Topology:     e.cfg.Topo.Name(),
+		Aborted:      e.aborted,
+		AbortReason:  e.abortReason,
+		Wall:         time.Since(e.started),
+		VirtualTime:  e.clock,
+		Instructions: e.ctx.Instructions(),
+		Events:       e.events,
+		FinalStates:  e.mapper.NumStates(),
+		PeakStates:   e.peakStates,
+		Groups:       e.mapper.NumGroups(),
+		DScenarios:   e.mapper.DScenarioCount(),
+		FinalMem:     mem,
+		PeakMem:      e.peakMem,
+		Violations:   e.violations,
+		Series:       &e.series,
+		SolverStats:  e.ctx.Solver.Stats(),
+		Mapper:       e.mapper,
+		Ctx:          e.ctx,
+	}
+	if res.PeakMem < mem {
+		res.PeakMem = mem
+	}
+	return res
+}
+
+func (e *Engine) abort(reason string) {
+	e.aborted = true
+	e.abortReason = reason
+}
+
+func (e *Engine) capExceeded() string {
+	c := e.cfg.Caps
+	if c.MaxStates > 0 && len(e.states) > c.MaxStates {
+		return fmt.Sprintf("state cap exceeded (%d > %d)", len(e.states), c.MaxStates)
+	}
+	if c.MaxInstructions > 0 && e.ctx.Instructions() > c.MaxInstructions {
+		return fmt.Sprintf("instruction cap exceeded (%d)", e.ctx.Instructions())
+	}
+	if c.MaxWall > 0 && time.Since(e.started) > c.MaxWall {
+		return fmt.Sprintf("wall-time cap exceeded (%v)", c.MaxWall)
+	}
+	// The memory cap is checked on sampling ticks (see sample), since
+	// computing the modeled footprint walks all states.
+	return ""
+}
+
+// processEvent applies the failure models, runs the event's handler to
+// completion, and drains the branch siblings this produced.
+func (e *Engine) processEvent(s *vm.State) {
+	e.applyFailures(s)
+	if s.Status() != vm.StatusIdle {
+		return
+	}
+	// A failure model may have consumed or deferred the activation
+	// (replayed drop, reboot); hand the state back to the scheduler.
+	if t, ok := s.NextEventTime(); !ok || t != e.clock {
+		e.scheduleHeap(s)
+		return
+	}
+	ev, ok := s.PeekEvent()
+	if !ok {
+		return
+	}
+	if ev.Kind == vm.EventRecv && e.recvFn < 0 {
+		// No receive handler: the packet is consumed silently.
+		s.DropEvent()
+		e.scheduleHeap(s)
+		return
+	}
+	s.BeginEvent(e.cfg.RXBufAddr)
+	e.runToCompletion(s)
+	for len(e.runnable) > 0 {
+		sib := e.runnable[len(e.runnable)-1]
+		e.runnable = e.runnable[:len(e.runnable)-1]
+		e.runToCompletion(sib)
+	}
+}
+
+// runToCompletion drives one mid-event state until its handler returns.
+func (e *Engine) runToCompletion(s *vm.State) {
+	err := s.Run(e.clock, e.cfg.StepBudget, (*engineHooks)(e))
+	if err == nil && s.Status() == vm.StatusDead {
+		err = s.Err() // killed by a hook (e.g. out-of-range unicast)
+	}
+	if errors.Is(err, vm.ErrAssertFails) {
+		// Already surfaced through OnViolation; the dead state simply
+		// stops executing (the errored path terminates, as in KLEE).
+		return
+	}
+	if err != nil {
+		// The state died (runtime error). The run can continue — the
+		// paper's model has no state death, so surface it as a violation
+		// to make scenario bugs visible without stopping the analysis.
+		e.violations = append(e.violations, &vm.Violation{
+			Node:    s.NodeID(),
+			Time:    e.clock,
+			Msg:     fmt.Sprintf("state died: %v", err),
+			StateID: s.ID(),
+		})
+		return
+	}
+	if s.Status() == vm.StatusIdle {
+		e.scheduleHeap(s)
+	}
+}
+
+// applyFailures injects the configured symbolic failures for a pending
+// reception. Each failure forks the state via a fresh symbolic boolean —
+// a local branch, so the mapper's OnBranch runs (for COB this forks the
+// whole dscenario, exactly as in the paper's evaluation).
+func (e *Engine) applyFailures(s *vm.State) {
+	ev, ok := s.PeekEvent()
+	if !ok || ev.Kind != vm.EventRecv {
+		return
+	}
+	node := s.NodeID()
+	f := e.cfg.Failures
+	drop := f.DropFirst[node]
+	dup := f.DuplicateFirst[node]
+	reboot := f.RebootOnFirst[node]
+	if !drop && !dup && !reboot {
+		return
+	}
+	idx := s.NextRecvSeq()
+	if idx != 0 {
+		return // only the first reception is symbolic
+	}
+	if e.cfg.Replay != nil {
+		// Concrete replay: follow the recorded failure decisions instead
+		// of forking (variable value 0 selects the failure branch).
+		if drop && e.cfg.Replay[fmt.Sprintf("drop_n%d_r%d", node, idx)] == 0 {
+			s.DropEvent()
+		}
+		if dup && e.cfg.Replay[fmt.Sprintf("dup_n%d_r%d", node, idx)] == 0 {
+			if _, ok := s.PeekEvent(); ok {
+				s.DuplicateEvent()
+			}
+		}
+		if reboot && e.cfg.Replay[fmt.Sprintf("reboot_n%d_r%d", node, idx)] == 0 {
+			s.Reboot(e.bootFn, e.clock)
+		}
+		return
+	}
+	if drop {
+		name := fmt.Sprintf("drop_n%d_r%d", node, idx)
+		if val, pinned := e.pinDecision(s, name); pinned {
+			if val == 0 {
+				s.DropEvent()
+			}
+		} else {
+			sib := s.ForkOnFreshBool(name) // s: no drop; sib: dropped
+			e.onLocalBranch(s, sib)
+			sib.DropEvent()
+			e.adopt([]*vm.State{sib})
+		}
+	}
+	if dup {
+		name := fmt.Sprintf("dup_n%d_r%d", node, idx)
+		if val, pinned := e.pinDecision(s, name); pinned {
+			if val == 0 {
+				if _, ok := s.PeekEvent(); ok {
+					s.DuplicateEvent()
+				}
+			}
+		} else {
+			sib := s.ForkOnFreshBool(name) // s: normal; sib: duplicated
+			e.onLocalBranch(s, sib)
+			sib.DuplicateEvent()
+			e.adopt([]*vm.State{sib})
+		}
+	}
+	if reboot {
+		name := fmt.Sprintf("reboot_n%d_r%d", node, idx)
+		if val, pinned := e.pinDecision(s, name); pinned {
+			if val == 0 {
+				s.Reboot(e.bootFn, e.clock)
+			}
+		} else {
+			sib := s.ForkOnFreshBool(name) // s: normal; sib: reboots
+			e.onLocalBranch(s, sib)
+			sib.Reboot(e.bootFn, e.clock)
+			e.adopt([]*vm.State{sib})
+		}
+	}
+}
+
+// pinDecision checks whether a failure decision is pinned by Config.Pin;
+// if so it adds the corresponding path constraint and returns the value.
+func (e *Engine) pinDecision(s *vm.State, name string) (uint64, bool) {
+	val, ok := e.cfg.Pin[name]
+	if !ok {
+		return 0, false
+	}
+	v := e.ctx.Exprs.Var(name, 1)
+	if val == 0 {
+		s.AddConstraint(e.ctx.Exprs.Not(v))
+	} else {
+		s.AddConstraint(v)
+	}
+	return val, true
+}
+
+// onLocalBranch notifies the mapper of a local fork and adopts whatever
+// it created in response.
+func (e *Engine) onLocalBranch(orig, sibling *vm.State) {
+	extra := e.mapper.OnBranch(orig, sibling)
+	e.adopt(extra)
+	e.checkMapper()
+}
+
+func (e *Engine) checkMapper() {
+	if !e.cfg.CheckInvariants || e.err != nil {
+		return
+	}
+	if err := e.mapper.CheckInvariants(); err != nil {
+		e.err = fmt.Errorf("sim: mapper invariant violated: %w", err)
+	}
+}
+
+// handleSend expands a transmission to its unicast deliveries (broadcast =
+// one unicast per neighbour, paper footnote 1) and performs the state
+// mapping and delivery for each.
+func (e *Engine) handleSend(s *vm.State, dst uint32, payload []*expr.Expr) {
+	if dst == isa.BroadcastAddr {
+		for _, nb := range e.cfg.Topo.Neighbors(s.NodeID()) {
+			e.deliverUnicast(s, nb, payload)
+		}
+		return
+	}
+	if int(dst) >= e.cfg.Topo.K() {
+		s.Kill(fmt.Errorf("sim: send to nonexistent node %d", dst))
+		return
+	}
+	if !e.isNeighbor(s.NodeID(), int(dst)) {
+		s.Kill(fmt.Errorf("sim: node %d cannot reach node %d directly", s.NodeID(), dst))
+		return
+	}
+	e.deliverUnicast(s, int(dst), payload)
+}
+
+func (e *Engine) isNeighbor(from, to int) bool {
+	for _, nb := range e.cfg.Topo.Neighbors(from) {
+		if nb == to {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) deliverUnicast(s *vm.State, dst int, payload []*expr.Expr) {
+	if e.err != nil {
+		return
+	}
+	del, err := e.mapper.MapSend(s, dst)
+	if err != nil {
+		e.err = fmt.Errorf("sim: state mapping: %w", err)
+		return
+	}
+	e.adopt(del.Forked)
+	e.checkMapper()
+	payloadHash := payloadDigest(payload)
+	// The sender's configuration fingerprint at transmission time makes
+	// the packet globally unique (see vm.HistEntry) without introducing
+	// run-order-dependent identifiers.
+	senderFP := s.Fingerprint()
+	senderPC := s.PathCond()
+	seq := s.RecordSend(uint32(dst), e.clock, payloadHash)
+	for _, r := range del.Receivers {
+		r.RecordRecv(uint32(s.NodeID()), e.clock, seq, payloadHash, senderFP)
+		// Receiving implies the sender's context (see
+		// vm.InheritConstraints); with symbolic payloads the receiver
+		// will branch on the sender's variables.
+		r.InheritConstraints(senderPC)
+		if r.Status() == vm.StatusIdle {
+			r.PushEvent(vm.Event{
+				Time: e.clock + e.cfg.Latency,
+				Kind: vm.EventRecv,
+				Fn:   e.recvFn,
+				Src:  uint32(s.NodeID()),
+				Data: payload,
+			})
+			e.scheduleHeap(r)
+		}
+	}
+}
+
+func payloadDigest(payload []*expr.Expr) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range payload {
+		h ^= w.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sample records a metrics point and enforces the memory cap.
+func (e *Engine) sample() {
+	mem := e.modelBytes()
+	if mem > e.peakMem {
+		e.peakMem = mem
+	}
+	e.series.Add(metrics.Sample{
+		Wall:         time.Since(e.started),
+		VirtualTime:  e.clock,
+		States:       e.mapper.NumStates(),
+		Groups:       e.mapper.NumGroups(),
+		MemBytes:     mem,
+		Instructions: e.ctx.Instructions(),
+	})
+	if c := e.cfg.Caps.MaxMemBytes; c > 0 && mem > c {
+		e.abort(fmt.Sprintf("memory cap exceeded (%s > %s)",
+			metrics.FormatBytes(mem), metrics.FormatBytes(c)))
+	}
+}
+
+// nodeImageBytes models the per-node program image (the paper's runs
+// spend ~1 GB loading LLVM bytecode for 100 nodes before any state
+// growth).
+const nodeImageBytes = 64 << 10
+
+// modelBytes computes the modeled RAM footprint: every distinct COW page
+// counted once plus per-state bookkeeping overhead. This mirrors what the
+// paper's RSS curves measure — the marginal cost of duplicate states.
+func (e *Engine) modelBytes() int64 {
+	pages := make(map[uint64]struct{}, 1024)
+	var total int64
+	for _, s := range e.states {
+		total += int64(s.OverheadBytes())
+		s.ForEachPage(func(id uint64, bytes int) {
+			if _, ok := pages[id]; !ok {
+				pages[id] = struct{}{}
+				total += int64(bytes)
+			}
+		})
+	}
+	total += int64(e.cfg.Topo.K()) * nodeImageBytes
+	return total
+}
+
+// engineHooks adapts *Engine to vm.Hooks without exporting the methods on
+// Engine itself.
+type engineHooks Engine
+
+func (h *engineHooks) OnFork(orig, sibling *vm.State) {
+	e := (*Engine)(h)
+	e.onLocalBranch(orig, sibling)
+	e.adopt([]*vm.State{sibling})
+	e.runnable = append(e.runnable, sibling)
+}
+
+func (h *engineHooks) OnSend(s *vm.State, dst uint32, payload []*expr.Expr) {
+	(*Engine)(h).handleSend(s, dst, payload)
+}
+
+func (h *engineHooks) OnViolation(s *vm.State, v *vm.Violation) {
+	e := (*Engine)(h)
+	e.enrichWitness(s, v)
+	e.violations = append(e.violations, v)
+}
+
+// enrichWitness widens a violation's witness from the violating state's
+// local path condition to a full dscenario: the combined constraints of
+// one consistent state per node, so the test case also pins the failure
+// decisions taken on other nodes and replays deterministically.
+func (e *Engine) enrichWitness(s *vm.State, v *vm.Violation) {
+	members, ok := e.mapper.ScenarioFor(s)
+	if !ok {
+		return
+	}
+	var combined []*expr.Expr
+	for _, m := range members {
+		combined = append(combined, m.PathCond()...)
+	}
+	if v.Cond != nil {
+		combined = append(combined, v.Cond)
+	}
+	model, sat, err := e.ctx.Solver.Model(combined)
+	if err != nil || !sat {
+		return // keep the local witness
+	}
+	v.Model = model
+}

@@ -1,0 +1,104 @@
+package sim_test
+
+import (
+	"testing"
+
+	"sde/internal/core"
+	"sde/internal/rime"
+	"sde/internal/sim"
+	"sde/internal/vm"
+)
+
+// pinScenario builds a 3-node line collect with a drop armed at node 1.
+func pinScenario(t *testing.T, pin map[string]uint64) *sim.Result {
+	t.Helper()
+	prog, err := rime.CollectProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rime.CollectConfig{Source: 2, Sink: 0, Route: []int{2, 1, 0}, Interval: 10, Packets: 2}
+	nodeInit, err := cfg.NodeInit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topo:            sim.NewLine(3),
+		Prog:            prog,
+		Algorithm:       core.SDSAlgorithm,
+		Horizon:         200,
+		NodeInit:        nodeInit,
+		Failures:        sim.FailurePlan{DropFirst: sim.NodeSet([]int{1})},
+		Pin:             pin,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPinSuppressesFork(t *testing.T) {
+	for _, val := range []uint64{0, 1} {
+		res := pinScenario(t, map[string]uint64{"drop_n1_r0": val})
+		// No fork: exactly one state per node.
+		if res.FinalStates != 3 {
+			t.Fatalf("pin=%d: states = %d, want 3", val, res.FinalStates)
+		}
+		if res.DScenarios.Int64() != 1 {
+			t.Fatalf("pin=%d: dscenarios = %v, want 1", val, res.DScenarios)
+		}
+		var n1, sink *vm.State
+		res.Mapper.ForEachState(func(s *vm.State) {
+			switch s.NodeID() {
+			case 0:
+				sink = s
+			case 1:
+				n1 = s
+			}
+		})
+		// The pinned constraint is on the path condition so test cases
+		// stay complete.
+		if len(n1.PathCond()) != 1 {
+			t.Fatalf("pin=%d: node 1 path condition = %d constraints, want 1",
+				val, len(n1.PathCond()))
+		}
+		// Behaviour follows the pinned side: with the drop (0), packet 1
+		// is lost and the sink delivers only one packet.
+		want := uint64(2)
+		if val == 0 {
+			want = 1
+		}
+		if got := sink.LoadWord(rime.AddrDelivered).ConstVal(); got != want {
+			t.Errorf("pin=%d: delivered = %d, want %d", val, got, want)
+		}
+	}
+}
+
+func TestPinnedHalvesComposeToFullSpace(t *testing.T) {
+	full := pinScenario(t, nil)
+	zero := pinScenario(t, map[string]uint64{"drop_n1_r0": 0})
+	one := pinScenario(t, map[string]uint64{"drop_n1_r0": 1})
+	if got := zero.DScenarios.Int64() + one.DScenarios.Int64(); got != full.DScenarios.Int64() {
+		t.Errorf("pinned halves cover %d dscenarios, full run %v", got, full.DScenarios)
+	}
+	// The two halves are disjoint: fingerprints of their dscenarios
+	// never coincide (the pinned constraint differs).
+	seen := map[uint64]bool{}
+	for _, res := range []*sim.Result{zero, one} {
+		for _, sc := range res.Mapper.Explode(0) {
+			h := uint64(14695981039346656037)
+			for _, s := range sc {
+				h ^= s.Fingerprint()
+				h *= 1099511628211
+			}
+			if seen[h] {
+				t.Fatal("pinned halves share a dscenario")
+			}
+			seen[h] = true
+		}
+	}
+}

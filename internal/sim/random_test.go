@@ -1,0 +1,194 @@
+package sim_test
+
+// Randomised cross-validation: for a corpus of randomly generated small
+// scenarios (topology, traffic, failure plan), the three state mapping
+// algorithms must agree exactly — same dscenario fingerprint sets, same
+// violation counts — and every exploded dscenario must pass the §II-B
+// direct-conflict oracle. This is the repository's broadest correctness
+// sweep; all randomness is seeded, so failures reproduce.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sde/internal/core"
+	"sde/internal/rime"
+	"sde/internal/sim"
+	"sde/internal/trace"
+	"sde/internal/vm"
+)
+
+type randomScenario struct {
+	topo     sim.Topology
+	route    []int
+	packets  uint32
+	failures sim.FailurePlan
+	desc     string
+}
+
+// genScenario builds a random collect scenario description.
+func genScenario(rng *rand.Rand) randomScenario {
+	var topo sim.Topology
+	var route []int
+	switch rng.Intn(3) {
+	case 0:
+		k := 3 + rng.Intn(3) // 3..5
+		l := sim.NewLine(k)
+		topo = l
+		route = make([]int, k)
+		for i := range route {
+			route[i] = k - 1 - i
+		}
+	case 1:
+		w, h := 2+rng.Intn(2), 2+rng.Intn(2) // up to 3x3
+		g := sim.NewGrid(w, h)
+		topo = g
+		route = g.StaircaseRoute(g.K()-1, 0)
+	default:
+		k := 3 + rng.Intn(2)
+		m := sim.NewFullMesh(k)
+		topo = m
+		route = []int{k - 1, 0}
+	}
+	packets := uint32(1 + rng.Intn(3))
+	var failures sim.FailurePlan
+	pick := func() map[int]bool {
+		set := map[int]bool{}
+		for _, n := range route {
+			if rng.Intn(3) == 0 {
+				set[n] = true
+			}
+		}
+		return set
+	}
+	failures.DropFirst = pick()
+	if rng.Intn(2) == 0 {
+		failures.DuplicateFirst = map[int]bool{route[len(route)-1]: true}
+	}
+	if rng.Intn(3) == 0 {
+		failures.RebootOnFirst = map[int]bool{route[len(route)/2]: true}
+	}
+	return randomScenario{
+		topo: topo, route: route, packets: packets, failures: failures,
+		desc: fmt.Sprintf("%s packets=%d drops=%v dup=%v reboot=%v",
+			topo.Name(), packets, failures.DropFirst,
+			failures.DuplicateFirst, failures.RebootOnFirst),
+	}
+}
+
+func runRandom(t *testing.T, rs randomScenario, algo core.Algorithm) *sim.Result {
+	t.Helper()
+	prog, err := rime.CollectProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rime.CollectConfig{
+		Source: rs.route[0], Sink: rs.route[len(rs.route)-1],
+		Route: rs.route, Interval: 10, Packets: rs.packets,
+	}
+	nodeInit, err := cfg.NodeInit(rs.topo.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		Topo:            rs.topo,
+		Prog:            prog,
+		Algorithm:       algo,
+		Horizon:         uint64(10*rs.packets) + 100,
+		NodeInit:        nodeInit,
+		Failures:        rs.failures,
+		CheckInvariants: true,
+		Caps:            sim.Caps{MaxStates: 150000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatalf("%s / %v: %v", rs.desc, algo, err)
+	}
+	if res.Aborted {
+		t.Skipf("%s / %v aborted: %s", rs.desc, algo, res.AbortReason)
+	}
+	return res
+}
+
+func TestRandomScenarioEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rs := genScenario(rng)
+			t.Log(rs.desc)
+
+			results := map[core.Algorithm]*sim.Result{}
+			for _, algo := range allAlgorithms {
+				results[algo] = runRandom(t, rs, algo)
+			}
+			ref := results[core.COBAlgorithm]
+			refSet := scenarioSet(ref)
+			for _, algo := range []core.Algorithm{core.COWAlgorithm, core.SDSAlgorithm} {
+				res := results[algo]
+				if res.DScenarios.Cmp(ref.DScenarios) != 0 {
+					t.Errorf("%v dscenarios = %v, COB = %v", algo, res.DScenarios, ref.DScenarios)
+					continue
+				}
+				set := scenarioSet(res)
+				if len(set) != len(refSet) {
+					t.Errorf("%v fingerprint set size %d, COB %d", algo, len(set), len(refSet))
+					continue
+				}
+				for fp := range refSet {
+					if set[fp] == 0 {
+						t.Errorf("%v missing a COB dscenario", algo)
+						break
+					}
+				}
+				// Violation messages must agree as a multiset of (node, msg).
+				if got, want := violationKeys(res), violationKeys(ref); !mapsEqual(got, want) {
+					t.Errorf("%v violations %v, COB %v", algo, got, want)
+				}
+			}
+			// Every exploded dscenario (sampled) passes the §II-B
+			// direct-conflict oracle.
+			for _, res := range results {
+				count := 0
+				res.Mapper.ExplodeFunc(64, func(sc []*vm.State) bool {
+					if err := trace.CheckDScenario(sc); err != nil {
+						t.Errorf("%v: %v", res.Algorithm, err)
+						return false
+					}
+					count++
+					return true
+				})
+				if count == 0 {
+					t.Errorf("%v exploded nothing", res.Algorithm)
+				}
+			}
+		})
+	}
+}
+
+func violationKeys(res *sim.Result) map[string]int {
+	out := map[string]int{}
+	for _, v := range res.Violations {
+		out[fmt.Sprintf("n%d:%s", v.Node, v.Msg)]++
+	}
+	return out
+}
+
+func mapsEqual(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

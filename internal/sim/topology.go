@@ -1,0 +1,206 @@
+// Package sim provides the distributed substrate of SDE: network
+// topologies, an ideal network model with failure injection, and the
+// discrete-event engine that executes the symbolic states of all nodes and
+// drives the state mapping algorithms of package core.
+//
+// It corresponds to the simulation machinery of KleeNet (paper §IV):
+// "KleeNet simulates a complete distributed system in a single process. It
+// starts with k states representing the nodes in the network. As in any
+// simulation, in each step KleeNet executes an event of a node and
+// advances the time to the next event in the queue."
+package sim
+
+import (
+	"fmt"
+)
+
+// Topology describes which nodes can communicate directly. Node ids are
+// always the contiguous range [0, K).
+type Topology interface {
+	// K returns the number of nodes.
+	K() int
+	// Neighbors returns the radio neighbours of node n in ascending
+	// order. The result must not be modified.
+	Neighbors(n int) []int
+	// Name returns a short description for reports.
+	Name() string
+}
+
+// Grid is a W x H lattice with 4-way connectivity, the paper's evaluation
+// topology (§IV-A: "linear grid topology (5x5, 7x7, and 10x10 nodes)").
+// Node n sits at column n%W, row n/W; node 0 is the top-left corner (the
+// paper's sink) and node K-1 the bottom-right corner (the source).
+type Grid struct {
+	W, H      int
+	neighbors [][]int
+}
+
+// NewGrid returns a W x H grid topology.
+func NewGrid(w, h int) *Grid {
+	if w < 1 || h < 1 {
+		panic(fmt.Sprintf("sim: invalid grid %dx%d", w, h))
+	}
+	g := &Grid{W: w, H: h}
+	g.neighbors = make([][]int, w*h)
+	for n := range g.neighbors {
+		x, y := n%w, n/w
+		var nb []int
+		if y > 0 {
+			nb = append(nb, n-w)
+		}
+		if x > 0 {
+			nb = append(nb, n-1)
+		}
+		if x < w-1 {
+			nb = append(nb, n+1)
+		}
+		if y < h-1 {
+			nb = append(nb, n+w)
+		}
+		g.neighbors[n] = nb
+	}
+	return g
+}
+
+// K implements Topology.
+func (g *Grid) K() int { return g.W * g.H }
+
+// Neighbors implements Topology.
+func (g *Grid) Neighbors(n int) []int { return g.neighbors[n] }
+
+// Name implements Topology.
+func (g *Grid) Name() string { return fmt.Sprintf("grid%dx%d", g.W, g.H) }
+
+// StaircaseRoute returns the paper's preconfigured data path from node
+// `from` to node `to`: a staircase that alternates horizontal and vertical
+// single-node steps (Figure 9). The result includes both endpoints.
+func (g *Grid) StaircaseRoute(from, to int) []int {
+	x, y := from%g.W, from/g.W
+	tx, ty := to%g.W, to/g.W
+	route := []int{from}
+	for x != tx || y != ty {
+		if x != tx {
+			if x < tx {
+				x++
+			} else {
+				x--
+			}
+			route = append(route, y*g.W+x)
+		}
+		if y != ty {
+			if y < ty {
+				y++
+			} else {
+				y--
+			}
+			route = append(route, y*g.W+x)
+		}
+	}
+	return route
+}
+
+// Line is a 1-dimensional chain of k nodes, the topology of the paper's
+// multi-hop examples (§II-B).
+type Line struct {
+	N int
+}
+
+// NewLine returns a k-node line topology.
+func NewLine(k int) *Line {
+	if k < 1 {
+		panic("sim: empty line")
+	}
+	return &Line{N: k}
+}
+
+// K implements Topology.
+func (l *Line) K() int { return l.N }
+
+// Neighbors implements Topology.
+func (l *Line) Neighbors(n int) []int {
+	switch {
+	case l.N == 1:
+		return nil
+	case n == 0:
+		return []int{1}
+	case n == l.N-1:
+		return []int{n - 1}
+	default:
+		return []int{n - 1, n + 1}
+	}
+}
+
+// Name implements Topology.
+func (l *Line) Name() string { return fmt.Sprintf("line%d", l.N) }
+
+// FullMesh connects every node to every other node — the §IV-C limitation
+// scenario where "COW and SDS algorithms perform nearly as bad as COB".
+type FullMesh struct {
+	N         int
+	neighbors [][]int
+}
+
+// NewFullMesh returns a k-node full mesh.
+func NewFullMesh(k int) *FullMesh {
+	if k < 1 {
+		panic("sim: empty mesh")
+	}
+	m := &FullMesh{N: k, neighbors: make([][]int, k)}
+	for n := 0; n < k; n++ {
+		nb := make([]int, 0, k-1)
+		for o := 0; o < k; o++ {
+			if o != n {
+				nb = append(nb, o)
+			}
+		}
+		m.neighbors[n] = nb
+	}
+	return m
+}
+
+// K implements Topology.
+func (m *FullMesh) K() int { return m.N }
+
+// Neighbors implements Topology.
+func (m *FullMesh) Neighbors(n int) []int { return m.neighbors[n] }
+
+// Name implements Topology.
+func (m *FullMesh) Name() string { return fmt.Sprintf("mesh%d", m.N) }
+
+// NextHops converts a route (a node sequence) into a next-hop table:
+// hops[n] is the successor of n on the route, or -1 off the route and at
+// the final hop.
+func NextHops(k int, route []int) []int {
+	hops := make([]int, k)
+	for i := range hops {
+		hops[i] = -1
+	}
+	for i := 0; i+1 < len(route); i++ {
+		hops[route[i]] = route[i+1]
+	}
+	return hops
+}
+
+// RouteNeighborhood returns the route nodes together with every direct
+// neighbour of a route node — the node set the paper configures for
+// symbolic packet drops (§IV-A: "nodes on the data path towards the
+// destination and their neighbors should symbolically drop one packet").
+func RouteNeighborhood(topo Topology, route []int) []int {
+	seen := make(map[int]bool, len(route)*3)
+	var out []int
+	add := func(n int) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, n := range route {
+		add(n)
+	}
+	for _, n := range route {
+		for _, nb := range topo.Neighbors(n) {
+			add(nb)
+		}
+	}
+	return out
+}

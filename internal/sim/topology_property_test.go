@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestGridProperties checks structural invariants of grids of random
+// shapes: symmetric edges, correct degrees, and staircase routes that are
+// valid paths of Manhattan length between any two nodes.
+func TestGridProperties(t *testing.T) {
+	f := func(wRaw, hRaw, fromRaw, toRaw uint8) bool {
+		w := int(wRaw%6) + 1
+		h := int(hRaw%6) + 1
+		g := NewGrid(w, h)
+		from := int(fromRaw) % g.K()
+		to := int(toRaw) % g.K()
+
+		// Degree: 2 at corners, 3 on edges, 4 inside (for w,h >= 2).
+		for n := 0; n < g.K(); n++ {
+			x, y := n%w, n/w
+			want := 0
+			if x > 0 {
+				want++
+			}
+			if x < w-1 {
+				want++
+			}
+			if y > 0 {
+				want++
+			}
+			if y < h-1 {
+				want++
+			}
+			if len(g.Neighbors(n)) != want {
+				return false
+			}
+		}
+
+		route := g.StaircaseRoute(from, to)
+		// Manhattan length.
+		fx, fy := from%w, from/w
+		tx, ty := to%w, to/w
+		manhattan := abs(fx-tx) + abs(fy-ty)
+		if len(route) != manhattan+1 {
+			return false
+		}
+		if route[0] != from || route[len(route)-1] != to {
+			return false
+		}
+		// Every step is an edge; no node repeats.
+		seen := map[int]bool{route[0]: true}
+		for i := 0; i+1 < len(route); i++ {
+			edge := false
+			for _, nb := range g.Neighbors(route[i]) {
+				if nb == route[i+1] {
+					edge = true
+				}
+			}
+			if !edge || seen[route[i+1]] {
+				return false
+			}
+			seen[route[i+1]] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestNeighborhoodProperties: the route neighbourhood always contains the
+// route, only contains route nodes and their direct neighbours, and has
+// no duplicates.
+func TestNeighborhoodProperties(t *testing.T) {
+	f := func(wRaw, hRaw uint8) bool {
+		w := int(wRaw%5) + 2
+		h := int(hRaw%5) + 2
+		g := NewGrid(w, h)
+		route := g.StaircaseRoute(g.K()-1, 0)
+		nodes := RouteNeighborhood(g, route)
+		seen := map[int]bool{}
+		onRoute := NodeSet(route)
+		for _, n := range nodes {
+			if seen[n] {
+				return false // duplicate
+			}
+			seen[n] = true
+			if onRoute[n] {
+				continue
+			}
+			adjacent := false
+			for _, nb := range g.Neighbors(n) {
+				if onRoute[nb] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				return false // neither on route nor adjacent to it
+			}
+		}
+		for _, r := range route {
+			if !seen[r] {
+				return false // route node missing
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

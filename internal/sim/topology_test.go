@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestGridNeighbors(t *testing.T) {
+	g := NewGrid(3, 3)
+	if g.K() != 9 {
+		t.Fatalf("K = %d, want 9", g.K())
+	}
+	tests := []struct {
+		node int
+		want []int
+	}{
+		{0, []int{1, 3}},       // top-left corner
+		{2, []int{1, 5}},       // top-right corner
+		{4, []int{1, 3, 5, 7}}, // centre
+		{8, []int{5, 7}},       // bottom-right corner
+		{3, []int{0, 4, 6}},    // left edge
+	}
+	for _, tt := range tests {
+		got := append([]int(nil), g.Neighbors(tt.node)...)
+		sort.Ints(got)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Neighbors(%d) = %v, want %v", tt.node, got, tt.want)
+		}
+	}
+}
+
+func TestGridNeighborsSymmetric(t *testing.T) {
+	g := NewGrid(5, 4)
+	for n := 0; n < g.K(); n++ {
+		for _, nb := range g.Neighbors(n) {
+			back := false
+			for _, o := range g.Neighbors(nb) {
+				if o == n {
+					back = true
+				}
+			}
+			if !back {
+				t.Errorf("edge %d->%d not symmetric", n, nb)
+			}
+		}
+	}
+}
+
+func TestStaircaseRoute(t *testing.T) {
+	g := NewGrid(3, 3)
+	route := g.StaircaseRoute(8, 0)
+	want := []int{8, 7, 4, 3, 0}
+	if !reflect.DeepEqual(route, want) {
+		t.Errorf("route = %v, want %v", route, want)
+	}
+	// Every consecutive pair must be a neighbour edge.
+	for i := 0; i+1 < len(route); i++ {
+		found := false
+		for _, nb := range g.Neighbors(route[i]) {
+			if nb == route[i+1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("route step %d->%d is not an edge", route[i], route[i+1])
+		}
+	}
+}
+
+func TestStaircaseRouteLengths(t *testing.T) {
+	for _, dim := range []int{5, 7, 10} {
+		g := NewGrid(dim, dim)
+		route := g.StaircaseRoute(g.K()-1, 0)
+		// Manhattan distance corner-to-corner plus the starting node.
+		want := 2*(dim-1) + 1
+		if len(route) != want {
+			t.Errorf("%dx%d route length = %d, want %d", dim, dim, len(route), want)
+		}
+		if route[0] != g.K()-1 || route[len(route)-1] != 0 {
+			t.Errorf("%dx%d route endpoints wrong: %v", dim, dim, route)
+		}
+	}
+}
+
+func TestLineTopology(t *testing.T) {
+	l := NewLine(4)
+	if !reflect.DeepEqual(l.Neighbors(0), []int{1}) {
+		t.Errorf("Neighbors(0) = %v", l.Neighbors(0))
+	}
+	if !reflect.DeepEqual(l.Neighbors(2), []int{1, 3}) {
+		t.Errorf("Neighbors(2) = %v", l.Neighbors(2))
+	}
+	if !reflect.DeepEqual(l.Neighbors(3), []int{2}) {
+		t.Errorf("Neighbors(3) = %v", l.Neighbors(3))
+	}
+	if NewLine(1).Neighbors(0) != nil {
+		t.Error("singleton line should have no neighbours")
+	}
+}
+
+func TestFullMesh(t *testing.T) {
+	m := NewFullMesh(4)
+	for n := 0; n < 4; n++ {
+		if got := len(m.Neighbors(n)); got != 3 {
+			t.Errorf("node %d has %d neighbours, want 3", n, got)
+		}
+		for _, nb := range m.Neighbors(n) {
+			if nb == n {
+				t.Errorf("node %d neighbours itself", n)
+			}
+		}
+	}
+}
+
+func TestNextHops(t *testing.T) {
+	hops := NextHops(5, []int{4, 2, 0})
+	want := []int{-1, -1, 0, -1, 2}
+	if !reflect.DeepEqual(hops, want) {
+		t.Errorf("NextHops = %v, want %v", hops, want)
+	}
+}
+
+func TestRouteNeighborhood(t *testing.T) {
+	g := NewGrid(3, 3)
+	route := g.StaircaseRoute(8, 0) // 8 7 4 3 0
+	nodes := RouteNeighborhood(g, route)
+	set := NodeSet(nodes)
+	for _, n := range route {
+		if !set[n] {
+			t.Errorf("route node %d missing from neighbourhood", n)
+		}
+	}
+	// Nodes 1, 5, 6 are off-route neighbours of route nodes; node 2 (the
+	// top-right corner) touches none of 8-7-4-3-0 and must be excluded.
+	for _, n := range []int{1, 5, 6} {
+		if !set[n] {
+			t.Errorf("node %d (route neighbour) missing", n)
+		}
+	}
+	if set[2] {
+		t.Error("node 2 is not adjacent to the route but was included")
+	}
+	if len(nodes) != 8 {
+		t.Errorf("neighbourhood size = %d, want 8", len(nodes))
+	}
+}
+
+func TestGridName(t *testing.T) {
+	if got := NewGrid(5, 5).Name(); got != "grid5x5" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewLine(7).Name(); got != "line7" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewFullMesh(3).Name(); got != "mesh3" {
+		t.Errorf("Name = %q", got)
+	}
+}

@@ -1,0 +1,127 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+
+	"sde/internal/expr"
+)
+
+// branchQueries builds the query stream a symbolic executor generates: a
+// growing path condition re-checked with one new condition at a time.
+func branchQueries(b *expr.Builder, depth int) [][]*expr.Expr {
+	x := b.Var("x", 32)
+	var pc []*expr.Expr
+	var queries [][]*expr.Expr
+	for i := 0; i < depth; i++ {
+		c := b.Ult(x, b.Const(uint64(1000-i), 32))
+		queries = append(queries, append(append([]*expr.Expr{}, pc...), c))
+		pc = append(pc, c)
+	}
+	return queries
+}
+
+func BenchmarkBranchFeasibility(b *testing.B) {
+	for _, opts := range []struct {
+		name string
+		o    Options
+	}{
+		{"full", Options{}},
+		{"noCache", Options{DisableCache: true}},
+		{"noPool", Options{DisablePool: true}},
+		{"noCacheNoPool", Options{DisableCache: true, DisablePool: true}},
+	} {
+		opts := opts
+		b.Run(opts.name, func(b *testing.B) {
+			eb := expr.NewBuilder()
+			queries := branchQueries(eb, 24)
+			s := NewWithOptions(opts.o)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range queries {
+					if ok, err := s.Feasible(q); err != nil || !ok {
+						b.Fatalf("query failed: ok=%v err=%v", ok, err)
+					}
+				}
+			}
+			b.StopTimer()
+			st := s.Stats()
+			b.ReportMetric(float64(st.SATCalls)/float64(b.N), "satcalls/op")
+		})
+	}
+}
+
+// BenchmarkLiteralScan measures the drop-decision fast path that dominates
+// sensornet scenarios, against the full SAT pipeline.
+func BenchmarkLiteralScan(b *testing.B) {
+	for _, fast := range []bool{true, false} {
+		name := "fastpath"
+		if !fast {
+			name = "satcore"
+		}
+		b.Run(name, func(b *testing.B) {
+			eb := expr.NewBuilder()
+			var cs []*expr.Expr
+			for i := 0; i < 12; i++ {
+				v := eb.Var(fmt.Sprintf("drop_%d", i), 1)
+				if i%2 == 0 {
+					cs = append(cs, v)
+				} else {
+					cs = append(cs, eb.Not(v))
+				}
+			}
+			s := NewWithOptions(Options{
+				DisableFastPath: !fast,
+				DisableCache:    true, // isolate per-query cost
+				DisablePool:     true,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ok, err := s.Feasible(cs); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBitBlastMul(b *testing.B) {
+	for _, width := range []int{8, 16, 32} {
+		width := width
+		b.Run(fmt.Sprintf("w%d", width), func(b *testing.B) {
+			eb := expr.NewBuilder()
+			x := eb.Var("x", width)
+			y := eb.Var("y", width)
+			q := []*expr.Expr{eb.Eq(eb.Mul(x, y), eb.Const(143, width))}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := NewWithOptions(Options{DisableCache: true, DisablePool: true})
+				if ok, err := s.Feasible(q); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkModelGeneration(b *testing.B) {
+	eb := expr.NewBuilder()
+	x := eb.Var("x", 32)
+	y := eb.Var("y", 32)
+	q := []*expr.Expr{
+		eb.Eq(eb.Add(x, y), eb.Const(1000, 32)),
+		eb.Ult(x, y),
+		eb.Ult(eb.Const(10, 32), x),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewWithOptions(Options{DisableCache: true, DisablePool: true})
+		model, ok, err := s.Model(q)
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+		if (model["x"]+model["y"])&0xffffffff != 1000 {
+			b.Fatalf("bad model: %v", model)
+		}
+	}
+}

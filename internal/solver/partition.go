@@ -1,0 +1,117 @@
+package solver
+
+import (
+	"sde/internal/expr"
+)
+
+// Constraint-set partitioning: constraints that share no symbolic
+// variables are independent, so a conjunction splits into connected
+// components that can be decided (and cached) separately, with their
+// models merged. This mirrors KLEE's independent-constraint optimisation
+// and pays off heavily on distributed test-case queries, which union the
+// path conditions of k nodes whose decisions are largely disjoint.
+
+// varsOf returns the ids of the variables in e, memoised per expression
+// node (expressions are interned, so pointer identity is stable).
+func (s *Solver) varsOf(e *expr.Expr) []uint32 {
+	s.mu.Lock()
+	if s.varsCache == nil {
+		s.varsCache = make(map[*expr.Expr][]uint32, 256)
+	}
+	if ids, ok := s.varsCache[e]; ok {
+		s.mu.Unlock()
+		return ids
+	}
+	s.mu.Unlock()
+	vars := expr.CollectVars(e, nil)
+	ids := make([]uint32, len(vars))
+	for i, v := range vars {
+		ids[i] = v.VarID()
+	}
+	s.mu.Lock()
+	s.varsCache[e] = ids
+	s.mu.Unlock()
+	return ids
+}
+
+// partition groups the constraints into connected components linked by
+// shared variables. Constraints without any variable (non-constant-folded
+// tautologies cannot occur; guarded anyway) join the first component.
+func (s *Solver) partition(constraints []*expr.Expr) [][]*expr.Expr {
+	n := len(constraints)
+	if n <= 1 {
+		return [][]*expr.Expr{constraints}
+	}
+	// Union-find over constraint indices.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	owner := make(map[uint32]int) // variable id -> first constraint seen
+	for i, c := range constraints {
+		for _, id := range s.varsOf(c) {
+			if j, ok := owner[id]; ok {
+				union(i, j)
+			} else {
+				owner[id] = i
+			}
+		}
+	}
+	groups := make(map[int][]*expr.Expr)
+	var order []int
+	for i, c := range constraints {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][]*expr.Expr, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// checkPartitioned decides the conjunction component by component. Each
+// component goes through the full pipeline (fast path, cache, pool, SAT),
+// so repeated components — the common case across a run's many queries —
+// hit the cache. Returns ok=false when partitioning does not apply
+// (single component).
+func (s *Solver) checkPartitioned(constraints []*expr.Expr, needModel bool) (bool, expr.Env, bool, error) {
+	comps := s.partition(constraints)
+	if len(comps) <= 1 {
+		return false, nil, false, nil
+	}
+	s.mu.Lock()
+	s.stats.Partitions++
+	s.mu.Unlock()
+	merged := expr.Env{}
+	for _, comp := range comps {
+		sat, model, err := s.check(comp, needModel)
+		if err != nil {
+			return false, nil, true, err
+		}
+		if !sat {
+			return false, nil, true, nil
+		}
+		for name, v := range model {
+			merged[name] = v
+		}
+	}
+	return true, merged, true, nil
+}

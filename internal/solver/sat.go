@@ -1,0 +1,504 @@
+// Package solver decides satisfiability of bitvector constraint sets from
+// package expr and produces concrete models (test cases).
+//
+// The pipeline is the classical one used by symbolic executors: expressions
+// are bit-blasted to CNF (Tseitin encoding, ripple-carry adders, shift-add
+// multipliers, restoring dividers, barrel shifters) and handed to an
+// embedded CDCL SAT solver with two-literal watching, first-UIP clause
+// learning, VSIDS branching, phase saving, and Luby restarts. A query cache
+// and a counterexample (model reuse) cache sit in front, mirroring KLEE's
+// solver stack at a small scale.
+package solver
+
+// Lit is a CNF literal: +v asserts variable v, -v asserts its negation.
+// Variables are numbered starting at 1.
+type Lit int32
+
+// Neg returns the negated literal.
+func (l Lit) Neg() Lit { return -l }
+
+func (l Lit) v() int32 {
+	if l < 0 {
+		return int32(-l)
+	}
+	return int32(l)
+}
+
+// index maps a literal to a dense slice index (2v for +v, 2v+1 for -v).
+func (l Lit) index() int32 {
+	if l < 0 {
+		return -int32(l)*2 + 1
+	}
+	return int32(l) * 2
+}
+
+const (
+	valUnassigned int8 = 0
+	valTrue       int8 = 1
+	valFalse      int8 = -1
+)
+
+type clause struct {
+	lits []Lit
+}
+
+type watcher struct {
+	clauseIdx int32
+	blocker   Lit // a literal whose truth makes the clause satisfied
+}
+
+// satSolver is a self-contained CDCL SAT solver instance. One instance is
+// built per query; there is no incremental interface.
+type satSolver struct {
+	clauses []clause
+	watches [][]watcher // indexed by Lit.index()
+
+	assign  []int8  // per var: valTrue/valFalse/valUnassigned
+	level   []int32 // per var: decision level of assignment
+	reason  []int32 // per var: clause that implied it, or -1 for decisions
+	phase   []int8  // per var: saved phase for decisions
+	trail   []Lit
+	trailAt []int32 // trail length at each decision level
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	heap     varHeap
+
+	seen []bool // scratch for conflict analysis
+
+	conflicts int64
+	decisions int64
+	propags   int64
+	maxConfl  int64 // abort threshold, 0 = unlimited
+}
+
+func newSatSolver() *satSolver {
+	s := &satSolver{varInc: 1.0}
+	s.addVarsUpTo(0)
+	return s
+}
+
+func (s *satSolver) numVars() int { return len(s.assign) - 1 }
+
+// newVar allocates a fresh variable and returns its positive literal.
+func (s *satSolver) newVar() Lit {
+	v := int32(len(s.assign))
+	s.addVarsUpTo(int(v))
+	return Lit(v)
+}
+
+func (s *satSolver) addVarsUpTo(v int) {
+	for len(s.assign) <= v {
+		s.assign = append(s.assign, valUnassigned)
+		s.level = append(s.level, 0)
+		s.reason = append(s.reason, -1)
+		s.phase = append(s.phase, valFalse)
+		s.activity = append(s.activity, 0)
+		s.seen = append(s.seen, false)
+		s.watches = append(s.watches, nil, nil)
+		if len(s.assign) > 1 {
+			s.heap.push(int32(len(s.assign)-1), s.activity)
+		}
+	}
+}
+
+func (s *satSolver) litValue(l Lit) int8 {
+	v := s.assign[l.v()]
+	if l < 0 {
+		return -v
+	}
+	return v
+}
+
+// addClause installs a problem clause. It returns false if the clause set
+// is already trivially unsatisfiable (empty clause or conflicting units at
+// level 0).
+func (s *satSolver) addClause(lits ...Lit) bool {
+	// Deduplicate and drop clauses with complementary literals.
+	out := lits[:0:len(lits)]
+	for _, l := range lits {
+		dup := false
+		for _, m := range out {
+			if m == l {
+				dup = true
+				break
+			}
+			if m == -l {
+				return true // tautology: a ∨ ¬a
+			}
+		}
+		// Drop literals already false at level 0; clause satisfied if any
+		// literal already true at level 0.
+		if s.litValue(l) == valTrue && s.level[l.v()] == 0 {
+			return true
+		}
+		if s.litValue(l) == valFalse && s.level[l.v()] == 0 {
+			continue
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return false
+	case 1:
+		if s.litValue(out[0]) == valFalse {
+			return false
+		}
+		if s.litValue(out[0]) == valUnassigned {
+			s.enqueue(out[0], -1)
+		}
+		return s.propagate() == -1
+	}
+	cl := clause{lits: append([]Lit(nil), out...)}
+	idx := int32(len(s.clauses))
+	s.clauses = append(s.clauses, cl)
+	s.watch(cl.lits[0], idx, cl.lits[1])
+	s.watch(cl.lits[1], idx, cl.lits[0])
+	return true
+}
+
+func (s *satSolver) watch(l Lit, cl int32, blocker Lit) {
+	i := l.index()
+	s.watches[i] = append(s.watches[i], watcher{clauseIdx: cl, blocker: blocker})
+}
+
+func (s *satSolver) enqueue(l Lit, reason int32) {
+	v := l.v()
+	if l > 0 {
+		s.assign[v] = valTrue
+	} else {
+		s.assign[v] = valFalse
+	}
+	s.level[v] = int32(len(s.trailAt))
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the index of a
+// conflicting clause or -1 if no conflict arises.
+func (s *satSolver) propagate() int32 {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propags++
+		// Clauses watching ¬p must be checked.
+		wi := (-p).index()
+		ws := s.watches[wi]
+		kept := ws[:0]
+		conflict := int32(-1)
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.litValue(w.blocker) == valTrue {
+				kept = append(kept, w)
+				continue
+			}
+			cl := &s.clauses[w.clauseIdx]
+			lits := cl.lits
+			// Normalise so lits[0] is the other watched literal.
+			if lits[0] == -p {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			if s.litValue(lits[0]) == valTrue {
+				kept = append(kept, watcher{clauseIdx: w.clauseIdx, blocker: lits[0]})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for j := 2; j < len(lits); j++ {
+				if s.litValue(lits[j]) != valFalse {
+					lits[1], lits[j] = lits[j], lits[1]
+					s.watch(lits[1], w.clauseIdx, lits[0])
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, w)
+			if s.litValue(lits[0]) == valFalse {
+				// Conflict: keep remaining watchers and bail out.
+				kept = append(kept, ws[i+1:]...)
+				conflict = w.clauseIdx
+				break
+			}
+			s.enqueue(lits[0], w.clauseIdx)
+		}
+		s.watches[wi] = kept
+		if conflict >= 0 {
+			s.qhead = len(s.trail)
+			return conflict
+		}
+	}
+	return -1
+}
+
+func (s *satSolver) decisionLevel() int32 { return int32(len(s.trailAt)) }
+
+func (s *satSolver) newDecisionLevel() {
+	s.trailAt = append(s.trailAt, int32(len(s.trail)))
+}
+
+func (s *satSolver) backtrackTo(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailAt[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		l := s.trail[i]
+		v := l.v()
+		s.phase[v] = s.assign[v]
+		s.assign[v] = valUnassigned
+		s.reason[v] = -1
+		s.heap.pushIfAbsent(v, s.activity)
+	}
+	s.trail = s.trail[:bound]
+	s.trailAt = s.trailAt[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *satSolver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v, s.activity)
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backjump level.
+func (s *satSolver) analyze(conflIdx int32) ([]Lit, int32) {
+	learned := []Lit{0} // placeholder for the asserting literal
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	cl := conflIdx
+	for {
+		lits := s.clauses[cl].lits
+		for _, q := range lits {
+			if q == p {
+				continue
+			}
+			v := q.v()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] >= s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Select next literal from the trail to resolve on.
+		for !s.seen[s.trail[idx].v()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.v()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		cl = s.reason[p.v()]
+	}
+	learned[0] = -p
+	for _, l := range learned[1:] {
+		s.seen[l.v()] = false
+	}
+	// Backjump level: highest level among the non-asserting literals.
+	backLvl := int32(0)
+	if len(learned) > 1 {
+		maxI := 1
+		for i := 2; i < len(learned); i++ {
+			if s.level[learned[i].v()] > s.level[learned[maxI].v()] {
+				maxI = i
+			}
+		}
+		learned[1], learned[maxI] = learned[maxI], learned[1]
+		backLvl = s.level[learned[1].v()]
+	}
+	return learned, backLvl
+}
+
+func (s *satSolver) recordLearned(lits []Lit) {
+	if len(lits) == 1 {
+		s.enqueue(lits[0], -1)
+		return
+	}
+	cl := clause{lits: append([]Lit(nil), lits...)}
+	idx := int32(len(s.clauses))
+	s.clauses = append(s.clauses, cl)
+	s.watch(cl.lits[0], idx, cl.lits[1])
+	s.watch(cl.lits[1], idx, cl.lits[0])
+	s.enqueue(cl.lits[0], idx)
+}
+
+func (s *satSolver) pickBranchVar() int32 {
+	for {
+		v, ok := s.heap.pop(s.activity)
+		if !ok {
+			return 0
+		}
+		if s.assign[v] == valUnassigned {
+			return v
+		}
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// solve runs the CDCL main loop. It returns valTrue for SAT, valFalse for
+// UNSAT, and valUnassigned if the conflict budget was exhausted.
+func (s *satSolver) solve() int8 {
+	if s.propagate() >= 0 {
+		return valFalse
+	}
+	restartUnit := int64(100)
+	restartNo := int64(1)
+	budget := restartUnit * luby(restartNo)
+	conflictsAtRestart := int64(0)
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.conflicts++
+			conflictsAtRestart++
+			if s.decisionLevel() == 0 {
+				return valFalse
+			}
+			learned, backLvl := s.analyze(confl)
+			s.backtrackTo(backLvl)
+			s.recordLearned(learned)
+			s.varInc /= 0.95
+			if s.maxConfl > 0 && s.conflicts >= s.maxConfl {
+				return valUnassigned
+			}
+			continue
+		}
+		if conflictsAtRestart >= budget {
+			conflictsAtRestart = 0
+			restartNo++
+			budget = restartUnit * luby(restartNo)
+			s.backtrackTo(0)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return valTrue // all variables assigned
+		}
+		s.decisions++
+		s.newDecisionLevel()
+		if s.phase[v] == valTrue {
+			s.enqueue(Lit(v), -1)
+		} else {
+			s.enqueue(-Lit(v), -1)
+		}
+	}
+}
+
+// varHeap is a max-heap of variables ordered by activity, with lazy
+// deletion (popped variables may be re-pushed on backtrack).
+type varHeap struct {
+	data []int32
+	pos  map[int32]int
+}
+
+func (h *varHeap) init() {
+	if h.pos == nil {
+		h.pos = make(map[int32]int)
+	}
+}
+
+func (h *varHeap) less(i, j int, act []float64) bool {
+	return act[h.data[i]] > act[h.data[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.data[i], h.data[j] = h.data[j], h.data[i]
+	h.pos[h.data[i]] = i
+	h.pos[h.data[j]] = j
+}
+
+func (h *varHeap) up(i int, act []float64) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent, act) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int, act []float64) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h.data) && h.less(l, best, act) {
+			best = l
+		}
+		if r < len(h.data) && h.less(r, best, act) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h.swap(i, best)
+		i = best
+	}
+}
+
+func (h *varHeap) push(v int32, act []float64) {
+	h.init()
+	h.data = append(h.data, v)
+	h.pos[v] = len(h.data) - 1
+	h.up(len(h.data)-1, act)
+}
+
+func (h *varHeap) pushIfAbsent(v int32, act []float64) {
+	h.init()
+	if _, ok := h.pos[v]; ok {
+		return
+	}
+	h.push(v, act)
+}
+
+func (h *varHeap) pop(act []float64) (int32, bool) {
+	if len(h.data) == 0 {
+		return 0, false
+	}
+	v := h.data[0]
+	last := len(h.data) - 1
+	h.swap(0, last)
+	h.data = h.data[:last]
+	delete(h.pos, v)
+	if last > 0 {
+		h.down(0, act)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int32, act []float64) {
+	if i, ok := h.pos[v]; ok {
+		h.up(i, act)
+	}
+}

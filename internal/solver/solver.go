@@ -1,0 +1,324 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sde/internal/expr"
+)
+
+// ErrBudget is returned when a query exceeds the configured conflict budget
+// before a definite answer is found.
+var ErrBudget = errors.New("solver: conflict budget exhausted")
+
+// Stats counts solver activity since construction. Reads are only
+// consistent when the solver is quiescent.
+type Stats struct {
+	Queries    int64 // total Feasible/Model calls
+	CacheHits  int64 // answered from the query cache
+	PoolHits   int64 // answered by re-using a previous model
+	FastPath   int64 // answered by the syntactic literal scan
+	Partitions int64 // queries split into independent components
+	SATCalls   int64 // full bit-blast + CDCL runs
+	Conflicts  int64 // CDCL conflicts across all runs
+	Decisions  int64 // CDCL decisions across all runs
+}
+
+type cacheEntry struct {
+	hashes []uint64 // sorted constraint hashes, to guard against collisions
+	sat    bool
+	model  expr.Env // nil for unsat entries
+}
+
+// Options tunes a Solver. The zero value enables every optimisation;
+// the Disable* switches exist for ablation benchmarks that quantify each
+// layer's contribution (see the solver benchmarks).
+type Options struct {
+	// DisableCache turns off the query-result cache.
+	DisableCache bool
+	// DisablePool turns off counterexample (model) reuse.
+	DisablePool bool
+	// DisableFastPath turns off the syntactic boolean-literal scan.
+	DisableFastPath bool
+	// DisablePartition turns off independent-constraint partitioning.
+	DisablePartition bool
+	// MaxConflicts bounds a single CDCL run; zero means unlimited.
+	MaxConflicts int64
+}
+
+// Solver answers satisfiability queries over sets of 1-bit constraint
+// expressions. It is safe for concurrent use. All constraint expressions
+// passed to one Solver must come from a single expr.Builder.
+type Solver struct {
+	// MaxConflicts bounds a single CDCL run; zero means unlimited.
+	MaxConflicts int64
+
+	opts      Options
+	mu        sync.Mutex
+	cache     map[uint64]cacheEntry
+	pool      []expr.Env // recent satisfying models, most recent last
+	poolCap   int
+	varsCache map[*expr.Expr][]uint32
+	stats     Stats
+}
+
+// New returns a Solver with all optimisations enabled.
+func New() *Solver { return NewWithOptions(Options{}) }
+
+// NewWithOptions returns a Solver with the given tuning.
+func NewWithOptions(opts Options) *Solver {
+	return &Solver{
+		MaxConflicts: opts.MaxConflicts,
+		opts:         opts,
+		cache:        make(map[uint64]cacheEntry, 256),
+		poolCap:      16,
+	}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Solver) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Feasible reports whether the conjunction of the constraints is
+// satisfiable. Every constraint must be a 1-bit expression.
+func (s *Solver) Feasible(constraints []*expr.Expr) (bool, error) {
+	sat, _, err := s.check(constraints, false)
+	return sat, err
+}
+
+// Model reports satisfiability and, when satisfiable, returns a concrete
+// assignment (a test case) under which every constraint evaluates to true.
+// Variables not mentioned in the model are don't-cares (any value works;
+// by convention they are 0).
+func (s *Solver) Model(constraints []*expr.Expr) (expr.Env, bool, error) {
+	sat, model, err := s.check(constraints, true)
+	return model, sat, err
+}
+
+func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env, error) {
+	s.mu.Lock()
+	s.stats.Queries++
+	s.mu.Unlock()
+
+	// Constant-fold the constraint set.
+	active := make([]*expr.Expr, 0, len(constraints))
+	for _, c := range constraints {
+		if c.Width() != 1 {
+			return false, nil, fmt.Errorf("solver: constraint has width %d, want 1", c.Width())
+		}
+		if c.IsTrue() {
+			continue
+		}
+		if c.IsFalse() {
+			return false, nil, nil
+		}
+		active = append(active, c)
+	}
+	if len(active) == 0 {
+		return true, expr.Env{}, nil
+	}
+
+	// Fast path: a pure conjunction of boolean literals (v / ¬v) is
+	// satisfiable iff no variable occurs with both polarities. This covers
+	// the failure-model decision variables that dominate sensornet
+	// scenarios without touching the SAT core.
+	if !s.opts.DisableFastPath {
+		if sat, model, ok := literalScan(active, needModel); ok {
+			s.mu.Lock()
+			s.stats.FastPath++
+			s.mu.Unlock()
+			return sat, model, nil
+		}
+	}
+
+	key, hashes := queryKey(active)
+
+	s.mu.Lock()
+	if ent, ok := s.cache[key]; ok && !s.opts.DisableCache && hashesEqual(ent.hashes, hashes) {
+		if !ent.sat || !needModel || ent.model != nil {
+			s.stats.CacheHits++
+			model := ent.model
+			s.mu.Unlock()
+			return ent.sat, model, nil
+		}
+	}
+	// Counterexample reuse: a recent model satisfying all constraints
+	// proves satisfiability without a SAT call.
+	var pool []expr.Env
+	if !s.opts.DisablePool {
+		pool = append(pool, s.pool...)
+	}
+	s.mu.Unlock()
+	for i := len(pool) - 1; i >= 0; i-- {
+		if satisfies(pool[i], active) {
+			s.mu.Lock()
+			s.stats.PoolHits++
+			s.cache[key] = cacheEntry{hashes: hashes, sat: true, model: pool[i]}
+			s.mu.Unlock()
+			return true, pool[i], nil
+		}
+	}
+
+	// Split into independent components when possible: each component is
+	// decided through the full pipeline and its result cached separately.
+	if !s.opts.DisablePartition {
+		if sat, model, handled, err := s.checkPartitioned(active, needModel); handled {
+			if err != nil {
+				return false, nil, err
+			}
+			if sat {
+				s.mu.Lock()
+				key2, hashes2 := key, hashes
+				s.cache[key2] = cacheEntry{hashes: hashes2, sat: true, model: model}
+				s.mu.Unlock()
+			}
+			return sat, model, nil
+		}
+	}
+
+	sat, model, err := s.solveSAT(active)
+	if err != nil {
+		return false, nil, err
+	}
+
+	s.mu.Lock()
+	s.stats.SATCalls++
+	s.cache[key] = cacheEntry{hashes: hashes, sat: sat, model: model}
+	if sat {
+		s.pool = append(s.pool, model)
+		if len(s.pool) > s.poolCap {
+			s.pool = s.pool[len(s.pool)-s.poolCap:]
+		}
+	}
+	s.mu.Unlock()
+	return sat, model, nil
+}
+
+// solveSAT runs a full bit-blast + CDCL query.
+func (s *Solver) solveSAT(constraints []*expr.Expr) (bool, expr.Env, error) {
+	sat := newSatSolver()
+	sat.maxConfl = s.MaxConflicts
+	bl := newBlaster(sat)
+	for _, c := range constraints {
+		lits := bl.encode(c)
+		if !bl.assertTrue(lits[0]) {
+			return false, nil, nil
+		}
+	}
+	switch sat.solve() {
+	case valFalse:
+		s.addRunStats(sat)
+		return false, nil, nil
+	case valUnassigned:
+		s.addRunStats(sat)
+		return false, nil, ErrBudget
+	}
+	s.addRunStats(sat)
+	model := make(expr.Env, len(bl.vars))
+	for v, lits := range bl.vars {
+		var val uint64
+		for i, l := range lits {
+			if sat.litValue(l) == valTrue {
+				val |= uint64(1) << uint(i)
+			}
+		}
+		model[v.VarName()] = val
+	}
+	return true, model, nil
+}
+
+func (s *Solver) addRunStats(sat *satSolver) {
+	s.mu.Lock()
+	s.stats.Conflicts += sat.conflicts
+	s.stats.Decisions += sat.decisions
+	s.mu.Unlock()
+}
+
+// literalScan handles constraint sets consisting solely of boolean
+// variables and their negations. It returns ok=false when any constraint
+// has a different shape.
+func literalScan(constraints []*expr.Expr, needModel bool) (bool, expr.Env, bool) {
+	polarity := make(map[string]bool, len(constraints))
+	for _, c := range constraints {
+		pos := true
+		e := c
+		if e.Kind() == expr.KindNot {
+			pos = false
+			e = e.Arg(0)
+		}
+		if e.Kind() != expr.KindVar || e.Width() != 1 {
+			return false, nil, false
+		}
+		if prev, seen := polarity[e.VarName()]; seen && prev != pos {
+			return false, nil, true // v ∧ ¬v
+		}
+		polarity[e.VarName()] = pos
+	}
+	if !needModel {
+		return true, nil, true
+	}
+	model := make(expr.Env, len(polarity))
+	for name, pos := range polarity {
+		if pos {
+			model[name] = 1
+		} else {
+			model[name] = 0
+		}
+	}
+	return true, model, true
+}
+
+// satisfies reports whether env makes every constraint true.
+func satisfies(env expr.Env, constraints []*expr.Expr) bool {
+	for _, c := range constraints {
+		if expr.Eval(c, env) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func queryKey(constraints []*expr.Expr) (uint64, []uint64) {
+	hashes := make([]uint64, len(constraints))
+	for i, c := range constraints {
+		hashes[i] = c.Hash()
+	}
+	sort.Slice(hashes, func(i, j int) bool { return hashes[i] < hashes[j] })
+	// Deduplicate: the same constraint asserted twice is one constraint.
+	uniq := hashes[:0]
+	for i, h := range hashes {
+		if i == 0 || h != hashes[i-1] {
+			uniq = append(uniq, h)
+		}
+	}
+	hashes = uniq
+	key := uint64(14695981039346656037)
+	for _, h := range hashes {
+		key = hashCombine64(key, h)
+	}
+	return key, hashes
+}
+
+func hashCombine64(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	h ^= h >> 29
+	return h
+}
+
+func hashesEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

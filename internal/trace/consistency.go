@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+
+	"sde/internal/vm"
+)
+
+// The paper's §II-B conflict definitions, as executable checks:
+//
+//	"Two states s, t are said to be in direct conflict if their
+//	communication histories are contradictory, i.e., if s sent a packet
+//	to node(t) that was not received by t, or if t received a packet
+//	from node(s) which was not sent by s (and vice versa)."
+//
+// A dscenario — one state per node — is consistent iff no pair of its
+// members is in direct conflict. The checker below is the ground-truth
+// oracle for the state mapping algorithms: every dscenario they produce
+// must pass it, and mixing states across dscenarios must generally fail.
+
+// packetKey identifies one transmission between a node pair. Within a
+// dscenario each node has one state, so (time, sender sequence number,
+// payload hash) is unique per direction.
+type packetKey struct {
+	time    uint64
+	seq     uint32
+	payload uint64
+}
+
+// DirectConflict reports whether states s and t (of different nodes) have
+// contradictory communication histories, and describes the first
+// contradiction found.
+func DirectConflict(s, t *vm.State) (bool, string) {
+	if conflict, desc := halfConflict(s, t); conflict {
+		return true, desc
+	}
+	return halfConflict(t, s)
+}
+
+// halfConflict checks the packets flowing from s to t: everything s sent
+// to node(t) must have been received by t, and everything t received from
+// node(s) must have been sent by s.
+func halfConflict(s, t *vm.State) (bool, string) {
+	sent := make(map[packetKey]int)
+	for _, h := range s.History() {
+		if h.Dir == vm.DirSent && int(h.Peer) == t.NodeID() {
+			sent[packetKey{h.Time, h.Seq, h.Payload}]++
+		}
+	}
+	recv := make(map[packetKey]int)
+	for _, h := range t.History() {
+		if h.Dir == vm.DirRecv && int(h.Peer) == s.NodeID() {
+			recv[packetKey{h.Time, h.Seq, h.Payload}]++
+		}
+	}
+	for k, n := range sent {
+		if recv[k] != n {
+			return true, fmt.Sprintf(
+				"node %d sent packet (t=%d seq=%d) to node %d %d time(s), received %d time(s)",
+				s.NodeID(), k.time, k.seq, t.NodeID(), n, recv[k])
+		}
+	}
+	for k, n := range recv {
+		if sent[k] != n {
+			return true, fmt.Sprintf(
+				"node %d received packet (t=%d seq=%d) from node %d %d time(s), sent %d time(s)",
+				t.NodeID(), k.time, k.seq, s.NodeID(), n, sent[k])
+		}
+	}
+	return false, ""
+}
+
+// CheckDScenario validates that a dscenario (one state per node, indexed
+// by node id) is free of direct conflicts. It returns the first conflict
+// found, or nil.
+func CheckDScenario(states []*vm.State) error {
+	for i, s := range states {
+		if s.NodeID() != i {
+			return fmt.Errorf("trace: slot %d holds state of node %d", i, s.NodeID())
+		}
+	}
+	for i := 0; i < len(states); i++ {
+		for j := i + 1; j < len(states); j++ {
+			if conflict, desc := DirectConflict(states[i], states[j]); conflict {
+				return fmt.Errorf("trace: direct conflict: %s", desc)
+			}
+		}
+	}
+	return nil
+}

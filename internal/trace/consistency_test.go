@@ -1,0 +1,96 @@
+package trace_test
+
+import (
+	"testing"
+
+	"sde/internal/core"
+	"sde/internal/sim"
+	"sde/internal/trace"
+	"sde/internal/vm"
+)
+
+// TestExplodedDScenariosAreConflictFree is the §II-B ground-truth oracle:
+// every dscenario enumerated from any mapping algorithm's final structure
+// must be free of direct conflicts.
+func TestExplodedDScenariosAreConflictFree(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.COBAlgorithm, core.COWAlgorithm, core.SDSAlgorithm} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := lineCollect(t, algo, sim.FailurePlan{
+				DropFirst: sim.NodeSet([]int{0, 1, 2}),
+			})
+			res := runScenario(t, cfg)
+			scenarios := res.Mapper.Explode(0)
+			if len(scenarios) < 4 {
+				t.Fatalf("degenerate: only %d dscenarios", len(scenarios))
+			}
+			for i, sc := range scenarios {
+				if err := trace.CheckDScenario(sc); err != nil {
+					t.Fatalf("dscenario %d: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestMixedDScenarioConflicts checks the negative direction: combining
+// states from different dscenarios produces a direct conflict when their
+// communication histories disagree.
+func TestMixedDScenarioConflicts(t *testing.T) {
+	cfg := lineCollect(t, core.COBAlgorithm, sim.FailurePlan{
+		DropFirst: sim.NodeSet([]int{1}),
+	})
+	res := runScenario(t, cfg)
+	scenarios := res.Mapper.Explode(0)
+	if len(scenarios) != 2 {
+		t.Fatalf("dscenarios = %d, want 2 (drop / no drop)", len(scenarios))
+	}
+	// In the drop scenario node 1 never forwards the first packet, so
+	// node 0's state differs. Swapping node 0's states across the two
+	// dscenarios must produce a direct conflict between nodes 0 and 1.
+	mixed := append([]*vm.State(nil), scenarios[0]...)
+	mixed[0] = scenarios[1][0]
+	if err := trace.CheckDScenario(mixed); err == nil {
+		t.Error("mixed dscenario passed the conflict check")
+	}
+	// The pairwise primitive agrees.
+	conflict, desc := trace.DirectConflict(mixed[0], mixed[1])
+	if !conflict {
+		t.Error("DirectConflict missed the contradiction")
+	} else if desc == "" {
+		t.Error("DirectConflict returned no description")
+	}
+}
+
+func TestDirectConflictSymmetric(t *testing.T) {
+	cfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DropFirst: sim.NodeSet([]int{1}),
+	})
+	res := runScenario(t, cfg)
+	scenarios := res.Mapper.Explode(0)
+	a := scenarios[0]
+	b := scenarios[1]
+	// Conflicting pair must conflict in both argument orders.
+	c1, _ := trace.DirectConflict(a[0], b[1])
+	c2, _ := trace.DirectConflict(b[1], a[0])
+	if c1 != c2 {
+		t.Error("DirectConflict is not symmetric")
+	}
+	// Conflict-free pair in both orders.
+	c1, _ = trace.DirectConflict(a[0], a[1])
+	c2, _ = trace.DirectConflict(a[1], a[0])
+	if c1 || c2 {
+		t.Error("consistent pair reported as conflicting")
+	}
+}
+
+func TestCheckDScenarioValidatesShape(t *testing.T) {
+	cfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{})
+	res := runScenario(t, cfg)
+	sc := res.Mapper.Explode(1)[0]
+	// Swap two slots: node ids no longer match their index.
+	bad := []*vm.State{sc[1], sc[0], sc[2]}
+	if err := trace.CheckDScenario(bad); err == nil {
+		t.Error("mis-indexed dscenario accepted")
+	}
+}

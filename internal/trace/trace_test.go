@@ -1,0 +1,276 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"sde/internal/core"
+	"sde/internal/expr"
+	"sde/internal/rime"
+	"sde/internal/sim"
+	"sde/internal/trace"
+	"sde/internal/vm"
+)
+
+// lineCollect builds the standard 3-node line collect configuration.
+func lineCollect(t *testing.T, algo core.Algorithm, failures sim.FailurePlan) sim.Config {
+	t.Helper()
+	prog, err := rime.CollectProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rime.CollectConfig{Source: 2, Sink: 0, Route: []int{2, 1, 0}, Interval: 10, Packets: 2}
+	nodeInit, err := cfg.NodeInit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Topo:      sim.NewLine(3),
+		Prog:      prog,
+		Algorithm: algo,
+		Horizon:   200,
+		NodeInit:  nodeInit,
+		Failures:  failures,
+	}
+}
+
+func runScenario(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGenerateTestCases(t *testing.T) {
+	cfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DropFirst: sim.NodeSet([]int{0, 1}),
+	})
+	res := runScenario(t, cfg)
+	tcs, err := trace.FromResult(res, 0)
+	if err != nil {
+		t.Fatalf("FromResult: %v", err)
+	}
+	if int64(len(tcs)) != res.DScenarios.Int64() {
+		t.Fatalf("test cases = %d, dscenarios = %v", len(tcs), res.DScenarios)
+	}
+	// Each test case must assign a distinct combination of the drop
+	// decisions that appear in its constraints.
+	seen := map[string]bool{}
+	for _, tc := range tcs {
+		key := ""
+		for _, name := range tc.Vars() {
+			key += name + "=" + string(rune('0'+tc.Inputs[name])) + ";"
+		}
+		if seen[key] {
+			t.Errorf("duplicate test case inputs: %s", key)
+		}
+		seen[key] = true
+		if len(tc.Nodes) != 3 {
+			t.Errorf("test case %d snapshots %d nodes, want 3", tc.Index, len(tc.Nodes))
+		}
+	}
+}
+
+func TestStreamLimit(t *testing.T) {
+	cfg := lineCollect(t, core.COWAlgorithm, sim.FailurePlan{
+		DropFirst: sim.NodeSet([]int{0, 1}),
+	})
+	res := runScenario(t, cfg)
+	n := 0
+	err := trace.Stream(res.Mapper, res.Ctx, 2, func(tc trace.TestCase) error {
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("streamed %d test cases, want 2", n)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	symCfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DropFirst: sim.NodeSet([]int{1}),
+	})
+	res := runScenario(t, symCfg)
+	tcs, err := trace.FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcs) != 2 {
+		t.Fatalf("test cases = %d, want 2 (drop / no drop)", len(tcs))
+	}
+	for _, tc := range tcs {
+		rep, err := trace.Replay(symCfg, tc.Inputs)
+		if err != nil {
+			t.Fatalf("Replay: %v", err)
+		}
+		if rep.FinalStates != 3 {
+			t.Fatalf("replay produced %d states, want 3 (one per node)", rep.FinalStates)
+		}
+		// The replayed sink must match the dscenario's sink behaviour:
+		// with the drop (var = 0) the first packet is lost, so only one
+		// packet is delivered; without it both arrive.
+		var sink *vm.State
+		rep.Mapper.ForEachState(func(s *vm.State) {
+			if s.NodeID() == 0 {
+				sink = s
+			}
+		})
+		delivered := sink.LoadWord(rime.AddrDelivered).ConstVal()
+		want := uint64(2)
+		if tc.Inputs["drop_n1_r0"] == 0 {
+			want = 1
+		}
+		if delivered != want {
+			t.Errorf("replay of %v delivered %d packets, want %d",
+				tc.Inputs, delivered, want)
+		}
+	}
+}
+
+// TestReplayMatchesSymbolicFingerprint replays each test case and checks
+// that the concrete final states coincide with one of the exploded
+// symbolic dscenarios, node for node, in observable behaviour.
+func TestReplayMatchesSymbolicBehaviour(t *testing.T) {
+	symCfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DropFirst: sim.NodeSet([]int{0, 1}),
+	})
+	res := runScenario(t, symCfg)
+	scenarios := res.Mapper.Explode(0)
+	tcs, err := trace.FromResult(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tcs) != len(scenarios) {
+		t.Fatalf("%d test cases vs %d dscenarios", len(tcs), len(scenarios))
+	}
+	for i, tc := range tcs {
+		rep, err := trace.Replay(symCfg, tc.Inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sinkConcrete *vm.State
+		rep.Mapper.ForEachState(func(s *vm.State) {
+			if s.NodeID() == 0 {
+				sinkConcrete = s
+			}
+		})
+		// Find the sink of the matching symbolic dscenario.
+		sinkSym := scenarios[i][0]
+		cDel := sinkConcrete.LoadWord(rime.AddrDelivered).ConstVal()
+		sDel := sinkSym.LoadWord(rime.AddrDelivered).ConstVal()
+		if cDel != sDel {
+			t.Errorf("test case %d: concrete sink delivered %d, symbolic dscenario says %d",
+				i, cDel, sDel)
+		}
+		if len(sinkConcrete.History()) != len(sinkSym.History()) {
+			t.Errorf("test case %d: history lengths differ (%d vs %d)",
+				i, len(sinkConcrete.History()), len(sinkSym.History()))
+		}
+	}
+}
+
+func TestReplayViolationReproduces(t *testing.T) {
+	symCfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DuplicateFirst: sim.NodeSet([]int{0}),
+	})
+	res := runScenario(t, symCfg)
+	var hit *vm.Violation
+	for _, v := range res.Violations {
+		if strings.Contains(v.Msg, "sequence number regression") {
+			hit = v
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no violation found: %+v", res.Violations)
+	}
+	ok, rep, err := trace.ReplayViolation(symCfg, hit)
+	if err != nil {
+		t.Fatalf("ReplayViolation: %v", err)
+	}
+	if !ok {
+		t.Fatalf("violation did not reproduce; replay violations: %+v", rep.Violations)
+	}
+	// Flipping the decision to the no-failure side must NOT reproduce.
+	clean := expr.Env{"dup_n0_r0": 1}
+	rep2, err := trace.Replay(symCfg, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Violations) != 0 {
+		t.Errorf("no-failure replay still violates: %+v", rep2.Violations)
+	}
+}
+
+// TestMinimizeWitness: a scenario with several armed failures where only
+// the duplication at the sink causes the violation; minimisation must
+// strip the irrelevant drop decisions from the witness.
+func TestMinimizeWitness(t *testing.T) {
+	symCfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DuplicateFirst: sim.NodeSet([]int{0}),
+		DropFirst:      sim.NodeSet([]int{2}), // irrelevant to the sink bug
+	})
+	res := runScenario(t, symCfg)
+	var hit *vm.Violation
+	for _, v := range res.Violations {
+		if strings.Contains(v.Msg, "sequence number regression") {
+			hit = v
+			break
+		}
+	}
+	if hit == nil {
+		t.Fatalf("bug not found: %+v", res.Violations)
+	}
+	minimal, needed, err := trace.MinimizeWitness(symCfg, hit)
+	if err != nil {
+		t.Fatalf("MinimizeWitness: %v", err)
+	}
+	if len(needed) != 1 || needed[0] != "dup_n0_r0" {
+		t.Fatalf("needed = %v, want exactly the duplication decision", needed)
+	}
+	if minimal["dup_n0_r0"] != 0 {
+		t.Error("the load-bearing failure was disabled")
+	}
+	// Any drop decision present in the witness must have been flipped off.
+	for name, v := range minimal {
+		if strings.HasPrefix(name, "drop_") && v != 1 {
+			t.Errorf("irrelevant failure %s left enabled", name)
+		}
+	}
+	// The minimised witness still reproduces.
+	ok, _, err := trace.ReplayViolation(symCfg, &vm.Violation{
+		Node: hit.Node, Msg: hit.Msg, Model: minimal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("minimised witness does not reproduce the violation")
+	}
+}
+
+func TestMinimizeWitnessRejectsNonReproducing(t *testing.T) {
+	symCfg := lineCollect(t, core.SDSAlgorithm, sim.FailurePlan{
+		DuplicateFirst: sim.NodeSet([]int{0}),
+	})
+	bogus := &vm.Violation{Node: 0, Msg: "nonexistent assertion", Model: expr.Env{}}
+	if _, _, err := trace.MinimizeWitness(symCfg, bogus); err == nil {
+		t.Error("non-reproducing witness accepted")
+	}
+}
+
+func TestTestCaseString(t *testing.T) {
+	tc := trace.TestCase{Index: 3, Inputs: expr.Env{"b": 1, "a": 0}}
+	if got := tc.String(); got != "testcase 3: a=0 b=1" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,46 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"sde/internal/isa"
+)
+
+func TestDump(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Func("f").Ret()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext()
+	s := NewState(ctx, prog, 3)
+	s.StoreWord(0x42, ctx.Exprs.Const(7, WordBits))
+	s.AddConstraint(ctx.Exprs.Var("drop", 1))
+	s.RecordSend(1, 10, 0xaa)
+	s.RecordRecv(2, 12, 0, 0xbb, 0xcc)
+	s.PushEvent(Event{Time: 20, Kind: EventTimer, Fn: 0})
+
+	out := s.Dump()
+	for _, want := range []string{
+		"node 3", "status=idle",
+		"mem[0x000042] = 7:w32",
+		"constraint drop",
+		"sent peer=1 t=10",
+		"recv peer=2 t=12",
+		"pending timer at t=20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Dump lacks %q:\n%s", want, out)
+		}
+	}
+	// Zero words and registers stay out of the dump.
+	if strings.Contains(out, "r0 ") {
+		t.Errorf("Dump includes zero registers:\n%s", out)
+	}
+	s.Halt()
+	if !strings.Contains(s.Dump(), "status=halted") {
+		t.Error("Dump does not reflect halt")
+	}
+}

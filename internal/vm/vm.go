@@ -1,0 +1,514 @@
+// Package vm implements the symbolic virtual machine that executes isa
+// programs. It plays the role KLEE plays in the paper: it runs unmodified
+// node software on symbolic input, forks execution states at symbolic
+// branches, accumulates path constraints, and exposes forkable, copy-on-
+// write state so the distributed layer (package core) can duplicate states
+// cheaply during state mapping.
+package vm
+
+import (
+	"sort"
+	"strconv"
+	"sync/atomic"
+
+	"sde/internal/expr"
+	"sde/internal/isa"
+	"sde/internal/solver"
+)
+
+// WordBits is the machine word size in bits.
+const WordBits = 32
+
+// Context holds the machinery shared by all states of one SDE run: the
+// expression builder, the constraint solver, and the state id allocator.
+type Context struct {
+	Exprs  *expr.Builder
+	Solver *solver.Solver
+
+	// Replay, when non-nil, switches the VM into concrete replay mode:
+	// symbolic inputs evaluate to their value in this environment
+	// (missing entries are 0, matching the solver's don't-care
+	// convention), so execution follows exactly one path — the paper's
+	// "concrete inputs and deterministic schedules" for post-mortem
+	// analysis.
+	Replay expr.Env
+
+	nextStateID atomic.Uint64
+	instrCount  atomic.Uint64
+	forkCount   atomic.Uint64
+}
+
+// NewContext returns a fresh context with its own expression builder and
+// solver.
+func NewContext() *Context {
+	return &Context{
+		Exprs:  expr.NewBuilder(),
+		Solver: solver.New(),
+	}
+}
+
+// Instructions returns the total number of instructions executed by all
+// states of this context.
+func (c *Context) Instructions() uint64 { return c.instrCount.Load() }
+
+// Forks returns the total number of local symbolic branches taken.
+func (c *Context) Forks() uint64 { return c.forkCount.Load() }
+
+func (c *Context) newStateID() uint64 { return c.nextStateID.Add(1) }
+
+// --- copy-on-write memory ---------------------------------------------------
+
+// Pages are small (64 words) because node memories are sparse — a node
+// touches a handful of config, packet-buffer, and counter regions — and
+// because every resident page is a pointer array the garbage collector
+// must scan; large pages made GC the dominant cost of big runs.
+const (
+	pageShift = 6
+	pageWords = 1 << pageShift // 64 words per page
+	pageMask  = pageWords - 1
+)
+
+// PageBytes is the modeled size of one memory page, used for the RAM
+// accounting that reproduces the paper's memory curves (4 bytes per word).
+const PageBytes = pageWords * 4
+
+// pageIDSeq hands out process-wide unique page identities so the metrics
+// layer can count shared pages once without comparing pointers.
+var pageIDSeq atomic.Uint64
+
+type page struct {
+	id    uint64
+	ref   int32
+	words [pageWords]*expr.Expr // nil = zero
+}
+
+// memory is a copy-on-write paged store of symbolic words. The zero value
+// is an empty memory where every word reads as concrete 0.
+type memory struct {
+	pages map[uint32]*page
+}
+
+func newMemory() memory {
+	return memory{pages: make(map[uint32]*page, 8)}
+}
+
+func (m *memory) clone() memory {
+	pages := make(map[uint32]*page, len(m.pages))
+	for k, p := range m.pages {
+		p.ref++
+		pages[k] = p
+	}
+	return memory{pages: pages}
+}
+
+func (m *memory) load(addr uint32) *expr.Expr {
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return nil
+	}
+	return p.words[addr&pageMask]
+}
+
+func (m *memory) store(addr uint32, v *expr.Expr) {
+	idx := addr >> pageShift
+	p := m.pages[idx]
+	switch {
+	case p == nil:
+		p = &page{id: pageIDSeq.Add(1), ref: 1}
+		m.pages[idx] = p
+	case p.ref > 1:
+		clone := &page{id: pageIDSeq.Add(1), ref: 1, words: p.words}
+		p.ref--
+		m.pages[idx] = clone
+		p = clone
+	}
+	p.words[addr&pageMask] = v
+}
+
+func (m *memory) release() {
+	for _, p := range m.pages {
+		p.ref--
+	}
+	m.pages = nil
+}
+
+// --- events -----------------------------------------------------------------
+
+// EventKind distinguishes scheduled event types.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EventBoot EventKind = iota + 1
+	EventTimer
+	EventRecv
+)
+
+// Event is a pending activation of an event handler on a node state, the
+// unit of work of the discrete-event execution model (paper §IV: "in each
+// step KleeNet executes an event of a node and advances the time").
+type Event struct {
+	Time uint64
+	Kind EventKind
+	Fn   int          // handler function index
+	Arg  *expr.Expr   // timer argument (R0)
+	Src  uint32       // recv: sending node id
+	Data []*expr.Expr // recv: payload words
+	seq  uint64       // insertion order, for stable sorting
+}
+
+// --- communication history ---------------------------------------------------
+
+// Dir is the direction of a communication-history entry.
+type Dir uint8
+
+// History entry directions.
+const (
+	DirSent Dir = iota + 1
+	DirRecv
+)
+
+// HistEntry records one packet in a state's communication history
+// (paper §II-B). Histories are not needed by the mapping algorithms — they
+// are maintained for state fingerprints, duplicate detection, and the
+// conflict-freedom invariant checks in tests.
+//
+// The paper assumes "all packets that are exchanged in the network are
+// unique and distinguishable from each other". Wall-clock-free uniqueness
+// is provided by SenderFP: the transmitting state's configuration
+// fingerprint at send time, which separates otherwise identical
+// transmissions made by different sender states (same payload, time, and
+// sequence number) without introducing run-order-dependent identifiers.
+type HistEntry struct {
+	Dir      Dir
+	Peer     uint32 // other endpoint's node id
+	Time     uint64 // virtual time of the transmission
+	Seq      uint32 // sender-side per-state transmission sequence number
+	Payload  uint64 // hash of the payload words
+	SenderFP uint64 // received packets: sender configuration fingerprint
+}
+
+// TraceEntry is one Print output.
+type TraceEntry struct {
+	Time uint64
+	Msg  string
+	Val  *expr.Expr
+}
+
+// Violation records a failed assertion together with a concrete test case
+// reaching it.
+type Violation struct {
+	Node    int
+	Time    uint64
+	Msg     string
+	Model   expr.Env // concrete input values reproducing the violation
+	StateID uint64
+	// Cond is the violation constraint (the negated assertion condition,
+	// nil when the assertion is concretely false). Drivers with a wider
+	// view — the distributed engine knows the violating state's whole
+	// dscenario — re-solve Model over the combined constraints so the
+	// witness also fixes the other nodes' decisions.
+	Cond *expr.Expr
+}
+
+// --- state -------------------------------------------------------------------
+
+// Status describes a state's lifecycle phase.
+type Status uint8
+
+// State statuses.
+const (
+	StatusIdle    Status = iota + 1 // quiescent, waiting for its next event
+	StatusRunning                   // mid-event, on the engine's run stack
+	StatusHalted                    // executed Halt; permanently inactive
+	StatusDead                      // infeasible Assume or runtime error
+)
+
+// State is one symbolic execution state of one node: registers, memory,
+// call stack, path condition, pending events, and communication history.
+// States are forked on symbolic branches and by the state-mapping
+// algorithms; forks share memory pages copy-on-write.
+type State struct {
+	ctx  *Context
+	prog *isa.Program
+
+	id   uint64
+	node int
+
+	regs   [isa.NumRegs]*expr.Expr
+	mem    memory
+	frames []frame // return addresses; the active (fn, pc) is separate
+	fn, pc int
+
+	status   Status
+	runErr   error
+	pathCond []*expr.Expr
+	events   []*Event
+	eventSeq uint64
+
+	hist    []HistEntry
+	trace   []TraceEntry
+	sendSeq uint32 // per-state transmission counter (packet identity)
+	recvSeq uint32 // per-state reception counter (failure-model naming)
+	symSeq  uint32 // per-state symbolic-input counter (input naming)
+
+	steps uint64 // instructions executed by this state (incl. inherited)
+}
+
+type frame struct {
+	fn, pc int
+}
+
+// NewState creates the initial, quiescent state of a node running prog,
+// with a boot event scheduled at the given time if bootFn is non-negative.
+func NewState(ctx *Context, prog *isa.Program, node int) *State {
+	s := &State{
+		ctx:    ctx,
+		prog:   prog,
+		id:     ctx.newStateID(),
+		node:   node,
+		mem:    newMemory(),
+		status: StatusIdle,
+		fn:     -1,
+	}
+	return s
+}
+
+// ID returns the state's unique id within its context. Ids are assigned in
+// creation order and never reused.
+func (s *State) ID() uint64 { return s.id }
+
+// NodeID returns the id of the node this state belongs to.
+func (s *State) NodeID() int { return s.node }
+
+// Status returns the state's lifecycle status.
+func (s *State) Status() Status { return s.status }
+
+// Err returns the error that killed the state, if any.
+func (s *State) Err() error { return s.runErr }
+
+// Steps returns the number of instructions this state has executed,
+// including those executed before any fork that produced it.
+func (s *State) Steps() uint64 { return s.steps }
+
+// PathCond returns the state's path condition (shared slice; callers must
+// not modify it).
+func (s *State) PathCond() []*expr.Expr { return s.pathCond }
+
+// History returns the state's communication history (shared slice;
+// callers must not modify it).
+func (s *State) History() []HistEntry { return s.hist }
+
+// Trace returns the state's diagnostic Print log.
+func (s *State) Trace() []TraceEntry { return s.trace }
+
+// Reg returns the current value of a register.
+func (s *State) Reg(r isa.Reg) *expr.Expr { return s.regs[r] }
+
+// Fork deep-copies the state (memory is shared copy-on-write) and returns
+// the copy. The copy receives a fresh id; everything else, including the
+// pending event queue and the communication history, is identical.
+func (s *State) Fork() *State {
+	s.ctx.forkCount.Add(1)
+	n := &State{
+		ctx:      s.ctx,
+		prog:     s.prog,
+		id:       s.ctx.newStateID(),
+		node:     s.node,
+		regs:     s.regs,
+		mem:      s.mem.clone(),
+		frames:   append([]frame(nil), s.frames...),
+		fn:       s.fn,
+		pc:       s.pc,
+		status:   s.status,
+		pathCond: append([]*expr.Expr(nil), s.pathCond...),
+		eventSeq: s.eventSeq,
+		hist:     append([]HistEntry(nil), s.hist...),
+		trace:    append([]TraceEntry(nil), s.trace...),
+		sendSeq:  s.sendSeq,
+		recvSeq:  s.recvSeq,
+		symSeq:   s.symSeq,
+		steps:    s.steps,
+	}
+	n.events = make([]*Event, len(s.events))
+	for i, ev := range s.events {
+		cp := *ev
+		n.events[i] = &cp
+	}
+	return n
+}
+
+// Release drops the state's references to shared memory pages. The state
+// must not be used afterwards.
+func (s *State) Release() { s.mem.release() }
+
+// --- event queue -------------------------------------------------------------
+
+// PushEvent schedules an event on this state.
+func (s *State) PushEvent(ev Event) {
+	ev.seq = s.eventSeq
+	s.eventSeq++
+	cp := ev
+	i := sort.Search(len(s.events), func(i int) bool {
+		if s.events[i].Time != cp.Time {
+			return s.events[i].Time > cp.Time
+		}
+		return s.events[i].seq > cp.seq
+	})
+	s.events = append(s.events, nil)
+	copy(s.events[i+1:], s.events[i:])
+	s.events[i] = &cp
+}
+
+// NextEventTime returns the time of the earliest pending event.
+func (s *State) NextEventTime() (uint64, bool) {
+	if len(s.events) == 0 || s.status == StatusHalted || s.status == StatusDead {
+		return 0, false
+	}
+	return s.events[0].Time, true
+}
+
+// PendingEvents returns the number of queued events.
+func (s *State) PendingEvents() int { return len(s.events) }
+
+// popEvent removes and returns the earliest event.
+func (s *State) popEvent() *Event {
+	ev := s.events[0]
+	copy(s.events, s.events[1:])
+	s.events = s.events[:len(s.events)-1]
+	return ev
+}
+
+// --- memory and register helpers ---------------------------------------------
+
+func (s *State) loadWord(addr uint32) *expr.Expr {
+	if v := s.mem.load(addr); v != nil {
+		return v
+	}
+	return s.ctx.Exprs.Const(0, WordBits)
+}
+
+// StoreWord writes a word; exported for runtime initialisation (routing
+// tables, node configuration) before execution starts.
+func (s *State) StoreWord(addr uint32, v *expr.Expr) { s.mem.store(addr, v) }
+
+// LoadWord reads a word; exported for test inspection and for the
+// reception path that copies payloads into the RX buffer.
+func (s *State) LoadWord(addr uint32) *expr.Expr { return s.loadWord(addr) }
+
+// ForEachPage calls f once per resident memory page with a stable identity
+// and the page's modeled byte size. Shared pages yield the same identity
+// from every state that references them, which lets the metrics layer
+// count them once — reproducing how duplicate states share object memory
+// in KLEE while still paying per-state overhead.
+func (s *State) ForEachPage(f func(id uint64, bytes int)) {
+	for _, p := range s.mem.pages {
+		f(p.id, PageBytes)
+	}
+}
+
+// OverheadBytes models the per-state bookkeeping cost (registers, stack,
+// constraints, history, events) that exists even when all memory pages are
+// shared. This is what makes duplicate states expensive in the paper's RAM
+// measurements.
+func (s *State) OverheadBytes() int {
+	const fixed = 512
+	return fixed +
+		isa.NumRegs*8 +
+		len(s.frames)*16 +
+		len(s.pathCond)*24 +
+		len(s.hist)*32 +
+		len(s.trace)*24 +
+		len(s.events)*48
+}
+
+// RecordSend appends a sent-packet entry to the communication history and
+// returns the per-state sequence number identifying the transmission.
+func (s *State) RecordSend(peer uint32, t uint64, payloadHash uint64) uint32 {
+	seq := s.sendSeq
+	s.sendSeq++
+	s.hist = append(s.hist, HistEntry{Dir: DirSent, Peer: peer, Time: t, Seq: seq, Payload: payloadHash})
+	return seq
+}
+
+// RecordRecv appends a received-packet entry to the communication history.
+// senderFP is the sending state's Fingerprint at transmission time, making
+// the packet globally unique (see HistEntry).
+func (s *State) RecordRecv(peer uint32, t uint64, seq uint32, payloadHash, senderFP uint64) {
+	s.hist = append(s.hist, HistEntry{
+		Dir: DirRecv, Peer: peer, Time: t, Seq: seq, Payload: payloadHash, SenderFP: senderFP,
+	})
+}
+
+// NextRecvSeq returns and consumes the per-state reception counter; the
+// failure models use it to name their decision variables deterministically.
+func (s *State) NextRecvSeq() uint32 {
+	n := s.recvSeq
+	s.recvSeq++
+	return n
+}
+
+// RecvCount returns how many receptions this state has recorded via
+// NextRecvSeq.
+func (s *State) RecvCount() uint32 { return s.recvSeq }
+
+// AddConstraint appends a constraint to the path condition. The caller is
+// responsible for having checked feasibility.
+func (s *State) AddConstraint(c *expr.Expr) {
+	if c.IsTrue() {
+		return
+	}
+	s.pathCond = append(s.pathCond, c)
+}
+
+// InheritConstraints merges the sender's path condition into this state's
+// at packet delivery, skipping constraints already present. Receiving a
+// packet implies the conditions under which it was sent: with symbolic
+// packet contents (§II-A "symbolic packet header") a receiver later
+// branches on the *sender's* variables, and without inheritance the
+// locally-feasible-but-globally-contradictory side would survive,
+// poisoning dstates with unsatisfiable dscenarios.
+func (s *State) InheritConstraints(cs []*expr.Expr) {
+	for _, c := range cs {
+		present := false
+		for _, have := range s.pathCond {
+			if have == c {
+				present = true
+				break
+			}
+		}
+		if !present {
+			s.pathCond = append(s.pathCond, c)
+		}
+	}
+}
+
+// ForkOnFreshBool creates a fresh 1-bit symbolic input with the given name,
+// constrains this state with cond(name)==1, and returns a forked sibling
+// constrained with cond(name)==0. It is the hook the network failure models
+// use to inject non-determinism (paper §IV-A: "the receiving node's state
+// is forked by a network failure model").
+func (s *State) ForkOnFreshBool(name string) *State {
+	v := s.ctx.Exprs.Var(name, 1)
+	sib := s.Fork()
+	s.AddConstraint(v)
+	sib.AddConstraint(s.ctx.Exprs.Not(v))
+	return sib
+}
+
+// Kill marks the state dead with the given error.
+func (s *State) Kill(err error) {
+	s.status = StatusDead
+	s.runErr = err
+	s.events = nil
+}
+
+// Halt marks the state halted.
+func (s *State) Halt() {
+	s.status = StatusHalted
+	s.events = nil
+}
+
+func (s *State) String() string {
+	return "state#" + strconv.FormatUint(s.id, 10) + "@n" + strconv.Itoa(s.node)
+}

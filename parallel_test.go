@@ -1,0 +1,170 @@
+package sde_test
+
+import (
+	"testing"
+
+	"sde"
+)
+
+// shardScenario builds the reference workload for sharding tests.
+func shardScenario(t *testing.T, algo sde.Algorithm) sde.Scenario {
+	t.Helper()
+	s, err := sde.GridCollectScenario(sde.GridCollectOptions{
+		Dim:       3,
+		Algorithm: algo,
+		Packets:   2,
+		DropNodes: sde.DropRouteAndNeighbors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxShardBits() < 2 {
+		t.Fatalf("MaxShardBits = %d, want >= 2 (both source neighbours armed)",
+			s.MaxShardBits())
+	}
+	return s
+}
+
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, algo := range sde.Algorithms {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			scenario := shardScenario(t, algo)
+			ref, err := sde.RunScenario(scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, bits := range []int{0, 1, 2} {
+				sharded, err := sde.RunScenarioSharded(scenario, bits)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(sharded.Shards) != 1<<bits {
+					t.Fatalf("bits=%d: shards = %d", bits, len(sharded.Shards))
+				}
+				// Shards partition the dscenario space exactly.
+				if sharded.DScenarios().Cmp(ref.DScenarios()) != 0 {
+					t.Errorf("bits=%d: dscenarios = %v, want %v",
+						bits, sharded.DScenarios(), ref.DScenarios())
+				}
+				// Sharding can only lose sharing, never coverage.
+				if sharded.States() < ref.States() {
+					t.Errorf("bits=%d: states = %d below unsharded %d",
+						bits, sharded.States(), ref.States())
+				}
+				if aborted, reason := sharded.Aborted(); aborted {
+					t.Errorf("bits=%d: aborted: %s", bits, reason)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedScenarioSetsEqual is the strong oracle: the union of the
+// shards' exploded dscenario fingerprints must equal the unsharded set.
+func TestShardedScenarioSetsEqual(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	ref, err := sde.RunScenario(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSet := explodeFingerprints(ref)
+	sharded, err := sde.RunScenarioSharded(scenario, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[uint64]bool{}
+	for _, sh := range sharded.Shards {
+		for fp := range explodeFingerprints(sh.Report) {
+			if got[fp] {
+				t.Fatalf("dscenario %x appears in two shards", fp)
+			}
+			got[fp] = true
+		}
+	}
+	if len(got) != len(refSet) {
+		t.Fatalf("sharded union has %d dscenarios, unsharded %d", len(got), len(refSet))
+	}
+	for fp := range refSet {
+		if !got[fp] {
+			t.Fatal("sharded union is missing an unsharded dscenario")
+		}
+	}
+}
+
+func explodeFingerprints(r *sde.Report) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, sc := range r.Result().Mapper.Explode(0) {
+		h := uint64(14695981039346656037)
+		for _, s := range sc {
+			h ^= s.Fingerprint()
+			h *= 1099511628211
+		}
+		out[h] = true
+	}
+	return out
+}
+
+func TestShardedViolationsFound(t *testing.T) {
+	// The duplication bug must be found by the shard exploring the
+	// failure branch, with a witness that still replays.
+	scenario, err := sde.LineCollectScenario(sde.LineCollectOptions{
+		K:         3,
+		Algorithm: sde.SDS,
+		Packets:   2,
+		Failures: sde.FailurePlan{
+			DropFirst:      map[int]bool{1: true},
+			DuplicateFirst: map[int]bool{0: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := sde.RunScenarioSharded(scenario, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := sharded.Violations()
+	if len(violations) == 0 {
+		t.Fatal("sharded run missed the duplication bug")
+	}
+	found := false
+	for _, sh := range sharded.Shards {
+		for _, v := range sh.Report.Violations() {
+			ok, _, err := sh.Report.ReplayViolation(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("no shard violation replayed successfully")
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	if _, err := sde.RunScenarioSharded(scenario, 50); err == nil {
+		t.Error("more shard bits than armed nodes accepted")
+	}
+	if _, err := sde.RunScenarioSharded(scenario, -1); err == nil {
+		t.Error("negative shard bits accepted")
+	}
+}
+
+func TestShardedWallIsMakespan(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	sharded, err := sde.RunScenarioSharded(scenario, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	makespan := sharded.Wall()
+	for _, sh := range sharded.Shards {
+		if sh.Report.Wall() > makespan {
+			t.Error("a shard's wall time exceeds the reported makespan")
+		}
+	}
+}

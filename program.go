@@ -1,0 +1,59 @@
+package sde
+
+import (
+	"sde/internal/isa"
+	"sde/internal/vm"
+)
+
+// Program is an immutable, validated bundle of node software — the unit a
+// node executes. Build one with NewProgramBuilder.
+type Program = isa.Program
+
+// ProgramBuilder assembles Programs function by function; see the isa
+// package documentation for the instruction set.
+type ProgramBuilder = isa.Builder
+
+// FuncBuilder accumulates the instructions of one program function.
+type FuncBuilder = isa.FuncBuilder
+
+// NewProgramBuilder returns an empty program builder.
+func NewProgramBuilder() *ProgramBuilder { return isa.NewBuilder() }
+
+// ParseProgram assembles textual program source (see the isa package
+// documentation for the syntax). WriteProgram is its inverse.
+func ParseProgram(src string) (*Program, error) { return isa.ParseAsm(src) }
+
+// WriteProgram serialises a program in the ParseProgram syntax.
+func WriteProgram(p *Program) string { return isa.WriteAsm(p) }
+
+// Reg names one of the 16 general-purpose registers.
+type Reg = isa.Reg
+
+// General-purpose registers. R0..R2 carry handler arguments: a timer
+// handler receives its argument in R0; a receive handler gets the sending
+// node in R0, the RX buffer address in R1, and the payload length in R2.
+const (
+	R0  = isa.R0
+	R1  = isa.R1
+	R2  = isa.R2
+	R3  = isa.R3
+	R4  = isa.R4
+	R5  = isa.R5
+	R6  = isa.R6
+	R7  = isa.R7
+	R8  = isa.R8
+	R9  = isa.R9
+	R10 = isa.R10
+	R11 = isa.R11
+	R12 = isa.R12
+	R13 = isa.R13
+	R14 = isa.R14
+	R15 = isa.R15
+)
+
+// BroadcastAddr is the destination that selects link-layer broadcast.
+const BroadcastAddr = isa.BroadcastAddr
+
+// State is one symbolic execution state of one node. Reports expose
+// states for inspection of memory, histories, and path conditions.
+type State = vm.State

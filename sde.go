@@ -1,0 +1,279 @@
+// Package sde is a library for scalable symbolic execution of distributed
+// systems, reproducing "Scalable Symbolic Execution of Distributed
+// Systems" (Sasnauskas et al., ICDCS 2011).
+//
+// The library symbolically executes a network of k nodes running
+// unmodified programs written against a small 32-bit instruction set (see
+// NewProgramBuilder). Execution states fork at symbolic branches and at
+// injected network failures; the state mapping algorithms of the paper —
+// Copy On Branch (COB), Copy On Write (COW), and Super DStates (SDS) —
+// decide which states of a destination node receive each transmitted
+// packet while keeping the set of live states minimal.
+//
+// Typical use:
+//
+//	scenario, _ := sde.GridCollectScenario(sde.GridCollectOptions{
+//		Dim:       5,
+//		Algorithm: sde.SDS,
+//		Packets:   10,
+//	})
+//	report, _ := sde.RunScenario(scenario)
+//	fmt.Println(report.Summary())
+//	cases, _ := report.TestCases(10)
+//
+// Single programs can be explored KLEE-style with Explore, and any
+// violation's concrete witness can be replayed deterministically with
+// Report.ReplayViolation.
+package sde
+
+import (
+	"fmt"
+	"math/big"
+	"time"
+
+	"sde/internal/core"
+	"sde/internal/expr"
+	"sde/internal/metrics"
+	"sde/internal/sim"
+	"sde/internal/trace"
+	"sde/internal/vm"
+)
+
+// Algorithm selects a state mapping algorithm.
+type Algorithm = core.Algorithm
+
+// The three state mapping algorithms of the paper's §III.
+const (
+	COB = core.COBAlgorithm
+	COW = core.COWAlgorithm
+	SDS = core.SDSAlgorithm
+)
+
+// Algorithms lists all state mapping algorithms in the paper's order.
+var Algorithms = []Algorithm{COB, COW, SDS}
+
+// Topology describes node connectivity; construct with Grid, Line, or
+// FullMesh.
+type Topology = sim.Topology
+
+// Grid returns a w x h lattice with 4-way radio connectivity (the paper's
+// evaluation topology). Node 0 is the top-left corner, node w*h-1 the
+// bottom-right corner.
+func Grid(w, h int) *sim.Grid { return sim.NewGrid(w, h) }
+
+// Line returns a k-node chain.
+func Line(k int) *sim.Line { return sim.NewLine(k) }
+
+// FullMesh returns a k-node full mesh (every pair connected).
+func FullMesh(k int) *sim.FullMesh { return sim.NewFullMesh(k) }
+
+// Env is a concrete assignment of symbolic inputs (a test case).
+type Env = expr.Env
+
+// Violation is a failed assertion with its concrete witness.
+type Violation = vm.Violation
+
+// Caps bound a run's resources; exceeding one aborts the run, mirroring
+// the paper's aborted COB measurement.
+type Caps = sim.Caps
+
+// FailurePlan selects the symbolic network failures per node.
+type FailurePlan = sim.FailurePlan
+
+// Sample is one metrics measurement (states, modeled memory, time).
+type Sample = metrics.Sample
+
+// Scenario is a fully specified SDE run. Build one with a constructor
+// (GridCollectScenario, FloodScenario, CustomScenario) and pass it to
+// RunScenario.
+type Scenario struct {
+	cfg  sim.Config
+	desc string
+	// shardable lists armed drop nodes whose failure decision is
+	// guaranteed to materialise in every execution (radio neighbours of
+	// the traffic source: they receive the source's unconditional first
+	// broadcast). Only such decisions partition the dscenario space
+	// soundly; see RunScenarioSharded.
+	shardable []int
+}
+
+// Description returns a human-readable summary of the scenario.
+func (s Scenario) Description() string { return s.desc }
+
+// Algorithm returns the scenario's state mapping algorithm.
+func (s Scenario) Algorithm() Algorithm { return s.cfg.Algorithm }
+
+// WithAlgorithm returns a copy of the scenario using a different state
+// mapping algorithm — the way evaluation sweeps compare COB, COW, and SDS
+// on identical workloads.
+func (s Scenario) WithAlgorithm(a Algorithm) Scenario {
+	s.cfg.Algorithm = a
+	return s
+}
+
+// WithCaps returns a copy of the scenario with resource caps applied.
+func (s Scenario) WithCaps(c Caps) Scenario {
+	s.cfg.Caps = c
+	return s
+}
+
+// WithSampling returns a copy sampling metrics every n events.
+func (s Scenario) WithSampling(n int) Scenario {
+	s.cfg.SampleEvery = n
+	return s
+}
+
+// Report is the outcome of a scenario run.
+type Report struct {
+	res      *sim.Result
+	scenario Scenario
+}
+
+// RunScenario executes the scenario to completion (or until a cap fires)
+// and returns its report.
+func RunScenario(s Scenario) (*Report, error) {
+	eng, err := sim.NewEngine(s.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	return &Report{res: res, scenario: s}, nil
+}
+
+// Aborted reports whether the run hit a resource cap, and why.
+func (r *Report) Aborted() (bool, string) { return r.res.Aborted, r.res.AbortReason }
+
+// Wall returns the wall-clock duration of the run.
+func (r *Report) Wall() time.Duration { return r.res.Wall }
+
+// States returns the final number of execution states.
+func (r *Report) States() int { return r.res.FinalStates }
+
+// Groups returns the number of dscenarios (COB) or dstates (COW/SDS).
+func (r *Report) Groups() int { return r.res.Groups }
+
+// DScenarios returns how many concrete network scenarios the final state
+// population represents.
+func (r *Report) DScenarios() *big.Int { return r.res.DScenarios }
+
+// MemBytes returns the final modeled memory footprint.
+func (r *Report) MemBytes() int64 { return r.res.FinalMem }
+
+// PeakMemBytes returns the peak modeled memory footprint.
+func (r *Report) PeakMemBytes() int64 { return r.res.PeakMem }
+
+// Instructions returns the total number of instructions executed.
+func (r *Report) Instructions() uint64 { return r.res.Instructions }
+
+// Violations returns the assertion failures found, each with a concrete
+// witness test case.
+func (r *Report) Violations() []*Violation { return r.res.Violations }
+
+// Samples returns the metrics time series (state and memory growth).
+func (r *Report) Samples() []Sample { return r.res.Series.Samples() }
+
+// TestCases explodes up to limit dscenarios (limit <= 0 = all) and solves
+// one concrete test case per dscenario (§IV-C).
+func (r *Report) TestCases(limit int) ([]trace.TestCase, error) {
+	return trace.FromResult(r.res, limit)
+}
+
+// StreamTestCases generates test cases incrementally without retaining
+// them, bounding memory on large runs (§VI future work).
+func (r *Report) StreamTestCases(limit int, fn func(tc trace.TestCase) error) error {
+	return trace.Stream(r.res.Mapper, r.res.Ctx, limit, fn)
+}
+
+// Replay re-executes the scenario concretely under the given inputs.
+func (r *Report) Replay(inputs Env) (*Report, error) {
+	res, err := trace.Replay(r.scenario.cfg, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	return &Report{res: res, scenario: r.scenario}, nil
+}
+
+// ReplayViolation replays a violation's witness and reports whether the
+// assertion fires again.
+func (r *Report) ReplayViolation(v *Violation) (bool, *Report, error) {
+	ok, res, err := trace.ReplayViolation(r.scenario.cfg, v)
+	if err != nil {
+		return false, nil, fmt.Errorf("sde: %w", err)
+	}
+	return ok, &Report{res: res, scenario: r.scenario}, nil
+}
+
+// MinimizeViolation shrinks a violation's witness to the injected
+// failures that are actually needed to reproduce it (one-minimal delta
+// debugging over concrete replays). It returns the minimised test case
+// and the names of the load-bearing failure decisions.
+func (r *Report) MinimizeViolation(v *Violation) (Env, []string, error) {
+	minimal, needed, err := trace.MinimizeWitness(r.scenario.cfg, v)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sde: %w", err)
+	}
+	return minimal, needed, nil
+}
+
+// NodeStates visits the final execution states grouped by node id.
+func (r *Report) NodeStates() map[int][]*vm.State {
+	out := make(map[int][]*vm.State)
+	r.res.Mapper.ForEachState(func(s *vm.State) {
+		out[s.NodeID()] = append(out[s.NodeID()], s)
+	})
+	return out
+}
+
+// Summary renders a one-line Table-I-style row: runtime, states, memory.
+func (r *Report) Summary() string {
+	status := ""
+	if r.res.Aborted {
+		status = " (aborted: " + r.res.AbortReason + ")"
+	}
+	return fmt.Sprintf("%-4s %-10s runtime=%-12s states=%-8d mem=%-10s dscenarios=%s%s",
+		r.res.Algorithm, r.res.Topology, r.res.Wall.Round(time.Millisecond),
+		r.res.FinalStates, metrics.FormatBytes(r.res.FinalMem),
+		r.res.DScenarios.String(), status)
+}
+
+// Result exposes the underlying engine result for advanced consumers
+// (benchmark harnesses, custom metrics processing).
+func (r *Report) Result() *sim.Result { return r.res }
+
+// CustomScenario assembles a scenario from raw parts, for workloads beyond
+// the built-in ones. Program must define a "boot" function; "on_recv" is
+// invoked for receptions when present.
+func CustomScenario(desc string, cfg CustomConfig) (Scenario, error) {
+	if cfg.Topology == nil {
+		return Scenario{}, fmt.Errorf("sde: custom scenario needs a topology")
+	}
+	if cfg.Program == nil {
+		return Scenario{}, fmt.Errorf("sde: custom scenario needs a program")
+	}
+	return Scenario{
+		desc: desc,
+		cfg: sim.Config{
+			Topo:      cfg.Topology,
+			Prog:      cfg.Program,
+			Algorithm: cfg.Algorithm,
+			Horizon:   cfg.HorizonTicks,
+			Failures:  cfg.Failures,
+			NodeInit:  cfg.NodeInit,
+			Caps:      cfg.Caps,
+		},
+	}, nil
+}
+
+// CustomConfig parameterises CustomScenario.
+type CustomConfig struct {
+	Topology     Topology
+	Program      *Program
+	Algorithm    Algorithm
+	HorizonTicks uint64
+	Failures     FailurePlan
+	NodeInit     func(node int, s *vm.State, eb *expr.Builder)
+	Caps         Caps
+}
