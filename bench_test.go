@@ -331,3 +331,55 @@ func TestBenchScaleSanity(t *testing.T) {
 		t.Errorf("25-node sweep took %v; the calibrated scale should stay in seconds", elapsed)
 	}
 }
+
+// BenchmarkShardedSkewed compares static uniform sharding against the
+// adaptive work-stealing scheduler on a skewed workload at equal worker
+// count. The dscenario space is dominated by the all-delivered corner
+// (every reception forks a chain of symbolic branches; every drop
+// silences a receiver), so a uniform 2^3 pre-split wastes seven cheap
+// shards' worth of engine setup and re-execution while one shard does
+// nearly all the work. The adaptive run starts from a single coarse
+// shard and only subdivides what the pool observes to be heavy, with
+// the cross-shard solver cache absorbing the re-executed prefix work —
+// lower makespan from strictly less total work.
+func BenchmarkShardedSkewed(b *testing.B) {
+	const workers = 4
+	scenario := skewedScenario(b, 4, 6, sde.SDS)
+	ref, err := sde.RunScenario(scenario)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  sde.ShardConfig
+	}{
+		{"static", sde.ShardConfig{ShardBits: 3, Workers: workers}},
+		{"adaptive", sde.ShardConfig{
+			Workers:           workers,
+			MaxSplitBits:      3,
+			SplitThreshold:    150,
+			SharedSolverCache: true,
+		}},
+	} {
+		tc := tc
+		b.Run(tc.name, func(b *testing.B) {
+			var rep *sde.ShardedReport
+			for i := 0; i < b.N; i++ {
+				rep, err = sde.RunScenarioShardedWith(scenario, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Both schedules must explore exactly the unsharded space.
+			if rep.DScenarios().Cmp(ref.DScenarios()) != 0 {
+				b.Fatalf("dscenarios = %v, want %v", rep.DScenarios(), ref.DScenarios())
+			}
+			b.ReportMetric(float64(rep.Sched.Elapsed.Microseconds())/float64(b.N), "makespan-us")
+			b.ReportMetric(float64(rep.Sched.Shards), "shards")
+			b.ReportMetric(float64(rep.Sched.Splits), "splits")
+			b.ReportMetric(float64(rep.States()), "states")
+			b.ReportMetric(100*rep.Sched.SharedHitRate(), "shared-hit-%")
+		})
+	}
+}

@@ -9,6 +9,16 @@
 //	sde-bench -dims 5,7       # selected grid dimensions
 //	sde-bench -packets 10     # paper-scale traffic (slow on one core)
 //	sde-bench -table1         # only the 100-node Table I
+//
+// The -sharded mode compares the parallel schedulers on one grid
+// scenario instead: an unsharded run, a static uniform 2^bits pre-split,
+// and the adaptive work-stealing scheduler, all at the same worker
+// count, with per-run scheduling telemetry (steals, splits, shared
+// solver-cache hit rate, worker utilization):
+//
+//	sde-bench -sharded                        # defaults: 5x5 grid, GOMAXPROCS workers
+//	sde-bench -sharded -workers 8 -shard-bits 3
+//	sde-bench -sharded -split-bits 4 -split-threshold 2048 -shared-cache=false
 package main
 
 import (
@@ -36,6 +46,12 @@ func run() error {
 	table1 := flag.Bool("table1", false, "run only the 100-node Table I scenario")
 	worstCase := flag.Bool("worstcase", false, "run only the §III-E worst-case complexity table")
 	wallCap := flag.Duration("wall", 10*time.Minute, "wall-clock cap per run")
+	sharded := flag.Bool("sharded", false, "compare the parallel shard schedulers on one grid scenario")
+	workers := flag.Int("workers", 0, "worker pool size for -sharded (0 = GOMAXPROCS)")
+	shardBits := flag.Int("shard-bits", 2, "static pre-split depth for -sharded (2^bits shards)")
+	splitBits := flag.Int("split-bits", 0, "adaptive split depth cap for -sharded (0 = same as -shard-bits)")
+	splitThreshold := flag.Int("split-threshold", 0, "live-state straggler threshold for -sharded (0 = default)")
+	sharedCache := flag.Bool("shared-cache", true, "share one solver cache across shards in -sharded")
 	flag.Parse()
 
 	// Batch tool: trade GC frequency for throughput on large state sets.
@@ -48,6 +64,10 @@ func run() error {
 	dims, err := parseDims(*dimsFlag)
 	if err != nil {
 		return err
+	}
+	if *sharded {
+		return runSharded(dims[0], uint32(*packets), *workers, *shardBits,
+			*splitBits, *splitThreshold, *sharedCache, *wallCap)
 	}
 	if *table1 {
 		dims = []int{10}
@@ -79,6 +99,87 @@ func run() error {
 		}
 		fmt.Printf("(sweep took %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	return nil
+}
+
+// runSharded compares an unsharded run, a static uniform pre-split, and
+// the adaptive work-stealing scheduler on the same grid scenario at the
+// same worker count.
+func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThreshold int, sharedCache bool, wallCap time.Duration) error {
+	opts := sde.DefaultEvalOptions(dim)
+	if packets > 0 {
+		opts.Packets = packets
+	}
+	scenario, err := sde.GridCollectScenario(sde.GridCollectOptions{
+		Dim:       dim,
+		Algorithm: sde.SDS,
+		Packets:   opts.Packets,
+		DropNodes: opts.DropNodes,
+	})
+	if err != nil {
+		return err
+	}
+	scenario = scenario.WithCaps(sde.Caps{MaxWall: wallCap})
+	if shardBits > scenario.MaxShardBits() {
+		shardBits = scenario.MaxShardBits()
+		fmt.Printf("(clamping -shard-bits to the scenario's %d shardable nodes)\n", shardBits)
+	}
+	if splitBits <= 0 {
+		splitBits = shardBits
+	}
+	fmt.Printf("Sharded comparison: %dx%d grid, SDS, %d packets\n\n",
+		dim, dim, opts.Packets)
+	fmt.Printf("%-9s | %10s %8s %7s %7s %7s %11s %6s\n",
+		"schedule", "wall", "states", "shards", "steals", "splits", "shared-hit", "util")
+
+	row := func(name string, wall time.Duration, states int, sched sde.SchedStats) {
+		shared := "off"
+		if sched.SharedLookups > 0 {
+			shared = fmt.Sprintf("%.0f%%", 100*sched.SharedHitRate())
+		}
+		util := "-"
+		if len(sched.WorkerBusy) > 0 {
+			util = fmt.Sprintf("%.0f%%", 100*sched.MeanUtilization())
+		}
+		fmt.Printf("%-9s | %10s %8d %7d %7d %7d %11s %6s\n",
+			name, wall.Round(time.Millisecond), states,
+			sched.Shards, sched.Steals, sched.Splits, shared, util)
+	}
+
+	plain, err := sde.RunScenario(scenario)
+	if err != nil {
+		return err
+	}
+	row("unsharded", plain.Wall(), plain.States(), sde.SchedStats{Shards: 1})
+
+	static, err := sde.RunScenarioShardedWith(scenario, sde.ShardConfig{
+		ShardBits: shardBits,
+		Workers:   workers,
+	})
+	if err != nil {
+		return err
+	}
+	row("static", static.Sched.Elapsed, static.States(), static.Sched)
+
+	adaptive, err := sde.RunScenarioShardedWith(scenario, sde.ShardConfig{
+		Workers:           workers,
+		MaxSplitBits:      splitBits,
+		SplitThreshold:    splitThreshold,
+		SharedSolverCache: sharedCache,
+	})
+	if err != nil {
+		return err
+	}
+	row("adaptive", adaptive.Sched.Elapsed, adaptive.States(), adaptive.Sched)
+
+	if static.DScenarios().Cmp(plain.DScenarios()) != 0 ||
+		adaptive.DScenarios().Cmp(plain.DScenarios()) != 0 {
+		return fmt.Errorf("schedules disagree on dscenario count: unsharded %v static %v adaptive %v",
+			plain.DScenarios(), static.DScenarios(), adaptive.DScenarios())
+	}
+	fmt.Printf("\nAll schedules cover %s dscenarios; violations: %d unsharded, %d static, %d adaptive\n",
+		plain.DScenarios(), len(plain.Violations()),
+		len(static.Violations()), len(adaptive.Violations()))
 	return nil
 }
 

@@ -21,7 +21,7 @@ func collectStates(m Mapper[*mockState]) []*mockState {
 //     restructures how they are represented),
 //   - OnBranch strictly increases it, and
 //   - for SDS, no operation ever creates a duplicate state (§III-D).
-func fuzzMapper(t *testing.T, algo Algorithm, k, nOps int, seed int64) {
+func fuzzMapper(t testing.TB, algo Algorithm, k, nOps int, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	net := newMockNet(k)
@@ -156,4 +156,20 @@ func TestStateGrowthOrdering(t *testing.T) {
 		t.Errorf("state ordering violated: SDS=%d COW=%d COB=%d (want SDS < COW < COB)",
 			sds, cow, cob)
 	}
+}
+
+// FuzzMapper is the coverage-guided companion of TestFuzzCOB/COW/SDS:
+// the fuzzer picks the algorithm, network size, operation count, and
+// interleaving seed, and the same invariant battery must hold.
+func FuzzMapper(f *testing.F) {
+	f.Add(uint8(0), uint8(3), uint8(20), int64(1))
+	f.Add(uint8(1), uint8(4), uint8(25), int64(2))
+	f.Add(uint8(2), uint8(2), uint8(30), int64(3))
+	algos := []Algorithm{COBAlgorithm, COWAlgorithm, SDSAlgorithm}
+	f.Fuzz(func(t *testing.T, algoByte, kByte, opsByte uint8, seed int64) {
+		algo := algos[int(algoByte)%len(algos)]
+		k := 2 + int(kByte)%4       // 2..5 nodes
+		nOps := 1 + int(opsByte)%30 // bounded so COB stays small
+		fuzzMapper(t, algo, k, nOps, seed)
+	})
 }

@@ -1,0 +1,61 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzAsmRoundTrip: WriteAsm . ParseAsm is the identity on the
+// instruction streams of generator-valid programs, for any seed the
+// fuzzer picks (the coverage-guided companion of TestAsmRoundTripFuzz).
+func FuzzAsmRoundTrip(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		orig := genProgram(t, seed)
+		asm := WriteAsm(orig)
+		back, err := ParseAsm(asm)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, asm)
+		}
+		if back.NumFuncs() != orig.NumFuncs() {
+			t.Fatalf("seed %d: %d funcs reparsed as %d",
+				seed, orig.NumFuncs(), back.NumFuncs())
+		}
+		for fi := 0; fi < orig.NumFuncs(); fi++ {
+			if orig.Func(fi).Name != back.Func(fi).Name {
+				t.Fatalf("seed %d: func %d name %q reparsed as %q",
+					seed, fi, orig.Func(fi).Name, back.Func(fi).Name)
+			}
+			if !reflect.DeepEqual(orig.Func(fi).Instrs, back.Func(fi).Instrs) {
+				t.Fatalf("seed %d: func %d instruction streams differ", seed, fi)
+			}
+		}
+	})
+}
+
+// FuzzParseAsm: the assembler parser must reject or accept arbitrary
+// input without panicking, and anything it accepts must round-trip
+// through the printer.
+func FuzzParseAsm(f *testing.F) {
+	f.Add("func boot:\n  ret\n")
+	f.Add("func f:\n  movi r1, 42\n  send r1, r2, 4\n  ret\n")
+	f.Add(WriteAsm(genProgram(f, 1)))
+	f.Add("")
+	f.Add("func :\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseAsm(src)
+		if err != nil {
+			return
+		}
+		printed := WriteAsm(prog)
+		again, err := ParseAsm(printed)
+		if err != nil {
+			t.Fatalf("accepted program failed to reparse: %v\n%s", err, printed)
+		}
+		if printed2 := WriteAsm(again); printed2 != printed {
+			t.Fatalf("printer not a fixed point:\n%s\nvs\n%s", printed, printed2)
+		}
+	})
+}

@@ -93,6 +93,73 @@ func (s *Series) CSV() string {
 	return sb.String()
 }
 
+// SchedStats summarises one parallel scheduler run: how the adaptive
+// work-stealing shard scheduler spent its worker pool. It is the
+// scheduling counterpart of the per-run Sample series — per-worker
+// utilisation, steal/split activity, and cross-shard solver-cache reuse.
+type SchedStats struct {
+	Workers int // worker pool size
+	Shards  int // leaf shards that ran to completion
+	Steals  int // work items executed by a worker other than their creator
+	Splits  int // straggling shards subdivided in place
+
+	SharedLookups int64 // cross-shard solver cache lookups
+	SharedHits    int64 // lookups answered from the cross-shard cache
+
+	WorkerBusy []time.Duration // per-worker time spent running shards
+	Elapsed    time.Duration   // scheduler wall time (the makespan)
+}
+
+// SharedHitRate returns the fraction of cross-shard cache lookups that
+// were answered from the cache (0 when the cache was off or unused).
+func (s SchedStats) SharedHitRate() float64 {
+	if s.SharedLookups == 0 {
+		return 0
+	}
+	return float64(s.SharedHits) / float64(s.SharedLookups)
+}
+
+// Utilization returns each worker's busy fraction of the scheduler wall
+// time, clamped to [0, 1].
+func (s SchedStats) Utilization() []float64 {
+	out := make([]float64, len(s.WorkerBusy))
+	if s.Elapsed <= 0 {
+		return out
+	}
+	for i, busy := range s.WorkerBusy {
+		u := float64(busy) / float64(s.Elapsed)
+		if u > 1 {
+			u = 1
+		}
+		out[i] = u
+	}
+	return out
+}
+
+// MeanUtilization returns the pool-wide average busy fraction.
+func (s SchedStats) MeanUtilization() float64 {
+	us := s.Utilization()
+	if len(us) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, u := range us {
+		total += u
+	}
+	return total / float64(len(us))
+}
+
+// String renders a one-line scheduling summary.
+func (s SchedStats) String() string {
+	shared := "off"
+	if s.SharedLookups > 0 {
+		shared = fmt.Sprintf("%.0f%%", 100*s.SharedHitRate())
+	}
+	return fmt.Sprintf("workers=%d shards=%d steals=%d splits=%d shared-hit=%s util=%.0f%% makespan=%s",
+		s.Workers, s.Shards, s.Steals, s.Splits, shared,
+		100*s.MeanUtilization(), s.Elapsed.Round(time.Millisecond))
+}
+
 // FormatBytes renders a byte count with a binary unit suffix.
 func FormatBytes(b int64) string {
 	switch {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -137,5 +138,58 @@ func TestAsciiChartEmpty(t *testing.T) {
 		func(s Sample) float64 { return 0 }, 10, 4)
 	if !strings.Contains(chart, "X") {
 		t.Errorf("chart lacks label for empty series:\n%s", chart)
+	}
+}
+
+func TestSchedStatsSharedHitRate(t *testing.T) {
+	if got := (SchedStats{}).SharedHitRate(); got != 0 {
+		t.Errorf("zero-value hit rate = %v, want 0", got)
+	}
+	s := SchedStats{SharedLookups: 8, SharedHits: 2}
+	if got := s.SharedHitRate(); got != 0.25 {
+		t.Errorf("hit rate = %v, want 0.25", got)
+	}
+}
+
+func TestSchedStatsUtilization(t *testing.T) {
+	s := SchedStats{
+		WorkerBusy: []time.Duration{
+			time.Second, 500 * time.Millisecond, 2 * time.Second,
+		},
+		Elapsed: time.Second,
+	}
+	got := s.Utilization()
+	want := []float64{1, 0.5, 1} // the 2s entry clamps to the makespan
+	if len(got) != len(want) {
+		t.Fatalf("utilization has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("worker %d utilization = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if mean := s.MeanUtilization(); math.Abs(mean-2.5/3) > 1e-9 {
+		t.Errorf("mean utilization = %v, want %v", mean, 2.5/3)
+	}
+	if got := (SchedStats{WorkerBusy: []time.Duration{time.Second}}).Utilization(); got[0] != 0 {
+		t.Errorf("utilization with zero elapsed = %v, want 0", got[0])
+	}
+}
+
+func TestSchedStatsString(t *testing.T) {
+	s := SchedStats{
+		Workers: 4, Shards: 9, Steals: 3, Splits: 2,
+		SharedLookups: 10, SharedHits: 5,
+		WorkerBusy: []time.Duration{time.Second, time.Second, time.Second, time.Second},
+		Elapsed:    2 * time.Second,
+	}
+	str := s.String()
+	for _, want := range []string{"workers=4", "shards=9", "steals=3", "splits=2", "shared-hit=50%", "util=50%"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+	if off := (SchedStats{}).String(); !strings.Contains(off, "shared-hit=off") {
+		t.Errorf("zero-value String() = %q, want shared-hit=off", off)
 	}
 }

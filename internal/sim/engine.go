@@ -106,6 +106,20 @@ type Config struct {
 	// SDE extension (paper §VI): shards explore disjoint halves of the
 	// space on independent engines.
 	Pin map[string]uint64
+
+	// Progress, when non-nil, is polled between events (every
+	// progressPollEvents processed events) with the number of adopted
+	// states and the elapsed wall time. Returning true stops the run:
+	// Step returns false and the Result reports Stopped. The adaptive
+	// shard scheduler uses this to cut a straggling shard short and
+	// re-partition it instead of waiting it out.
+	Progress func(states int, elapsed time.Duration) (stop bool)
+
+	// SharedSolverCache, when non-nil, backs this run's solver with a
+	// cross-run query cache, so concurrent shards reuse each other's
+	// constraint verdicts (pin-independent query components recur in
+	// every shard).
+	SharedSolverCache *solver.SharedCache
 }
 
 // Result summarises a finished (or aborted) run.
@@ -114,6 +128,10 @@ type Result struct {
 	Topology    string
 	Aborted     bool
 	AbortReason string
+	// Stopped reports that the Progress hook ended the run early; the
+	// result covers only the explored prefix and its consumer (the shard
+	// scheduler) is expected to discard it and re-partition.
+	Stopped bool
 
 	Wall         time.Duration
 	VirtualTime  uint64
@@ -162,9 +180,18 @@ type Engine struct {
 	bootFn, recvFn int
 	aborted        bool
 	abortReason    string
+	stopped        bool
 	finished       bool
 	err            error
 }
+
+// progressPollEvents is how often (in processed events) Step consults
+// the Progress hook. Events are coarse units of work — a single event
+// can fork hundreds of states in a heavily symbolic handler — so the
+// hook is polled on every event: a straggler is caught at the first
+// event boundary after its state population explodes, and the per-event
+// cost of the poll is invisible next to event processing itself.
+const progressPollEvents = 1
 
 type heapEntry struct {
 	time    uint64
@@ -222,7 +249,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	recvFn := cfg.Prog.FuncIndex(cfg.RecvFn) // may be -1: send-only programs
 
-	ctx := vm.NewContext()
+	ctx := vm.NewContextWithSolver(solver.Options{SharedCache: cfg.SharedSolverCache})
 	ctx.Replay = cfg.Replay
 	mapper, err := core.New[*vm.State](cfg.Algorithm, cfg.Topo.K())
 	if err != nil {
@@ -289,12 +316,18 @@ func (e *Engine) adopt(states []*vm.State) {
 // spawns). It returns false when the run is complete: no events remain
 // before the horizon, the run was aborted, or a fatal error occurred.
 func (e *Engine) Step() bool {
-	if e.finished || e.aborted || e.err != nil {
+	if e.finished || e.aborted || e.stopped || e.err != nil {
 		return false
 	}
 	if reason := e.capExceeded(); reason != "" {
 		e.abort(reason)
 		return false
+	}
+	if e.cfg.Progress != nil && e.events%progressPollEvents == 0 {
+		if e.cfg.Progress(len(e.states), time.Since(e.started)) {
+			e.stopped = true
+			return false
+		}
 	}
 	for {
 		if e.evHeap.Len() == 0 {
@@ -350,6 +383,7 @@ func (e *Engine) Finish() *Result {
 		Topology:     e.cfg.Topo.Name(),
 		Aborted:      e.aborted,
 		AbortReason:  e.abortReason,
+		Stopped:      e.stopped,
 		Wall:         time.Since(e.started),
 		VirtualTime:  e.clock,
 		Instructions: e.ctx.Instructions(),

@@ -109,9 +109,20 @@ func (s *Solver) checkPartitioned(constraints []*expr.Expr, needModel bool) (boo
 		if !sat {
 			return false, nil, true, nil
 		}
-		for name, v := range model {
-			merged[name] = v
+		if needModel {
+			for name, v := range model {
+				merged[name] = v
+			}
 		}
+	}
+	if !needModel {
+		// Without needModel the components may answer through paths that
+		// return no bindings (literal scan, verdict-only cache hits), so
+		// merged would be incomplete. Return no model at all — a non-nil
+		// partial model would be cached and later handed to a Model call,
+		// whose missing-means-zero convention could then violate the
+		// constraints.
+		return true, nil, true, nil
 	}
 	return true, merged, true, nil
 }

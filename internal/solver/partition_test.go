@@ -184,3 +184,29 @@ func BenchmarkPartitionedTestCaseQueries(b *testing.B) {
 		})
 	}
 }
+
+// TestPartitionFeasibleThenModel is a regression test: a Feasible call
+// on a partitioned query used to cache a *partial* merged model (the
+// literal-scan component contributes no bindings when no model is
+// needed), and a later Model call returned it — an env whose
+// missing-means-zero defaults can violate the literal constraints.
+func TestPartitionFeasibleThenModel(t *testing.T) {
+	b := expr.NewBuilder()
+	d := b.Var("d", 1)
+	x := b.Var("x", 8)
+	q := []*expr.Expr{
+		d,                       // literal component: requires d = 1, zero default violates it
+		b.Ult(b.Const(4, 8), x), // arithmetic component
+	}
+	s := New()
+	if sat, err := s.Feasible(q); err != nil || !sat {
+		t.Fatalf("Feasible: sat=%v err=%v", sat, err)
+	}
+	model, sat, err := s.Model(q)
+	if err != nil || !sat {
+		t.Fatalf("Model: sat=%v err=%v", sat, err)
+	}
+	if !satisfies(model, q) {
+		t.Fatalf("Model returned %v, which does not satisfy the query", model)
+	}
+}

@@ -1,0 +1,188 @@
+package solver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sde/internal/expr"
+)
+
+// TestSharedCacheCrossBuilder: a verdict computed by one solver answers
+// the structurally identical query of another solver whose expressions
+// come from a completely independent Builder — the cross-shard reuse
+// case of the parallel scheduler.
+func TestSharedCacheCrossBuilder(t *testing.T) {
+	shared := NewSharedCache()
+	mkQuery := func(b *expr.Builder) []*expr.Expr {
+		x := b.Var("x", 16)
+		return []*expr.Expr{
+			b.Eq(b.Mul(x, x), b.Const(49, 16)),
+			b.Ult(x, b.Const(100, 16)),
+		}
+	}
+
+	b1 := expr.NewBuilder()
+	s1 := NewWithOptions(Options{SharedCache: shared})
+	model1, sat, err := s1.Model(mkQuery(b1))
+	if err != nil || !sat {
+		t.Fatalf("first solver: sat=%v err=%v", sat, err)
+	}
+	if s1.Stats().SharedHits != 0 {
+		t.Error("first solver hit an empty shared cache")
+	}
+	if st := shared.Stats(); st.Stores == 0 {
+		t.Fatal("first solver stored nothing")
+	}
+
+	b2 := expr.NewBuilder()
+	q2 := mkQuery(b2)
+	s2 := NewWithOptions(Options{SharedCache: shared})
+	model2, sat, err := s2.Model(q2)
+	if err != nil || !sat {
+		t.Fatalf("second solver: sat=%v err=%v", sat, err)
+	}
+	st2 := s2.Stats()
+	if st2.SharedHits == 0 {
+		t.Errorf("second solver stats: %+v, want a shared hit", st2)
+	}
+	if st2.SATCalls != 0 {
+		t.Errorf("second solver ran %d SAT calls despite the shared verdict", st2.SATCalls)
+	}
+	// The cached model must satisfy the second builder's constraints.
+	if !satisfies(model2, q2) {
+		t.Errorf("shared model %v does not satisfy the query", model2)
+	}
+	if model1["x"] != model2["x"] {
+		t.Errorf("models diverge: %v vs %v", model1, model2)
+	}
+}
+
+// TestSharedCacheUnsat: unsat verdicts are shared too.
+func TestSharedCacheUnsat(t *testing.T) {
+	shared := NewSharedCache()
+	mkQuery := func(b *expr.Builder) []*expr.Expr {
+		x := b.Var("x", 8)
+		return []*expr.Expr{
+			b.Ult(x, b.Const(5, 8)),
+			b.Ult(b.Const(10, 8), x),
+		}
+	}
+	s1 := NewWithOptions(Options{SharedCache: shared})
+	if sat, err := s1.Feasible(mkQuery(expr.NewBuilder())); err != nil || sat {
+		t.Fatalf("sat=%v err=%v, want unsat", sat, err)
+	}
+	s2 := NewWithOptions(Options{SharedCache: shared})
+	if sat, err := s2.Feasible(mkQuery(expr.NewBuilder())); err != nil || sat {
+		t.Fatalf("second solver: sat=%v err=%v, want unsat", sat, err)
+	}
+	if st := s2.Stats(); st.SharedHits == 0 || st.SATCalls != 0 {
+		t.Errorf("second solver stats: %+v, want shared hit and no SAT call", st)
+	}
+}
+
+// TestSharedCacheModelUpgrade: a Feasible verdict (no model) does not
+// starve a later Model call — the solver recomputes and upgrades the
+// shared entry with a model.
+func TestSharedCacheModelUpgrade(t *testing.T) {
+	shared := NewSharedCache()
+	mkQuery := func(b *expr.Builder) []*expr.Expr {
+		x := b.Var("x", 12)
+		return []*expr.Expr{b.Eq(b.Mul(x, x), b.Const(0x121, 12))}
+	}
+	s1 := NewWithOptions(Options{SharedCache: shared})
+	if sat, err := s1.Feasible(mkQuery(expr.NewBuilder())); err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+
+	b2 := expr.NewBuilder()
+	q2 := mkQuery(b2)
+	s2 := NewWithOptions(Options{SharedCache: shared})
+	model, sat, err := s2.Model(q2)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if !satisfies(model, q2) {
+		t.Errorf("model %v does not satisfy the query", model)
+	}
+
+	// A third solver now gets the upgraded entry, model included.
+	b3 := expr.NewBuilder()
+	q3 := mkQuery(b3)
+	s3 := NewWithOptions(Options{SharedCache: shared})
+	model3, sat, err := s3.Model(q3)
+	if err != nil || !sat {
+		t.Fatalf("third solver: sat=%v err=%v", sat, err)
+	}
+	if st := s3.Stats(); st.SharedHits == 0 || st.SATCalls != 0 {
+		t.Errorf("third solver stats: %+v, want shared model hit", st)
+	}
+	if !satisfies(model3, q3) {
+		t.Errorf("shared model %v does not satisfy the query", model3)
+	}
+}
+
+// TestSharedCacheConcurrent hammers one cache from many solvers on
+// distinct builders; run under -race this is the scheduler's memory
+// model in miniature.
+func TestSharedCacheConcurrent(t *testing.T) {
+	shared := NewSharedCache()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := expr.NewBuilder()
+			s := NewWithOptions(Options{SharedCache: shared})
+			for i := 0; i < 40; i++ {
+				x := b.Var(fmt.Sprintf("v%d", i%7), 16)
+				q := []*expr.Expr{
+					b.Eq(b.Mul(x, x), b.Const(uint64((i%7)*(i%7)), 16)),
+					b.Ult(x, b.Const(200, 16)),
+				}
+				model, sat, err := s.Model(q)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %v", w, i, err)
+					return
+				}
+				if !sat {
+					errs <- fmt.Errorf("worker %d query %d: unexpectedly unsat", w, i)
+					return
+				}
+				if !satisfies(model, q) {
+					errs <- fmt.Errorf("worker %d query %d: bad model %v", w, i, model)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := shared.Stats()
+	if st.Lookups == 0 || st.Stores == 0 {
+		t.Errorf("cache never used: %+v", st)
+	}
+	if st.Entries > st.Stores {
+		t.Errorf("entries %d exceed stores %d", st.Entries, st.Stores)
+	}
+}
+
+// TestSharedCacheDisabledByDefault: a solver without the option never
+// touches a shared cache and reports no shared hits.
+func TestSharedCacheDisabledByDefault(t *testing.T) {
+	b := expr.NewBuilder()
+	x := b.Var("x", 8)
+	s := New()
+	if sat, err := s.Feasible([]*expr.Expr{b.Ult(x, b.Const(5, 8))}); err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if st := s.Stats(); st.SharedHits != 0 {
+		t.Errorf("SharedHits = %d without a shared cache", st.SharedHits)
+	}
+}

@@ -18,6 +18,7 @@ var ErrBudget = errors.New("solver: conflict budget exhausted")
 type Stats struct {
 	Queries    int64 // total Feasible/Model calls
 	CacheHits  int64 // answered from the query cache
+	SharedHits int64 // answered from the cross-solver shared cache
 	PoolHits   int64 // answered by re-using a previous model
 	FastPath   int64 // answered by the syntactic literal scan
 	Partitions int64 // queries split into independent components
@@ -46,6 +47,12 @@ type Options struct {
 	DisablePartition bool
 	// MaxConflicts bounds a single CDCL run; zero means unlimited.
 	MaxConflicts int64
+	// SharedCache, when non-nil, is consulted after the private query
+	// cache and populated with every verdict this solver computes. The
+	// same cache may back any number of solvers concurrently, even ones
+	// whose expressions come from different expr.Builders: query keys
+	// are structural constraint hashes, comparable across builders.
+	SharedCache *SharedCache
 }
 
 // Solver answers satisfiability queries over sets of 1-bit constraint
@@ -154,12 +161,30 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 		pool = append(pool, s.pool...)
 	}
 	s.mu.Unlock()
+
+	// Cross-solver shared cache: another shard of a parallel run may
+	// already have decided this structural query.
+	if sc := s.opts.SharedCache; sc != nil {
+		if ent, ok := sc.lookup(key, hashes); ok && (!ent.sat || !needModel || ent.model != nil) {
+			s.mu.Lock()
+			s.stats.SharedHits++
+			if !s.opts.DisableCache {
+				s.cache[key] = ent
+			}
+			s.mu.Unlock()
+			return ent.sat, ent.model, nil
+		}
+	}
+
 	for i := len(pool) - 1; i >= 0; i-- {
 		if satisfies(pool[i], active) {
 			s.mu.Lock()
 			s.stats.PoolHits++
 			s.cache[key] = cacheEntry{hashes: hashes, sat: true, model: pool[i]}
 			s.mu.Unlock()
+			if sc := s.opts.SharedCache; sc != nil {
+				sc.store(key, hashes, true, pool[i])
+			}
 			return true, pool[i], nil
 		}
 	}
@@ -176,6 +201,9 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 				key2, hashes2 := key, hashes
 				s.cache[key2] = cacheEntry{hashes: hashes2, sat: true, model: model}
 				s.mu.Unlock()
+				if sc := s.opts.SharedCache; sc != nil {
+					sc.store(key, hashes, true, model)
+				}
 			}
 			return sat, model, nil
 		}
@@ -196,6 +224,9 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 		}
 	}
 	s.mu.Unlock()
+	if sc := s.opts.SharedCache; sc != nil {
+		sc.store(key, hashes, sat, model)
+	}
 	return sat, model, nil
 }
 

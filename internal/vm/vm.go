@@ -40,10 +40,15 @@ type Context struct {
 
 // NewContext returns a fresh context with its own expression builder and
 // solver.
-func NewContext() *Context {
+func NewContext() *Context { return NewContextWithSolver(solver.Options{}) }
+
+// NewContextWithSolver returns a fresh context whose solver uses the
+// given tuning — the injection point for a cross-run solver.SharedCache
+// (parallel shards) or the ablation switches.
+func NewContextWithSolver(opts solver.Options) *Context {
 	return &Context{
 		Exprs:  expr.NewBuilder(),
-		Solver: solver.New(),
+		Solver: solver.NewWithOptions(opts),
 	}
 }
 

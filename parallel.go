@@ -1,26 +1,81 @@
 package sde
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
+
+	"sde/internal/solver"
 )
 
 // The parallel SDE extension (paper §VI: "we plan to parallelize SDE's
 // implementation ... we have to identify the sets of states which can be
 // safely offloaded on other cores and thus can be independently
 // executed"). The unit of independence used here is a partition of the
-// dscenario space: pinning the first b symbolic failure decisions to
-// fixed values yields 2^b disjoint sub-spaces that never exchange states,
-// so each shard runs on a fully independent engine (own expression
-// builder, solver, and state population) and the results merge by simple
+// dscenario space: pinning b symbolic failure decisions to fixed values
+// yields 2^b disjoint sub-spaces that never exchange states, so each
+// shard runs on a fully independent engine (own expression builder,
+// solver, and state population) and the results merge by simple
 // aggregation.
+//
+// Scheduling is adaptive: a bounded worker pool pulls shard work items
+// from a shared queue, and when a shard turns out to be a straggler —
+// its live-state count or wall time crosses a threshold while other
+// workers starve — the worker stops it mid-run and splits it in place,
+// pinning one more drop decision to produce two child shards. Light
+// regions of the space stay coarse (one cheap run), heavy regions
+// subdivide until the pool is balanced, without anyone guessing the
+// skew up front. An optional cross-shard solver cache lets concurrent
+// shards reuse each other's constraint verdicts.
 
 // MaxShardBits reports how many failure decisions of the scenario can be
 // used for sharding: log2 of the maximum shard count.
 func (s Scenario) MaxShardBits() int { return len(s.shardable) }
+
+// ShardConfig parameterises RunScenarioShardedWith. The zero value runs
+// the whole scenario as a single work item on a GOMAXPROCS-sized pool
+// with adaptive splitting disabled.
+type ShardConfig struct {
+	// ShardBits pre-splits the dscenario space into 2^ShardBits uniform
+	// initial shards. It must not exceed the scenario's MaxShardBits.
+	ShardBits int
+
+	// Workers bounds the worker pool (default GOMAXPROCS). Unlike the
+	// naive one-goroutine-per-shard scheme, shard count and parallelism
+	// are independent: thousands of shards can drain through a small
+	// pool.
+	Workers int
+
+	// MaxSplitBits caps how many drop decisions a shard may pin in
+	// total, i.e. how deep adaptive splitting can subdivide. Values
+	// below ShardBits are raised to ShardBits (which disables
+	// splitting); values above MaxShardBits are clamped down to it.
+	MaxSplitBits int
+
+	// SplitThreshold is the live-state count beyond which a running
+	// shard is considered a straggler and eligible for splitting
+	// (default 4096).
+	SplitThreshold int
+
+	// SplitAfter is the wall-time analogue of SplitThreshold: a shard
+	// running longer than this is eligible for splitting (default 2s).
+	SplitAfter time.Duration
+
+	// SharedSolverCache backs all shards with one cross-shard solver
+	// query cache. Shards share pin-independent query components (the
+	// bulk of distributed test-case queries), so later shards skip SAT
+	// work the earlier ones already did.
+	SharedSolverCache bool
+}
+
+const (
+	defaultSplitThreshold = 4096
+	defaultSplitAfter     = 2 * time.Second
+)
 
 // ShardReport is the outcome of one shard of a sharded run.
 type ShardReport struct {
@@ -32,6 +87,10 @@ type ShardReport struct {
 // ShardedReport aggregates a sharded scenario run.
 type ShardedReport struct {
 	Shards []ShardReport
+
+	// Sched is the scheduler's telemetry: worker utilisation, steal and
+	// split counts, and cross-shard solver-cache reuse.
+	Sched SchedStats
 }
 
 // States returns the total number of final execution states across
@@ -64,7 +123,8 @@ func (r *ShardedReport) Violations() []*Violation {
 	return out
 }
 
-// Wall returns the longest shard wall time (the parallel makespan).
+// Wall returns the longest shard wall time (the critical-path lower
+// bound on the makespan; Sched.Elapsed is the realised makespan).
 func (r *ShardedReport) Wall() time.Duration {
 	var maxWall time.Duration
 	for _, sh := range r.Shards {
@@ -85,62 +145,278 @@ func (r *ShardedReport) Aborted() (bool, string) {
 	return false, ""
 }
 
-// RunScenarioSharded runs the scenario split into 2^shardBits independent
-// partitions, concurrently. The partitions are formed by pinning the
-// symbolic drop decisions of shardBits *shardable* nodes — armed nodes
-// that are radio neighbours of the traffic source, whose first reception
-// (and hence their drop decision) materialises in every execution — to the
-// bit pattern of the shard index. Every shard therefore explores a
-// disjoint fraction of the dscenario space and their union is exactly the
-// unsharded exploration. (Pinning a decision that might never materialise
-// would replicate the sub-space in which it does not, double-counting
-// coverage; built-in scenario constructors compute the safe set.)
+// workItem identifies one sub-space of the dscenario partition: bit i of
+// bits is the pinned value of the i-th shardable drop decision, depth
+// says how many bits are pinned. The set of completed items always forms
+// a prefix-free cover of the space, so their union is exactly the
+// unsharded exploration regardless of how splitting unfolded.
+type workItem struct {
+	depth  int
+	bits   uint64
+	origin int // worker that enqueued it; -1 for the initial pre-split
+}
+
+type leafResult struct {
+	item   workItem
+	pin    map[string]uint64
+	report *Report
+}
+
+// shardSched is the work-stealing pool: a shared LIFO queue drained by a
+// fixed set of workers. "Stealing" here is work-sharing through the
+// shared queue — a steal is counted whenever a worker executes an item
+// that a different worker enqueued (i.e. one half of someone else's
+// split).
+type shardSched struct {
+	scenario Scenario
+	armed    []int
+	cfg      ShardConfig // normalised: all defaults applied
+	cache    *solver.SharedCache
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []workItem
+	pending int // queued + in-flight items
+
+	leaves []leafResult
+	errs   []error
+	steals int
+	splits int
+	busy   []time.Duration
+}
+
+func (sc *shardSched) pinFor(item workItem) map[string]uint64 {
+	pin := make(map[string]uint64, item.depth)
+	for bit := 0; bit < item.depth; bit++ {
+		name := fmt.Sprintf("drop_n%d_r0", sc.armed[bit])
+		pin[name] = (item.bits >> uint(bit)) & 1
+	}
+	return pin
+}
+
+func bitLabel(item workItem) string {
+	if item.depth == 0 {
+		return "root"
+	}
+	return fmt.Sprintf("%0*b/%d", item.depth, item.bits, item.depth)
+}
+
+// progressHook decides whether a running shard should stop and split: it
+// must look like a straggler (states or wall time over threshold) while
+// the queue is starving the pool. A full queue means splitting would
+// only add overhead; a starved one means idle capacity is waiting for
+// exactly this split.
+func (sc *shardSched) progressHook(states int, elapsed time.Duration) bool {
+	if states <= sc.cfg.SplitThreshold && elapsed < sc.cfg.SplitAfter {
+		return false
+	}
+	sc.mu.Lock()
+	starved := len(sc.queue) < sc.cfg.Workers
+	sc.mu.Unlock()
+	return starved
+}
+
+// runItem executes one shard run. Splittable items (depth below the
+// cap) get the progress hook installed so the scheduler can cut them
+// short.
+func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error) {
+	pin := sc.pinFor(item)
+	cfg := sc.scenario.cfg
+	cfg.Pin = pin
+	cfg.SharedSolverCache = sc.cache
+	if item.depth < sc.cfg.MaxSplitBits {
+		cfg.Progress = sc.progressHook
+	}
+	shard := sc.scenario
+	shard.cfg = cfg
+	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
+	report, err := RunScenario(shard)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Scrub the run-time hooks from the stored scenario: a replay
+	// through this report must not be stopped by the (now stale)
+	// scheduler hook or write into the shared cache.
+	report.scenario.cfg.Progress = nil
+	report.scenario.cfg.SharedSolverCache = nil
+	return report, pin, nil
+}
+
+func (sc *shardSched) worker(id int) {
+	for {
+		sc.mu.Lock()
+		for len(sc.queue) == 0 && sc.pending > 0 {
+			sc.cond.Wait()
+		}
+		if len(sc.queue) == 0 {
+			sc.mu.Unlock()
+			return
+		}
+		item := sc.queue[len(sc.queue)-1]
+		sc.queue = sc.queue[:len(sc.queue)-1]
+		if item.origin >= 0 && item.origin != id {
+			sc.steals++
+		}
+		sc.mu.Unlock()
+
+		start := time.Now()
+		report, pin, err := sc.runItem(item)
+		elapsed := time.Since(start)
+
+		sc.mu.Lock()
+		sc.busy[id] += elapsed
+		switch {
+		case err != nil:
+			sc.errs = append(sc.errs,
+				fmt.Errorf("shard %s: %w", bitLabel(item), err))
+		case report.res.Stopped:
+			// Straggler: replace it with its two halves, one more drop
+			// decision pinned. The partial run is discarded — its states
+			// are not a sound cover of the sub-space.
+			sc.splits++
+			for b := uint64(0); b <= 1; b++ {
+				child := workItem{
+					depth:  item.depth + 1,
+					bits:   item.bits | b<<uint(item.depth),
+					origin: id,
+				}
+				sc.queue = append(sc.queue, child)
+				sc.pending++
+				sc.cond.Signal()
+			}
+		default:
+			sc.leaves = append(sc.leaves, leafResult{item: item, pin: pin, report: report})
+		}
+		sc.pending--
+		if sc.pending == 0 {
+			sc.cond.Broadcast()
+		}
+		sc.mu.Unlock()
+	}
+}
+
+// RunScenarioShardedWith runs the scenario partitioned across a worker
+// pool according to cfg. The partitions are formed by pinning the
+// symbolic drop decisions of *shardable* nodes — armed nodes that are
+// radio neighbours of the traffic source, whose first reception (and
+// hence their drop decision) materialises in every execution — so every
+// shard explores a disjoint fraction of the dscenario space and their
+// union is exactly the unsharded exploration. (Pinning a decision that
+// might never materialise would replicate the sub-space in which it does
+// not, double-counting coverage; built-in scenario constructors compute
+// the safe set, and CustomConfig.ShardableNodes declares it for custom
+// workloads.)
 //
-// shardBits must not exceed the scenario's shardable node count, which
-// MaxShardBits reports.
-func RunScenarioSharded(s Scenario, shardBits int) (*ShardedReport, error) {
-	if shardBits < 0 {
+// Shard errors do not cancel the run; every failed shard's error is
+// collected and the joined aggregate returned.
+func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error) {
+	if cfg.ShardBits < 0 {
 		return nil, fmt.Errorf("sde: negative shard bits")
 	}
 	armed := append([]int(nil), s.shardable...)
 	sort.Ints(armed)
-	if shardBits > len(armed) {
+	if cfg.ShardBits > len(armed) {
 		return nil, fmt.Errorf("sde: %d shard bits but only %d shardable drop nodes",
-			shardBits, len(armed))
+			cfg.ShardBits, len(armed))
 	}
-	nShards := 1 << shardBits
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxSplitBits < cfg.ShardBits {
+		cfg.MaxSplitBits = cfg.ShardBits
+	}
+	if cfg.MaxSplitBits > len(armed) {
+		cfg.MaxSplitBits = len(armed)
+	}
+	if cfg.SplitThreshold <= 0 {
+		cfg.SplitThreshold = defaultSplitThreshold
+	}
+	if cfg.SplitAfter <= 0 {
+		cfg.SplitAfter = defaultSplitAfter
+	}
 
-	reports := make([]ShardReport, nShards)
-	errs := make([]error, nShards)
+	sc := &shardSched{
+		scenario: s,
+		armed:    armed,
+		cfg:      cfg,
+		busy:     make([]time.Duration, cfg.Workers),
+	}
+	sc.cond = sync.NewCond(&sc.mu)
+	if cfg.SharedSolverCache {
+		sc.cache = solver.NewSharedCache()
+	}
+	for shard := 0; shard < 1<<cfg.ShardBits; shard++ {
+		sc.queue = append(sc.queue, workItem{
+			depth:  cfg.ShardBits,
+			bits:   uint64(shard),
+			origin: -1,
+		})
+	}
+	sc.pending = len(sc.queue)
+
+	start := time.Now()
 	var wg sync.WaitGroup
-	for shard := 0; shard < nShards; shard++ {
-		shard := shard
+	for id := 0; id < cfg.Workers; id++ {
+		id := id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			pin := make(map[string]uint64, shardBits)
-			for bit := 0; bit < shardBits; bit++ {
-				name := fmt.Sprintf("drop_n%d_r0", armed[bit])
-				pin[name] = uint64(shard>>uint(bit)) & 1
-			}
-			cfg := s.cfg
-			cfg.Pin = pin
-			shardScenario := s
-			shardScenario.cfg = cfg
-			shardScenario.desc = fmt.Sprintf("%s [shard %d/%d]", s.desc, shard, nShards)
-			report, err := RunScenario(shardScenario)
-			if err != nil {
-				errs[shard] = err
-				return
-			}
-			reports[shard] = ShardReport{Shard: shard, Pin: pin, Report: report}
+			sc.worker(id)
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sde: sharded run: %w", err)
-		}
+
+	if len(sc.errs) > 0 {
+		return nil, fmt.Errorf("sde: sharded run: %w", errors.Join(sc.errs...))
 	}
-	return &ShardedReport{Shards: reports}, nil
+
+	// Order the leaves deterministically — lexicographically by pinned
+	// bit string, LSB (first shardable decision) first — so shard
+	// indices are stable across scheduling interleavings.
+	sort.Slice(sc.leaves, func(i, j int) bool {
+		a, b := sc.leaves[i].item, sc.leaves[j].item
+		n := a.depth
+		if b.depth < n {
+			n = b.depth
+		}
+		for bit := 0; bit < n; bit++ {
+			ab := (a.bits >> uint(bit)) & 1
+			bb := (b.bits >> uint(bit)) & 1
+			if ab != bb {
+				return ab < bb
+			}
+		}
+		return a.depth < b.depth
+	})
+	shards := make([]ShardReport, len(sc.leaves))
+	for i, leaf := range sc.leaves {
+		leaf.report.scenario.desc = fmt.Sprintf("%s [shard %d/%d]",
+			s.desc, i, len(sc.leaves))
+		shards[i] = ShardReport{Shard: i, Pin: leaf.pin, Report: leaf.report}
+	}
+
+	sched := SchedStats{
+		Workers:    cfg.Workers,
+		Shards:     len(shards),
+		Steals:     sc.steals,
+		Splits:     sc.splits,
+		WorkerBusy: sc.busy,
+		Elapsed:    time.Since(start),
+	}
+	if sc.cache != nil {
+		st := sc.cache.Stats()
+		sched.SharedLookups = st.Lookups
+		sched.SharedHits = st.Hits
+	}
+	return &ShardedReport{Shards: shards, Sched: sched}, nil
+}
+
+// RunScenarioSharded runs the scenario split into 2^shardBits static
+// partitions on a GOMAXPROCS-sized worker pool: RunScenarioShardedWith
+// with adaptive splitting and the shared solver cache disabled.
+//
+// shardBits must not exceed the scenario's shardable node count, which
+// MaxShardBits reports.
+func RunScenarioSharded(s Scenario, shardBits int) (*ShardedReport, error) {
+	return RunScenarioShardedWith(s, ShardConfig{ShardBits: shardBits})
 }

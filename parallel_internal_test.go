@@ -1,0 +1,105 @@
+package sde
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"sde/internal/sim"
+	"sde/internal/vm"
+)
+
+// fakeShardedReport fabricates a sharded report from raw results, so the
+// aggregation methods can be unit-tested without running engines.
+func fakeShardedReport(results ...*sim.Result) *ShardedReport {
+	r := &ShardedReport{}
+	for i, res := range results {
+		r.Shards = append(r.Shards, ShardReport{
+			Shard:  i,
+			Report: &Report{res: res},
+		})
+	}
+	return r
+}
+
+func TestShardedReportWallAggregation(t *testing.T) {
+	r := fakeShardedReport(
+		&sim.Result{Wall: 30 * time.Millisecond},
+		&sim.Result{Wall: 90 * time.Millisecond},
+		&sim.Result{Wall: 10 * time.Millisecond},
+	)
+	if got := r.Wall(); got != 90*time.Millisecond {
+		t.Errorf("Wall() = %v, want the longest shard wall 90ms", got)
+	}
+	if got := fakeShardedReport().Wall(); got != 0 {
+		t.Errorf("empty report Wall() = %v, want 0", got)
+	}
+}
+
+func TestShardedReportAbortedAggregation(t *testing.T) {
+	clean := fakeShardedReport(&sim.Result{}, &sim.Result{})
+	if aborted, reason := clean.Aborted(); aborted || reason != "" {
+		t.Errorf("clean report Aborted() = %v %q", aborted, reason)
+	}
+	mixed := fakeShardedReport(
+		&sim.Result{},
+		&sim.Result{Aborted: true, AbortReason: "state cap exceeded"},
+	)
+	aborted, reason := mixed.Aborted()
+	if !aborted {
+		t.Fatal("aborted shard not surfaced")
+	}
+	if !strings.Contains(reason, "shard 1") || !strings.Contains(reason, "state cap exceeded") {
+		t.Errorf("abort reason %q names neither the shard nor the cause", reason)
+	}
+}
+
+func TestShardedReportViolationsAggregation(t *testing.T) {
+	v0 := &vm.Violation{Node: 0, Msg: "a"}
+	v1 := &vm.Violation{Node: 1, Msg: "b"}
+	v2 := &vm.Violation{Node: 2, Msg: "c"}
+	r := fakeShardedReport(
+		&sim.Result{Violations: []*vm.Violation{v0}},
+		&sim.Result{},
+		&sim.Result{Violations: []*vm.Violation{v1, v2}},
+	)
+	got := r.Violations()
+	if len(got) != 3 {
+		t.Fatalf("Violations() returned %d, want 3", len(got))
+	}
+	// Shard order is preserved.
+	if got[0] != v0 || got[1] != v1 || got[2] != v2 {
+		t.Error("violations not aggregated in shard order")
+	}
+}
+
+func TestShardedReportStatesAndDScenarios(t *testing.T) {
+	r := fakeShardedReport(
+		&sim.Result{FinalStates: 4, DScenarios: big.NewInt(8)},
+		&sim.Result{FinalStates: 6, DScenarios: big.NewInt(24)},
+	)
+	if got := r.States(); got != 10 {
+		t.Errorf("States() = %d, want 10", got)
+	}
+	if got := r.DScenarios(); got.Cmp(big.NewInt(32)) != 0 {
+		t.Errorf("DScenarios() = %v, want 32", got)
+	}
+}
+
+// TestShardedErrorsJoined: a sharded run must report every failing
+// shard's error, not just the first one.
+func TestShardedErrorsJoined(t *testing.T) {
+	// An empty config fails engine construction in every shard.
+	broken := Scenario{shardable: []int{1, 2}}
+	_, err := RunScenarioShardedWith(broken, ShardConfig{ShardBits: 1, Workers: 2})
+	if err == nil {
+		t.Fatal("broken scenario ran without error")
+	}
+	msg := err.Error()
+	for _, label := range []string{"shard 0/1", "shard 1/1"} {
+		if !strings.Contains(msg, label) {
+			t.Errorf("joined error %q is missing %s", msg, label)
+		}
+	}
+}

@@ -80,8 +80,16 @@ type Caps = sim.Caps
 // FailurePlan selects the symbolic network failures per node.
 type FailurePlan = sim.FailurePlan
 
+// NodeSet builds a FailurePlan membership map from a node list.
+func NodeSet(nodes []int) map[int]bool { return sim.NodeSet(nodes) }
+
 // Sample is one metrics measurement (states, modeled memory, time).
 type Sample = metrics.Sample
+
+// SchedStats is the adaptive shard scheduler's telemetry: worker
+// utilisation, steal/split counts, and cross-shard solver-cache reuse.
+// See ShardedReport.Sched.
+type SchedStats = metrics.SchedStats
 
 // Scenario is a fully specified SDE run. Build one with a constructor
 // (GridCollectScenario, FloodScenario, CustomScenario) and pass it to
@@ -145,6 +153,12 @@ func RunScenario(s Scenario) (*Report, error) {
 
 // Aborted reports whether the run hit a resource cap, and why.
 func (r *Report) Aborted() (bool, string) { return r.res.Aborted, r.res.AbortReason }
+
+// Stopped reports whether the run was cut short by a progress hook —
+// the adaptive shard scheduler stops straggling shards this way before
+// re-partitioning them. A stopped run's results cover only part of its
+// space and are discarded by the scheduler.
+func (r *Report) Stopped() bool { return r.res.Stopped }
 
 // Wall returns the wall-clock duration of the run.
 func (r *Report) Wall() time.Duration { return r.res.Wall }
@@ -253,8 +267,15 @@ func CustomScenario(desc string, cfg CustomConfig) (Scenario, error) {
 	if cfg.Program == nil {
 		return Scenario{}, fmt.Errorf("sde: custom scenario needs a program")
 	}
+	for _, n := range cfg.ShardableNodes {
+		if !cfg.Failures.DropFirst[n] {
+			return Scenario{}, fmt.Errorf(
+				"sde: shardable node %d has no DropFirst failure armed", n)
+		}
+	}
 	return Scenario{
-		desc: desc,
+		desc:      desc,
+		shardable: append([]int(nil), cfg.ShardableNodes...),
 		cfg: sim.Config{
 			Topo:      cfg.Topology,
 			Prog:      cfg.Program,
@@ -276,4 +297,13 @@ type CustomConfig struct {
 	Failures     FailurePlan
 	NodeInit     func(node int, s *vm.State, eb *expr.Builder)
 	Caps         Caps
+
+	// ShardableNodes declares which armed DropFirst nodes' drop
+	// decisions may be pinned for sharding (see RunScenarioSharded).
+	// The caller vouches that each listed node's first reception
+	// materialises in every execution — e.g. it is a radio neighbour of
+	// a node that unconditionally broadcasts at boot. Listing a node
+	// whose reception is conditional makes sharded coverage unsound
+	// (the sub-space without the reception is explored by both halves).
+	ShardableNodes []int
 }
