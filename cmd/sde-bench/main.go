@@ -19,6 +19,13 @@
 //	sde-bench -sharded                        # defaults: 5x5 grid, GOMAXPROCS workers
 //	sde-bench -sharded -workers 8 -shard-bits 3
 //	sde-bench -sharded -split-bits 4 -split-threshold 2048 -shared-cache=false
+//
+// The -json mode benchmarks the constraint-solver pipeline on the
+// prefix-extension workload (incremental vs from-scratch solving, plus a
+// one-layer-at-a-time ablation) and writes machine-readable results:
+//
+//	sde-bench -json                           # writes BENCH_solver.json
+//	sde-bench -json -out results.json -depth 32 -reps 5
 package main
 
 import (
@@ -52,11 +59,18 @@ func run() error {
 	splitBits := flag.Int("split-bits", 0, "adaptive split depth cap for -sharded (0 = same as -shard-bits)")
 	splitThreshold := flag.Int("split-threshold", 0, "live-state straggler threshold for -sharded (0 = default)")
 	sharedCache := flag.Bool("shared-cache", true, "share one solver cache across shards in -sharded")
+	jsonBench := flag.Bool("json", false, "run the solver prefix-extension bench and write machine-readable results")
+	jsonOut := flag.String("out", "BENCH_solver.json", "output path for -json")
+	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
+	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
 	flag.Parse()
 
 	// Batch tool: trade GC frequency for throughput on large state sets.
 	debug.SetGCPercent(600)
 
+	if *jsonBench {
+		return runSolverBench(*jsonOut, *jsonDepth, *jsonReps)
+	}
 	if *worstCase {
 		return runWorstCase()
 	}

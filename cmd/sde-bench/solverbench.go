@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sde/internal/expr"
+	"sde/internal/solver"
+)
+
+// solverBenchResult is one row of BENCH_solver.json: the prefix-extension
+// workload replayed under one solver configuration.
+type solverBenchResult struct {
+	Name             string  `json:"name"`
+	NsPerOp          int64   `json:"ns_per_op"`    // one full workload replay
+	NsPerQuery       int64   `json:"ns_per_query"` // averaged over the query stream
+	SATCalls         int64   `json:"sat_calls"`
+	IncrementalSolve int64   `json:"incremental_solves"`
+	Conflicts        int64   `json:"conflicts"`
+	Decisions        int64   `json:"decisions"`
+	Gates            int64   `json:"gates"`
+	EncodeSkips      int64   `json:"encode_skips"`
+	AssumeReuses     int64   `json:"assume_reuses"`
+	CacheHits        int64   `json:"cache_hits"`
+	SubsumptionHits  int64   `json:"subsumption_hits"`
+	PoolHits         int64   `json:"pool_hits"`
+	FastPath         int64   `json:"fast_path"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	SubsumptionRate  float64 `json:"subsumption_hit_rate"`
+}
+
+// solverBenchReport is the BENCH_solver.json document: the headline
+// incremental-vs-from-scratch comparison (both with every other layer
+// disabled) plus a one-layer-at-a-time ablation of the full pipeline.
+type solverBenchReport struct {
+	Benchmark string    `json:"benchmark"`
+	Generated time.Time `json:"generated"`
+	Depth     int       `json:"depth"`
+	Queries   int       `json:"queries"`
+	Reps      int       `json:"reps"`
+
+	Modes    []solverBenchResult `json:"modes"`
+	Ablation []solverBenchResult `json:"ablation"`
+
+	SpeedupIncrementalVsScratch float64 `json:"speedup_incremental_vs_scratch"`
+}
+
+// runSolverBench measures the solver pipeline on the shared
+// prefix-extension workload and writes the results as JSON — the
+// machine-readable artifact CI uploads and the README ablation table
+// quotes.
+func runSolverBench(out string, depth, reps int) error {
+	if depth < 1 {
+		return fmt.Errorf("-depth must be at least 1 (got %d)", depth)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", reps)
+	}
+	queries := solver.PrefixExtensionQueries(expr.NewBuilder(), depth)
+	rep := solverBenchReport{
+		Benchmark: "PrefixExtension",
+		Generated: time.Now().UTC(),
+		Depth:     depth,
+		Queries:   len(queries),
+		Reps:      reps,
+	}
+
+	measure := func(name string, opts solver.Options) solverBenchResult {
+		var best time.Duration
+		var stats solver.Stats
+		for r := 0; r < reps; r++ {
+			// Fresh builder per rep: expression hash-consing must not
+			// carry over, or rep 2 would replay rep 1's blast memo.
+			qs := solver.PrefixExtensionQueries(expr.NewBuilder(), depth)
+			s := solver.NewWithOptions(opts)
+			sess := s.NewSession()
+			start := time.Now()
+			for j, q := range qs {
+				if _, err := s.FeasibleWith(sess, q.Prefix, q.Extra); err != nil {
+					fmt.Fprintf(os.Stderr, "sde-bench: %s query %d: %v\n", name, j, err)
+					os.Exit(1)
+				}
+			}
+			elapsed := time.Since(start)
+			if r == 0 || elapsed < best {
+				best = elapsed
+				stats = s.Stats()
+			}
+		}
+		res := solverBenchResult{
+			Name:             name,
+			NsPerOp:          best.Nanoseconds(),
+			NsPerQuery:       best.Nanoseconds() / int64(len(queries)),
+			SATCalls:         stats.SATCalls,
+			IncrementalSolve: stats.IncSolves,
+			Conflicts:        stats.Conflicts,
+			Decisions:        stats.Decisions,
+			Gates:            stats.Gates,
+			EncodeSkips:      stats.EncodeSkips,
+			AssumeReuses:     stats.AssumeReuses,
+			CacheHits:        stats.CacheHits,
+			SubsumptionHits:  stats.SubsumptionHits,
+			PoolHits:         stats.PoolHits,
+			FastPath:         stats.FastPath,
+		}
+		if stats.Queries > 0 {
+			res.CacheHitRate = float64(stats.CacheHits) / float64(stats.Queries)
+			res.SubsumptionRate = float64(stats.SubsumptionHits) / float64(stats.Queries)
+		}
+		return res
+	}
+
+	// Headline comparison: everything but the layer under test disabled.
+	isolated := solver.Options{
+		DisableCache:       true,
+		DisablePool:        true,
+		DisableFastPath:    true,
+		DisablePartition:   true,
+		DisableSubsumption: true,
+	}
+	scratch := isolated
+	scratch.DisableIncremental = true
+	inc := measure("incremental", isolated)
+	fs := measure("fromscratch", scratch)
+	rep.Modes = []solverBenchResult{inc, fs}
+	if inc.NsPerOp > 0 {
+		rep.SpeedupIncrementalVsScratch = float64(fs.NsPerOp) / float64(inc.NsPerOp)
+	}
+
+	// Ablation: the full pipeline with one layer removed at a time.
+	for _, abl := range []struct {
+		name string
+		opts solver.Options
+	}{
+		{"full", solver.Options{}},
+		{"no-incremental", solver.Options{DisableIncremental: true}},
+		{"no-subsumption", solver.Options{DisableSubsumption: true}},
+		{"no-cache", solver.Options{DisableCache: true}},
+		{"no-pool", solver.Options{DisablePool: true}},
+		{"no-fastpath", solver.Options{DisableFastPath: true}},
+		{"no-partition", solver.Options{DisablePartition: true}},
+	} {
+		rep.Ablation = append(rep.Ablation, measure(abl.name, abl.opts))
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("Prefix-extension solver bench (depth %d, %d queries, best of %d):\n",
+		depth, len(queries), reps)
+	fmt.Printf("  incremental:  %12s  conflicts=%-6d gates=%d\n",
+		time.Duration(inc.NsPerOp), inc.Conflicts, inc.Gates)
+	fmt.Printf("  from scratch: %12s  conflicts=%-6d gates=%d\n",
+		time.Duration(fs.NsPerOp), fs.Conflicts, fs.Gates)
+	fmt.Printf("  speedup: %.2fx  → %s\n", rep.SpeedupIncrementalVsScratch, out)
+	return nil
+}

@@ -14,12 +14,13 @@ import (
 
 // Sample is one measurement point.
 type Sample struct {
-	Wall         time.Duration // wall-clock time since the run started
-	VirtualTime  uint64        // engine virtual clock (ticks)
-	States       int           // live execution states
-	Groups       int           // dscenarios (COB) or dstates (COW/SDS)
-	MemBytes     int64         // modeled RAM (deduplicated pages + overheads)
-	Instructions uint64        // instructions executed so far
+	Wall          time.Duration // wall-clock time since the run started
+	VirtualTime   uint64        // engine virtual clock (ticks)
+	States        int           // live execution states
+	Groups        int           // dscenarios (COB) or dstates (COW/SDS)
+	MemBytes      int64         // modeled RAM (deduplicated pages + overheads)
+	Instructions  uint64        // instructions executed so far
+	SolverQueries int64         // constraint-solver queries issued so far
 }
 
 // Series accumulates samples in order.
@@ -84,11 +85,12 @@ func (s *Series) Downsample(n int) []Sample {
 // CSV renders the series with a header row, one sample per line.
 func (s *Series) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions\n")
+	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries\n")
 	for _, sm := range s.samples {
-		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
-			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions)
+			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions,
+			sm.SolverQueries)
 	}
 	return sb.String()
 }
@@ -105,6 +107,12 @@ type SchedStats struct {
 
 	SharedLookups int64 // cross-shard solver cache lookups
 	SharedHits    int64 // lookups answered from the cross-shard cache
+
+	// Per-shard solver activity, summed over the leaf shards: how much
+	// of the constraint-solving work the incremental pipeline absorbed.
+	IncrementalSolves int64 // CDCL runs on the persistent per-shard instances
+	SubsumptionHits   int64 // queries answered by subset/superset cache entries
+	EncodeSkips       int64 // constraint encodes served by persistent blast memos
 
 	WorkerBusy []time.Duration // per-worker time spent running shards
 	Elapsed    time.Duration   // scheduler wall time (the makespan)

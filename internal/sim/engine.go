@@ -120,6 +120,11 @@ type Config struct {
 	// constraint verdicts (pin-independent query components recur in
 	// every shard).
 	SharedSolverCache *solver.SharedCache
+
+	// Solver tunes the run's constraint solver (ablation switches,
+	// conflict budget). The zero value enables every optimisation. A
+	// non-nil SharedSolverCache overrides Solver.SharedCache.
+	Solver solver.Options
 }
 
 // Result summarises a finished (or aborted) run.
@@ -249,7 +254,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	recvFn := cfg.Prog.FuncIndex(cfg.RecvFn) // may be -1: send-only programs
 
-	ctx := vm.NewContextWithSolver(solver.Options{SharedCache: cfg.SharedSolverCache})
+	sopts := cfg.Solver
+	if cfg.SharedSolverCache != nil {
+		sopts.SharedCache = cfg.SharedSolverCache
+	}
+	ctx := vm.NewContextWithSolver(sopts)
 	ctx.Replay = cfg.Replay
 	mapper, err := core.New[*vm.State](cfg.Algorithm, cfg.Topo.K())
 	if err != nil {
@@ -683,12 +692,13 @@ func (e *Engine) sample() {
 		e.peakMem = mem
 	}
 	e.series.Add(metrics.Sample{
-		Wall:         time.Since(e.started),
-		VirtualTime:  e.clock,
-		States:       e.mapper.NumStates(),
-		Groups:       e.mapper.NumGroups(),
-		MemBytes:     mem,
-		Instructions: e.ctx.Instructions(),
+		Wall:          time.Since(e.started),
+		VirtualTime:   e.clock,
+		States:        e.mapper.NumStates(),
+		Groups:        e.mapper.NumGroups(),
+		MemBytes:      mem,
+		Instructions:  e.ctx.Instructions(),
+		SolverQueries: e.ctx.Solver.Stats().Queries,
 	})
 	if c := e.cfg.Caps.MaxMemBytes; c > 0 && mem > c {
 		e.abort(fmt.Sprintf("memory cap exceeded (%s > %s)",

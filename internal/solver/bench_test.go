@@ -104,6 +104,52 @@ func BenchmarkBitBlastMul(b *testing.B) {
 	}
 }
 
+// BenchmarkPrefixExtension is the tentpole's acceptance benchmark: the
+// shared prefix-extension workload (see PrefixExtensionQueries) replayed
+// on the persistent incremental instance versus from-scratch solving.
+// Every other pipeline layer is disabled in both modes so the comparison
+// isolates assumption-based solving + the persistent blast context.
+func BenchmarkPrefixExtension(b *testing.B) {
+	base := Options{
+		DisableCache:       true,
+		DisablePool:        true,
+		DisableFastPath:    true,
+		DisablePartition:   true,
+		DisableSubsumption: true,
+	}
+	for _, mode := range []struct {
+		name        string
+		fromScratch bool
+	}{
+		{"incremental", false},
+		{"fromscratch", true},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			eb := expr.NewBuilder()
+			queries := PrefixExtensionQueries(eb, 24)
+			opts := base
+			opts.DisableIncremental = mode.fromScratch
+			var last Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := NewWithOptions(opts)
+				sess := s.NewSession()
+				for j, q := range queries {
+					if _, err := s.FeasibleWith(sess, q.Prefix, q.Extra); err != nil {
+						b.Fatalf("query %d: %v", j, err)
+					}
+				}
+				last = s.Stats()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.SATCalls), "satcalls/op")
+			b.ReportMetric(float64(last.Conflicts), "conflicts/op")
+			b.ReportMetric(float64(last.Gates), "gates/op")
+		})
+	}
+}
+
 func BenchmarkModelGeneration(b *testing.B) {
 	eb := expr.NewBuilder()
 	x := eb.Var("x", 32)

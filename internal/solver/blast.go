@@ -19,6 +19,10 @@ type blaster struct {
 	// litTrue is a variable constrained true; constants are expressed as
 	// ±litTrue so gate code never special-cases them.
 	litTrue Lit
+	// gates counts the auxiliary Tseitin variables allocated by the gate
+	// constructors — the encoding work a persistent blaster avoids
+	// repeating across queries.
+	gates int64
 }
 
 func newBlaster(sat *satSolver) *blaster {
@@ -66,6 +70,7 @@ func (b *blaster) andGate(x, y Lit) Lit {
 	case x == -y:
 		return b.litFalse()
 	}
+	b.gates++
 	o := b.sat.newVar()
 	b.sat.addClause(-o, x)
 	b.sat.addClause(-o, y)
@@ -92,6 +97,7 @@ func (b *blaster) xorGate(x, y Lit) Lit {
 	case x == -y:
 		return b.litTrue
 	}
+	b.gates++
 	o := b.sat.newVar()
 	b.sat.addClause(-o, x, y)
 	b.sat.addClause(-o, -x, -y)
@@ -110,6 +116,7 @@ func (b *blaster) muxGate(c, x, y Lit) Lit {
 	case x == y:
 		return x
 	}
+	b.gates++
 	o := b.sat.newVar()
 	b.sat.addClause(-c, -x, o)
 	b.sat.addClause(-c, x, -o)

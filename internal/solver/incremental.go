@@ -1,0 +1,170 @@
+package solver
+
+import "sde/internal/expr"
+
+// incContext is the persistent incremental solving context: one long-lived
+// satSolver + blaster pair shared by every SAT-core query of an
+// exploration. Each expression DAG node is Tseitin-encoded once per
+// exploration rather than once per query, and learned clauses, variable
+// activities, and saved phases survive between queries.
+//
+// Path constraints are never asserted as unit clauses on this instance —
+// each constraint is encoded once and its output literal is passed to
+// solveUnder as an assumption, which keeps the instance reusable for any
+// constraint subset. Because the instance only ever contains gate
+// definitions (satisfiable by construction) and clauses learned from
+// them, a valFalse answer always means "UNSAT under the assumptions",
+// never a poisoned instance.
+type incContext struct {
+	sat       *satSolver
+	bl        *blaster
+	gatesSeen int64 // blaster gate count already flushed into Stats.Gates
+}
+
+// Session pins a monotonically growing path condition (a VM state's
+// pathCond) to the solver's persistent incremental context. It caches the
+// assumption literal of each prefix constraint, so a prefix-extension
+// query costs one encode (of the new constraint) instead of a walk over
+// the whole prefix. Forking a state is a cheap session branch: the child
+// copies the cached literals and diverges independently.
+//
+// A Session is owned by one execution state and must not be used from
+// multiple goroutines at once; distinct Sessions of the same Solver may
+// be used concurrently (the Solver serialises access to the underlying
+// instance).
+type Session struct {
+	exprs []*expr.Expr // the synced prefix, for append-only validation
+	lits  []Lit        // assumption literal of each synced constraint
+}
+
+// NewSession returns a session handle for prefix-extension queries
+// (FeasibleWith/ModelWith), or nil when incremental solving is disabled.
+// A nil Session is valid everywhere and falls back to stateless solving.
+func (s *Solver) NewSession() *Session {
+	if s.opts.DisableIncremental {
+		return nil
+	}
+	return &Session{}
+}
+
+// Branch returns an independent copy of the session for a forked state.
+// Branching a nil session returns nil.
+func (sess *Session) Branch() *Session {
+	if sess == nil {
+		return nil
+	}
+	return &Session{
+		exprs: append([]*expr.Expr(nil), sess.exprs...),
+		lits:  append([]Lit(nil), sess.lits...),
+	}
+}
+
+// sync extends the session's cached assumption literals to cover prefix.
+// It returns how many cached literals were reused and how many of the
+// newly encoded constraints were already in the persistent blast memo.
+// Path conditions are append-only, so the common case is a pure
+// extension; if the prefix diverged anyway, the session resyncs from the
+// divergence point — correct, just slower.
+func (sess *Session) sync(ic *incContext, prefix []*expr.Expr) (reused, skips int64) {
+	n := len(sess.lits)
+	if n > len(prefix) {
+		n = 0
+	}
+	for i := 0; i < n; i++ {
+		if sess.exprs[i] != prefix[i] {
+			n = i
+			break
+		}
+	}
+	sess.exprs = sess.exprs[:n]
+	sess.lits = sess.lits[:n]
+	reused = int64(n)
+	for _, c := range prefix[n:] {
+		if _, ok := ic.bl.memo[c]; ok {
+			skips++
+		}
+		sess.exprs = append(sess.exprs, c)
+		sess.lits = append(sess.lits, ic.bl.encode(c)[0])
+	}
+	return reused, skips
+}
+
+// solveIncremental decides active (the constant-folded form of
+// prefix ∧ extra) on the persistent instance. All encoding happens at
+// decision level 0 — the instance is backtracked before any blasting —
+// so new gate clauses and their unit consequences are installed as
+// permanent level-0 facts.
+func (s *Solver) solveIncremental(sess *Session, prefix []*expr.Expr, extra *expr.Expr, active []*expr.Expr) (bool, expr.Env, error) {
+	s.incMu.Lock()
+	defer s.incMu.Unlock()
+	if s.inc == nil {
+		sat := newSatSolver()
+		s.inc = &incContext{sat: sat, bl: newBlaster(sat)}
+	}
+	ic := s.inc
+	ic.sat.maxConfl = s.opts.MaxConflicts
+	ic.sat.backtrackTo(0)
+
+	var assumptions []Lit
+	var reused, skips int64
+	memoed := func(c *expr.Expr) {
+		if _, ok := ic.bl.memo[c]; ok {
+			skips++
+		}
+	}
+	if sess != nil {
+		reused, skips = sess.sync(ic, prefix)
+		assumptions = make([]Lit, 0, len(sess.lits)+1)
+		assumptions = append(assumptions, sess.lits...)
+		if extra != nil && !extra.IsTrue() {
+			memoed(extra)
+			assumptions = append(assumptions, ic.bl.encode(extra)[0])
+		}
+	} else {
+		assumptions = make([]Lit, 0, len(active))
+		for _, c := range active {
+			memoed(c)
+			assumptions = append(assumptions, ic.bl.encode(c)[0])
+		}
+	}
+
+	confl0, dec0 := ic.sat.conflicts, ic.sat.decisions
+	res := ic.sat.solveUnder(assumptions)
+	s.mu.Lock()
+	s.stats.Conflicts += ic.sat.conflicts - confl0
+	s.stats.Decisions += ic.sat.decisions - dec0
+	s.stats.Gates += ic.bl.gates - ic.gatesSeen
+	s.stats.AssumeReuses += reused
+	s.stats.EncodeSkips += skips
+	s.stats.LearnedRetained = ic.sat.learned
+	s.mu.Unlock()
+	ic.gatesSeen = ic.bl.gates
+
+	switch res {
+	case valFalse:
+		ic.sat.backtrackTo(0)
+		return false, nil, nil
+	case valUnassigned:
+		ic.sat.backtrackTo(0)
+		return false, nil, ErrBudget
+	}
+	// SAT: read back a model for exactly the query's variables before
+	// releasing the trail. Variables outside the query stay don't-cares,
+	// matching from-scratch solving (missing entries default to 0).
+	var qvars []*expr.Expr
+	for _, c := range active {
+		qvars = expr.CollectVars(c, qvars)
+	}
+	model := make(expr.Env, len(qvars))
+	for _, v := range qvars {
+		var val uint64
+		for i, l := range ic.bl.vars[v] {
+			if ic.sat.litValue(l) == valTrue {
+				val |= uint64(1) << uint(i)
+			}
+		}
+		model[v.VarName()] = val
+	}
+	ic.sat.backtrackTo(0)
+	return true, model, nil
+}

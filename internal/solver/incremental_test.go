@@ -1,0 +1,259 @@
+package solver
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sde/internal/expr"
+)
+
+// diffBranch is one live branch of the randomized differential
+// exploration: a path condition plus the incremental sessions tracking it.
+type diffBranch struct {
+	pc       []*expr.Expr
+	sessFull *Session // session on the full default pipeline
+	sessBare *Session // session on the bare incremental solver
+}
+
+func randomTerm(eb *expr.Builder, rng *rand.Rand, vars []*expr.Expr, depth int) *expr.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		if rng.Intn(3) == 0 {
+			return eb.Const(rng.Uint64()&0xff, 8)
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	x := randomTerm(eb, rng, vars, depth-1)
+	y := randomTerm(eb, rng, vars, depth-1)
+	switch rng.Intn(6) {
+	case 0:
+		return eb.Add(x, y)
+	case 1:
+		return eb.Sub(x, y)
+	case 2:
+		return eb.Mul(x, y)
+	case 3:
+		return eb.And(x, y)
+	case 4:
+		return eb.Or(x, y)
+	default:
+		return eb.Xor(x, y)
+	}
+}
+
+func randomConstraint(eb *expr.Builder, rng *rand.Rand, vars, bools []*expr.Expr) *expr.Expr {
+	// Sometimes emit a pure boolean literal, the shape the engine's
+	// failure decisions take (exercises the literal fast path).
+	if rng.Intn(4) == 0 {
+		d := bools[rng.Intn(len(bools))]
+		if rng.Intn(2) == 0 {
+			return eb.Not(d)
+		}
+		return d
+	}
+	x := randomTerm(eb, rng, vars, 2)
+	y := randomTerm(eb, rng, vars, 2)
+	var c *expr.Expr
+	switch rng.Intn(4) {
+	case 0:
+		c = eb.Eq(x, y)
+	case 1:
+		c = eb.Ne(x, y)
+	case 2:
+		c = eb.Ult(x, y)
+	default:
+		c = eb.Ule(x, y)
+	}
+	if rng.Intn(3) == 0 {
+		c = eb.Not(c)
+	}
+	return c
+}
+
+// TestIncrementalDifferential is the soundness guard for the incremental
+// pipeline: a randomized exploration — monotonically growing path
+// conditions with fork points that branch sessions — is decided three
+// ways in lockstep, and all must agree on every query:
+//
+//   - oracle: from-scratch solving with every cache disabled;
+//   - bare:   the persistent incremental instance, every cache disabled;
+//   - full:   the default pipeline (caches, pool, subsumption, sessions).
+//
+// Models returned by the incremental solvers are validated against the
+// ground-truth evaluator. Well over 1000 prefix-extension queries run.
+func TestIncrementalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eb := expr.NewBuilder()
+	vars := []*expr.Expr{eb.Var("a", 8), eb.Var("b", 8), eb.Var("c", 8)}
+	bools := []*expr.Expr{eb.Var("d0", 1), eb.Var("d1", 1), eb.Var("d2", 1)}
+
+	bareOpts := Options{
+		DisableCache:       true,
+		DisablePool:        true,
+		DisableFastPath:    true,
+		DisablePartition:   true,
+		DisableSubsumption: true,
+	}
+	oracleOpts := bareOpts
+	oracleOpts.DisableIncremental = true
+
+	full := New()
+	bare := NewWithOptions(bareOpts)
+	oracle := NewWithOptions(oracleOpts)
+
+	ask := func(br *diffBranch, c *expr.Expr, step int) bool {
+		want, err := oracle.FeasibleWith(nil, br.pc, c)
+		if err != nil {
+			t.Fatalf("step %d: oracle: %v", step, err)
+		}
+		gotBare, err := bare.FeasibleWith(br.sessBare, br.pc, c)
+		if err != nil {
+			t.Fatalf("step %d: bare incremental: %v", step, err)
+		}
+		gotFull, err := full.FeasibleWith(br.sessFull, br.pc, c)
+		if err != nil {
+			t.Fatalf("step %d: full pipeline: %v", step, err)
+		}
+		if gotBare != want || gotFull != want {
+			t.Fatalf("step %d: verdicts disagree: oracle=%v bare=%v full=%v (|pc|=%d)",
+				step, want, gotBare, gotFull, len(br.pc))
+		}
+		if want && rng.Intn(3) == 0 {
+			model, sat, err := bare.ModelWith(br.sessBare, br.pc, c)
+			if err != nil || !sat {
+				t.Fatalf("step %d: bare ModelWith: sat=%v err=%v", step, sat, err)
+			}
+			for _, q := range br.pc {
+				if expr.Eval(q, model) == 0 {
+					t.Fatalf("step %d: incremental model %v violates prefix constraint", step, model)
+				}
+			}
+			if expr.Eval(c, model) == 0 {
+				t.Fatalf("step %d: incremental model %v violates the extension", step, model)
+			}
+		}
+		return want
+	}
+
+	// The acceptance bar is ≥1000 prefix-extension queries; -short keeps
+	// race/smoke runs fast while the regular run covers the full count.
+	target := 1200
+	if testing.Short() {
+		target = 250
+	}
+	branches := []*diffBranch{{sessFull: full.NewSession(), sessBare: bare.NewSession()}}
+	queries := 0
+	for step := 0; queries < target; step++ {
+		br := branches[rng.Intn(len(branches))]
+		c := randomConstraint(eb, rng, vars, bools)
+		notC := eb.Not(c)
+		feasC := ask(br, c, step)
+		queries++
+		feasNot := ask(br, notC, step)
+		queries++
+		switch {
+		case feasC && feasNot:
+			// Fork: the sibling takes the negated side on branched
+			// sessions, mirroring vm.State.Fork + AddConstraint.
+			if len(branches) < 24 && rng.Intn(2) == 0 {
+				sib := &diffBranch{
+					pc:       append(append([]*expr.Expr(nil), br.pc...), notC),
+					sessFull: br.sessFull.Branch(),
+					sessBare: br.sessBare.Branch(),
+				}
+				branches = append(branches, sib)
+			}
+			br.pc = append(br.pc, c)
+		case feasC:
+			br.pc = append(br.pc, c)
+		case feasNot:
+			br.pc = append(br.pc, notC)
+		default:
+			t.Fatalf("step %d: both sides infeasible under a feasible prefix", step)
+		}
+	}
+
+	if st := bare.Stats(); st.IncSolves == 0 {
+		t.Error("bare incremental solver never used the persistent instance")
+	} else if st.AssumeReuses == 0 {
+		t.Error("bare incremental solver never reused a session assumption literal")
+	}
+	// The full pipeline answers most of this workload from its caches and
+	// splits the rest into independent components (which are decided with a
+	// nil session), so only assert it reached the persistent instance.
+	if st := full.Stats(); st.IncSolves == 0 {
+		t.Error("full pipeline never used the persistent instance")
+	}
+}
+
+// TestSessionBranchIndependence: after a fork, parent and child sessions
+// extend divergently; both must stay sound (a shared backing array would
+// corrupt one of them).
+func TestSessionBranchIndependence(t *testing.T) {
+	eb := expr.NewBuilder()
+	x := eb.Var("x", 8)
+	s := NewWithOptions(Options{
+		DisableCache:    true,
+		DisablePool:     true,
+		DisableFastPath: true,
+	})
+
+	pc := []*expr.Expr{eb.Ult(x, eb.Const(100, 8))}
+	parent := s.NewSession()
+	if sat, err := s.FeasibleWith(parent, pc, nil); err != nil || !sat {
+		t.Fatalf("prefix: sat=%v err=%v", sat, err)
+	}
+	child := parent.Branch()
+
+	parentPC := append(append([]*expr.Expr(nil), pc...), eb.Ult(x, eb.Const(10, 8)))
+	childPC := append(append([]*expr.Expr(nil), pc...), eb.Ult(eb.Const(50, 8), x))
+
+	// Interleave divergent extensions on both sessions.
+	for i := 0; i < 4; i++ {
+		pq := eb.Ult(x, eb.Const(uint64(9-i), 8))
+		cq := eb.Ult(eb.Const(uint64(50+i), 8), x)
+		if sat, err := s.FeasibleWith(parent, parentPC, pq); err != nil || !sat {
+			t.Fatalf("parent step %d: sat=%v err=%v", i, sat, err)
+		}
+		if sat, err := s.FeasibleWith(child, childPC, cq); err != nil || !sat {
+			t.Fatalf("child step %d: sat=%v err=%v", i, sat, err)
+		}
+		parentPC = append(parentPC, pq)
+		childPC = append(childPC, cq)
+	}
+	// The combination of the two diverged paths is UNSAT (x<10 ∧ 50<x).
+	combined := append(append([]*expr.Expr(nil), parentPC...), childPC...)
+	if sat, err := s.FeasibleWith(nil, combined, nil); err != nil || sat {
+		t.Fatalf("diverged paths should conflict: sat=%v err=%v", sat, err)
+	}
+}
+
+// TestIncrementalConcurrentSessions exercises the documented concurrency
+// contract under -race: one Solver, many goroutines, each with its own
+// Session replaying the prefix-extension workload.
+func TestIncrementalConcurrentSessions(t *testing.T) {
+	eb := expr.NewBuilder()
+	queries := PrefixExtensionQueries(eb, 8)
+	s := New()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := s.NewSession()
+			for i, q := range queries {
+				if _, err := s.FeasibleWith(sess, q.Prefix, q.Extra); err != nil {
+					errs <- fmt.Errorf("query %d: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

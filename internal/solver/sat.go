@@ -47,8 +47,12 @@ type watcher struct {
 	blocker   Lit // a literal whose truth makes the clause satisfied
 }
 
-// satSolver is a self-contained CDCL SAT solver instance. One instance is
-// built per query; there is no incremental interface.
+// satSolver is a self-contained CDCL SAT solver instance. It supports two
+// modes of use: one instance per query (solve), and MiniSat-style
+// incremental solving (solveUnder), where one long-lived instance answers
+// a stream of queries under changing assumption sets while keeping its
+// learned clauses, variable activities, and saved phases alive between
+// calls.
 type satSolver struct {
 	clauses []clause
 	watches [][]watcher // indexed by Lit.index()
@@ -70,7 +74,8 @@ type satSolver struct {
 	conflicts int64
 	decisions int64
 	propags   int64
-	maxConfl  int64 // abort threshold, 0 = unlimited
+	learned   int64 // learned clauses (incl. units) recorded so far
+	maxConfl  int64 // per-solve conflict budget, 0 = unlimited
 }
 
 func newSatSolver() *satSolver {
@@ -331,6 +336,7 @@ func (s *satSolver) analyze(conflIdx int32) ([]Lit, int32) {
 }
 
 func (s *satSolver) recordLearned(lits []Lit) {
+	s.learned++
 	if len(lits) == 1 {
 		s.enqueue(lits[0], -1)
 		return
@@ -367,9 +373,26 @@ func luby(i int64) int64 {
 	}
 }
 
-// solve runs the CDCL main loop. It returns valTrue for SAT, valFalse for
-// UNSAT, and valUnassigned if the conflict budget was exhausted.
-func (s *satSolver) solve() int8 {
+// solve runs the CDCL main loop without assumptions. It returns valTrue
+// for SAT, valFalse for UNSAT, and valUnassigned if the conflict budget
+// was exhausted.
+func (s *satSolver) solve() int8 { return s.solveUnder(nil) }
+
+// solveUnder runs the CDCL main loop under a set of assumption literals,
+// MiniSat-style: assumptions are pushed as pseudo-decisions at levels
+// 1..len(assumptions), so restarts and backjumps re-install them
+// automatically, and every clause learned along the way is implied by the
+// problem clauses alone — it stays valid for later calls with different
+// assumptions. The instance remains usable after any outcome; on valTrue
+// the caller reads the model off the assignment and then backtracks to
+// level 0.
+//
+// It returns valTrue for SAT under the assumptions, valFalse for UNSAT
+// under them (or globally), and valUnassigned when the per-call conflict
+// budget (maxConfl, measured relative to the call's start) is exhausted.
+func (s *satSolver) solveUnder(assumptions []Lit) int8 {
+	s.backtrackTo(0)
+	startConfl := s.conflicts
 	if s.propagate() >= 0 {
 		return valFalse
 	}
@@ -389,7 +412,7 @@ func (s *satSolver) solve() int8 {
 			s.backtrackTo(backLvl)
 			s.recordLearned(learned)
 			s.varInc /= 0.95
-			if s.maxConfl > 0 && s.conflicts >= s.maxConfl {
+			if s.maxConfl > 0 && s.conflicts-startConfl >= s.maxConfl {
 				return valUnassigned
 			}
 			continue
@@ -399,6 +422,25 @@ func (s *satSolver) solve() int8 {
 			restartNo++
 			budget = restartUnit * luby(restartNo)
 			s.backtrackTo(0)
+			continue
+		}
+		if lvl := int(s.decisionLevel()); lvl < len(assumptions) {
+			a := assumptions[lvl]
+			switch s.litValue(a) {
+			case valTrue:
+				// Already implied: open an empty decision level to keep
+				// the level <-> assumption-index alignment.
+				s.newDecisionLevel()
+			case valFalse:
+				// The clause database (plus earlier assumptions) forces
+				// ¬a: the query is UNSAT under the assumptions, though
+				// the instance itself may well stay satisfiable.
+				return valFalse
+			default:
+				s.decisions++
+				s.newDecisionLevel()
+				s.enqueue(a, -1)
+			}
 			continue
 		}
 		v := s.pickBranchVar()

@@ -16,15 +16,21 @@ var ErrBudget = errors.New("solver: conflict budget exhausted")
 // Stats counts solver activity since construction. Reads are only
 // consistent when the solver is quiescent.
 type Stats struct {
-	Queries    int64 // total Feasible/Model calls
-	CacheHits  int64 // answered from the query cache
-	SharedHits int64 // answered from the cross-solver shared cache
-	PoolHits   int64 // answered by re-using a previous model
-	FastPath   int64 // answered by the syntactic literal scan
-	Partitions int64 // queries split into independent components
-	SATCalls   int64 // full bit-blast + CDCL runs
-	Conflicts  int64 // CDCL conflicts across all runs
-	Decisions  int64 // CDCL decisions across all runs
+	Queries         int64 // total Feasible/Model calls
+	CacheHits       int64 // answered from the exact-key query cache
+	SubsumptionHits int64 // answered by an UNSAT-subset / SAT-superset entry
+	SharedHits      int64 // answered from the cross-solver shared cache
+	PoolHits        int64 // answered by re-using a previous model
+	FastPath        int64 // answered by the syntactic literal scan
+	Partitions      int64 // queries split into independent components
+	SATCalls        int64 // CDCL runs (incremental and from-scratch)
+	IncSolves       int64 // CDCL runs answered by the persistent instance
+	Conflicts       int64 // CDCL conflicts across all runs
+	Decisions       int64 // CDCL decisions across all runs
+	AssumeReuses    int64 // assumption literals reused from session prefixes
+	EncodeSkips     int64 // constraint encodes served by the persistent blast memo
+	Gates           int64 // Tseitin gate variables allocated across all runs
+	LearnedRetained int64 // learned clauses alive in the persistent instance (gauge)
 }
 
 type cacheEntry struct {
@@ -45,6 +51,14 @@ type Options struct {
 	DisableFastPath bool
 	// DisablePartition turns off independent-constraint partitioning.
 	DisablePartition bool
+	// DisableIncremental turns off the persistent assumption-based CDCL
+	// instance: every SAT-core query is bit-blasted and solved from
+	// scratch on a throwaway instance.
+	DisableIncremental bool
+	// DisableSubsumption turns off subset/superset reasoning in the
+	// private cache; exact-key lookups still work unless DisableCache is
+	// also set (DisableCache implies both off).
+	DisableSubsumption bool
 	// MaxConflicts bounds a single CDCL run; zero means unlimited.
 	MaxConflicts int64
 	// SharedCache, when non-nil, is consulted after the private query
@@ -59,28 +73,31 @@ type Options struct {
 // expressions. It is safe for concurrent use. All constraint expressions
 // passed to one Solver must come from a single expr.Builder.
 type Solver struct {
-	// MaxConflicts bounds a single CDCL run; zero means unlimited.
-	MaxConflicts int64
-
 	opts      Options
 	mu        sync.Mutex
 	cache     map[uint64]cacheEntry
+	subs      subsumptionIndex
 	pool      []expr.Env // recent satisfying models, most recent last
 	poolCap   int
 	varsCache map[*expr.Expr][]uint32
 	stats     Stats
+
+	// incMu serialises the persistent incremental instance. It is never
+	// acquired while mu is held (mu may be taken under incMu).
+	incMu sync.Mutex
+	inc   *incContext
 }
 
 // New returns a Solver with all optimisations enabled.
 func New() *Solver { return NewWithOptions(Options{}) }
 
-// NewWithOptions returns a Solver with the given tuning.
+// NewWithOptions returns a Solver with the given tuning. Options is the
+// single source of truth for the conflict budget (Options.MaxConflicts).
 func NewWithOptions(opts Options) *Solver {
 	return &Solver{
-		MaxConflicts: opts.MaxConflicts,
-		opts:         opts,
-		cache:        make(map[uint64]cacheEntry, 256),
-		poolCap:      16,
+		opts:    opts,
+		cache:   make(map[uint64]cacheEntry, 256),
+		poolCap: 16,
 	}
 }
 
@@ -107,24 +124,63 @@ func (s *Solver) Model(constraints []*expr.Expr) (expr.Env, bool, error) {
 	return model, sat, err
 }
 
+// FeasibleWith is Feasible for prefix-extension queries — the shape every
+// branch decision takes: decide prefix ∧ extra without the caller
+// materialising the combined slice. sess, when non-nil, pins the query to
+// an incremental solving session whose cached assumption literals grow
+// with the (append-only) prefix; a nil sess (or nil extra) is always
+// valid and falls back to stateless solving.
+func (s *Solver) FeasibleWith(sess *Session, prefix []*expr.Expr, extra *expr.Expr) (bool, error) {
+	sat, _, err := s.checkQuery(sess, prefix, extra, false)
+	return sat, err
+}
+
+// ModelWith is Model for prefix-extension queries; see FeasibleWith.
+func (s *Solver) ModelWith(sess *Session, prefix []*expr.Expr, extra *expr.Expr) (expr.Env, bool, error) {
+	sat, model, err := s.checkQuery(sess, prefix, extra, true)
+	return model, sat, err
+}
+
 func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env, error) {
+	return s.checkQuery(nil, constraints, nil, needModel)
+}
+
+func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr, needModel bool) (bool, expr.Env, error) {
 	s.mu.Lock()
 	s.stats.Queries++
 	s.mu.Unlock()
 
 	// Constant-fold the constraint set.
-	active := make([]*expr.Expr, 0, len(constraints))
-	for _, c := range constraints {
+	n := len(prefix)
+	if extra != nil {
+		n++
+	}
+	active := make([]*expr.Expr, 0, n)
+	var foldErr error
+	// fold returns true when the query is already decided: either a
+	// malformed constraint (foldErr set) or a constant-false one (the
+	// whole conjunction is UNSAT).
+	fold := func(c *expr.Expr) bool {
 		if c.Width() != 1 {
-			return false, nil, fmt.Errorf("solver: constraint has width %d, want 1", c.Width())
+			foldErr = fmt.Errorf("solver: constraint has width %d, want 1", c.Width())
+			return true
 		}
 		if c.IsTrue() {
-			continue
+			return false
 		}
 		if c.IsFalse() {
-			return false, nil, nil
+			return true
 		}
 		active = append(active, c)
+		return false
+	}
+	for _, c := range prefix {
+		if fold(c) {
+			return false, nil, foldErr
+		}
+	}
+	if extra != nil && fold(extra) {
+		return false, nil, foldErr
 	}
 	if len(active) == 0 {
 		return true, expr.Env{}, nil
@@ -146,12 +202,25 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 	key, hashes := queryKey(active)
 
 	s.mu.Lock()
-	if ent, ok := s.cache[key]; ok && !s.opts.DisableCache && hashesEqual(ent.hashes, hashes) {
-		if !ent.sat || !needModel || ent.model != nil {
-			s.stats.CacheHits++
-			model := ent.model
-			s.mu.Unlock()
-			return ent.sat, model, nil
+	if !s.opts.DisableCache {
+		if ent, ok := s.cache[key]; ok && hashesEqual(ent.hashes, hashes) {
+			if !ent.sat || !needModel || ent.model != nil {
+				s.stats.CacheHits++
+				model := ent.model
+				s.mu.Unlock()
+				return ent.sat, model, nil
+			}
+		}
+		// Subsumption: a cached UNSAT subset of the query proves UNSAT, a
+		// cached SAT superset proves SAT (and donates its model).
+		if !s.opts.DisableSubsumption {
+			if ent, ok := s.subs.lookup(hashes, needModel); ok {
+				s.stats.SubsumptionHits++
+				s.cache[key] = cacheEntry{hashes: hashes, sat: ent.sat, model: ent.model}
+				model := ent.model
+				s.mu.Unlock()
+				return ent.sat, model, nil
+			}
 		}
 	}
 	// Counterexample reuse: a recent model satisfying all constraints
@@ -169,7 +238,7 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 			s.mu.Lock()
 			s.stats.SharedHits++
 			if !s.opts.DisableCache {
-				s.cache[key] = ent
+				s.remember(key, hashes, ent.sat, ent.model)
 			}
 			s.mu.Unlock()
 			return ent.sat, ent.model, nil
@@ -180,7 +249,7 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 		if satisfies(pool[i], active) {
 			s.mu.Lock()
 			s.stats.PoolHits++
-			s.cache[key] = cacheEntry{hashes: hashes, sat: true, model: pool[i]}
+			s.remember(key, hashes, true, pool[i])
 			s.mu.Unlock()
 			if sc := s.opts.SharedCache; sc != nil {
 				sc.store(key, hashes, true, pool[i])
@@ -198,8 +267,7 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 			}
 			if sat {
 				s.mu.Lock()
-				key2, hashes2 := key, hashes
-				s.cache[key2] = cacheEntry{hashes: hashes2, sat: true, model: model}
+				s.remember(key, hashes, true, model)
 				s.mu.Unlock()
 				if sc := s.opts.SharedCache; sc != nil {
 					sc.store(key, hashes, true, model)
@@ -209,14 +277,26 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 		}
 	}
 
-	sat, model, err := s.solveSAT(active)
+	var sat bool
+	var model expr.Env
+	var err error
+	if s.opts.DisableIncremental {
+		sat, model, err = s.solveSAT(active)
+	} else {
+		sat, model, err = s.solveIncremental(sess, prefix, extra, active)
+	}
 	if err != nil {
+		// Budget-exhausted verdicts are unknowns: they must never reach
+		// any cache (an unknown stored as UNSAT would be unsound).
 		return false, nil, err
 	}
 
 	s.mu.Lock()
 	s.stats.SATCalls++
-	s.cache[key] = cacheEntry{hashes: hashes, sat: sat, model: model}
+	if !s.opts.DisableIncremental {
+		s.stats.IncSolves++
+	}
+	s.remember(key, hashes, sat, model)
 	if sat {
 		s.pool = append(s.pool, model)
 		if len(s.pool) > s.poolCap {
@@ -230,26 +310,36 @@ func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env
 	return sat, model, nil
 }
 
-// solveSAT runs a full bit-blast + CDCL query.
+// remember records a decided query in the private caches. The caller must
+// hold s.mu, and must never pass a budget-exhausted (ErrBudget) verdict.
+func (s *Solver) remember(key uint64, hashes []uint64, sat bool, model expr.Env) {
+	s.cache[key] = cacheEntry{hashes: hashes, sat: sat, model: model}
+	if !s.opts.DisableSubsumption {
+		s.subs.store(key, hashes, sat, model)
+	}
+}
+
+// solveSAT runs a full bit-blast + CDCL query on a throwaway instance.
 func (s *Solver) solveSAT(constraints []*expr.Expr) (bool, expr.Env, error) {
 	sat := newSatSolver()
-	sat.maxConfl = s.MaxConflicts
+	sat.maxConfl = s.opts.MaxConflicts
 	bl := newBlaster(sat)
 	for _, c := range constraints {
 		lits := bl.encode(c)
 		if !bl.assertTrue(lits[0]) {
+			s.addRunStats(sat, bl)
 			return false, nil, nil
 		}
 	}
 	switch sat.solve() {
 	case valFalse:
-		s.addRunStats(sat)
+		s.addRunStats(sat, bl)
 		return false, nil, nil
 	case valUnassigned:
-		s.addRunStats(sat)
+		s.addRunStats(sat, bl)
 		return false, nil, ErrBudget
 	}
-	s.addRunStats(sat)
+	s.addRunStats(sat, bl)
 	model := make(expr.Env, len(bl.vars))
 	for v, lits := range bl.vars {
 		var val uint64
@@ -263,10 +353,11 @@ func (s *Solver) solveSAT(constraints []*expr.Expr) (bool, expr.Env, error) {
 	return true, model, nil
 }
 
-func (s *Solver) addRunStats(sat *satSolver) {
+func (s *Solver) addRunStats(sat *satSolver, bl *blaster) {
 	s.mu.Lock()
 	s.stats.Conflicts += sat.conflicts
 	s.stats.Decisions += sat.decisions
+	s.stats.Gates += bl.gates
 	s.mu.Unlock()
 }
 

@@ -1,0 +1,106 @@
+package solver
+
+import "sde/internal/expr"
+
+// subsumptionIndex is a KLEE CexCache-style verdict store that answers
+// queries by set reasoning over sorted, deduplicated constraint-hash
+// sets instead of exact key equality:
+//
+//   - a stored UNSAT entry that is a *subset* of the query proves UNSAT
+//     (adding constraints cannot make an unsatisfiable core satisfiable);
+//   - a stored SAT entry that is a *superset* of the query proves SAT,
+//     and its model — satisfying every constraint of the superset — is a
+//     valid model for the query too.
+//
+// Entries are reached through two inverted indexes so a lookup touches
+// only entries sharing a constraint with the query. The zero value is
+// ready to use; the Solver guards it with its own mutex.
+type subsumptionIndex struct {
+	entries []subsEntry
+	// unsatByMin indexes UNSAT entries under their smallest hash: a
+	// subset of the query necessarily has its minimum element among the
+	// query's hashes.
+	unsatByMin map[uint64][]int32
+	// satByHash indexes SAT entries under every member hash: a superset
+	// of the query necessarily contains the query's first (smallest)
+	// hash.
+	satByHash map[uint64][]int32
+	// seen dedupes entries by combined query key.
+	seen map[uint64]struct{}
+}
+
+type subsEntry struct {
+	hashes []uint64 // sorted, deduplicated constraint hashes
+	sat    bool
+	model  expr.Env // nil for UNSAT entries and model-less SAT verdicts
+}
+
+// lookup decides the query with hash set hs (sorted, deduplicated) by
+// subsumption. When needModel is set, SAT entries without a model are
+// skipped so the caller falls through to a model-producing layer.
+func (x *subsumptionIndex) lookup(hs []uint64, needModel bool) (subsEntry, bool) {
+	if len(x.entries) == 0 {
+		return subsEntry{}, false
+	}
+	// UNSAT subsets: every candidate's minimum hash is one of ours.
+	for _, h := range hs {
+		for _, idx := range x.unsatByMin[h] {
+			if isSubsetOf(x.entries[idx].hashes, hs) {
+				return x.entries[idx], true
+			}
+		}
+	}
+	// SAT supersets: every candidate contains our smallest hash.
+	for _, idx := range x.satByHash[hs[0]] {
+		ent := x.entries[idx]
+		if needModel && ent.model == nil {
+			continue
+		}
+		if isSubsetOf(hs, ent.hashes) {
+			return ent, true
+		}
+	}
+	return subsEntry{}, false
+}
+
+// store records a decided query. Budget-exhausted (ErrBudget) verdicts
+// must never reach here: an unknown stored as UNSAT would subsume — and
+// wrongly refute — every extension of the query.
+func (x *subsumptionIndex) store(key uint64, hs []uint64, sat bool, model expr.Env) {
+	if x.seen == nil {
+		x.unsatByMin = make(map[uint64][]int32)
+		x.satByHash = make(map[uint64][]int32)
+		x.seen = make(map[uint64]struct{})
+	}
+	if _, dup := x.seen[key]; dup {
+		return
+	}
+	x.seen[key] = struct{}{}
+	idx := int32(len(x.entries))
+	x.entries = append(x.entries, subsEntry{hashes: hs, sat: sat, model: model})
+	if sat {
+		for _, h := range hs {
+			x.satByHash[h] = append(x.satByHash[h], idx)
+		}
+	} else {
+		x.unsatByMin[hs[0]] = append(x.unsatByMin[hs[0]], idx)
+	}
+}
+
+// isSubsetOf reports a ⊆ b for sorted, deduplicated slices.
+func isSubsetOf(a, b []uint64) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j >= len(b) || b[j] != v {
+			return false
+		}
+		j++
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+package solver
+
+import "sde/internal/expr"
+
+// PrefixQuery is one step of a prefix-extension query stream: decide
+// Prefix ∧ Extra. When Take is set, Extra joins the path condition after
+// the query, so later entries' prefixes extend this one — exactly the
+// query stream a symbolic-execution branch loop emits.
+type PrefixQuery struct {
+	Prefix []*expr.Expr
+	Extra  *expr.Expr
+	Take   bool
+}
+
+// PrefixExtensionQueries builds the canonical exploration workload shared
+// by BenchmarkPrefixExtension and cmd/sde-bench -json: a path condition
+// grows one branch constraint at a time, and both branch directions are
+// queried at each step. Every step introduces a fresh multiplier circuit
+// over the shared symbolic words, so a from-scratch solver re-encodes
+// O(depth²) multipliers over the stream while a persistent blast context
+// encodes O(depth); the probe queries (the untaken directions) force real
+// CDCL search whose learned clauses only an incremental instance can
+// reuse.
+func PrefixExtensionQueries(eb *expr.Builder, depth int) []PrefixQuery {
+	const w = 12
+	x := eb.Var("x", w)
+	y := eb.Var("y", w)
+	var pc []*expr.Expr
+	out := make([]PrefixQuery, 0, 2*depth)
+	for i := 0; i < depth; i++ {
+		t := eb.Mul(eb.Add(x, eb.Const(uint64(i+1), w)), y)
+		bound := eb.Const(uint64(4000-13*i), w)
+		c := eb.Ult(t, bound)
+		out = append(out, PrefixQuery{Prefix: pc, Extra: eb.Not(c)})
+		out = append(out, PrefixQuery{Prefix: pc, Extra: c, Take: true})
+		pc = append(pc, c)
+	}
+	return out
+}

@@ -395,7 +395,7 @@ func (s *State) assert(in *isa.Instr, now uint64, h Hooks) error {
 		return nil
 	}
 	notCond := eb.Not(cond)
-	model, canFail, err := s.ctx.Solver.Model(append(append([]*expr.Expr{}, s.pathCond...), notCond))
+	model, canFail, err := s.ctx.Solver.ModelWith(s.sess, s.pathCond, notCond)
 	if err != nil {
 		s.Kill(err)
 		return err
@@ -432,7 +432,7 @@ func (s *State) feasibleWith(c *expr.Expr) (bool, error) {
 	if c.IsFalse() {
 		return false, nil
 	}
-	return s.ctx.Solver.Feasible(append(append([]*expr.Expr{}, s.pathCond...), c))
+	return s.ctx.Solver.FeasibleWith(s.sess, s.pathCond, c)
 }
 
 func (s *State) concreteAddr(base *expr.Expr, off uint32) (uint32, error) {

@@ -248,6 +248,11 @@ type State struct {
 	status   Status
 	runErr   error
 	pathCond []*expr.Expr
+	// sess pins the append-only pathCond to the solver's persistent
+	// incremental context, so each branch decision solves under cached
+	// assumption literals instead of re-encoding the whole prefix. Nil
+	// when incremental solving is disabled.
+	sess     *solver.Session
 	events   []*Event
 	eventSeq uint64
 
@@ -275,6 +280,7 @@ func NewState(ctx *Context, prog *isa.Program, node int) *State {
 		mem:    newMemory(),
 		status: StatusIdle,
 		fn:     -1,
+		sess:   ctx.Solver.NewSession(),
 	}
 	return s
 }
@@ -327,6 +333,7 @@ func (s *State) Fork() *State {
 		pc:       s.pc,
 		status:   s.status,
 		pathCond: append([]*expr.Expr(nil), s.pathCond...),
+		sess:     s.sess.Branch(),
 		eventSeq: s.eventSeq,
 		hist:     append([]HistEntry(nil), s.hist...),
 		trace:    append([]TraceEntry(nil), s.trace...),

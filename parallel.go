@@ -408,6 +408,12 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		sched.SharedLookups = st.Lookups
 		sched.SharedHits = st.Hits
 	}
+	for _, leaf := range sc.leaves {
+		st := leaf.report.res.SolverStats
+		sched.IncrementalSolves += st.IncSolves
+		sched.SubsumptionHits += st.SubsumptionHits
+		sched.EncodeSkips += st.EncodeSkips
+	}
 	return &ShardedReport{Shards: shards, Sched: sched}, nil
 }
 

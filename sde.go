@@ -35,6 +35,7 @@ import (
 	"sde/internal/expr"
 	"sde/internal/metrics"
 	"sde/internal/sim"
+	"sde/internal/solver"
 	"sde/internal/trace"
 	"sde/internal/vm"
 )
@@ -91,6 +92,16 @@ type Sample = metrics.Sample
 // See ShardedReport.Sched.
 type SchedStats = metrics.SchedStats
 
+// SolverOptions tunes a run's constraint solver: ablation switches for
+// each pipeline layer (caches, model pool, fast path, partitioning,
+// incremental solving, subsumption) and the CDCL conflict budget. The
+// zero value enables every optimisation.
+type SolverOptions = solver.Options
+
+// SolverStats is a snapshot of a run's constraint-solver activity
+// counters. See Report.SolverStats.
+type SolverStats = solver.Stats
+
 // Scenario is a fully specified SDE run. Build one with a constructor
 // (GridCollectScenario, FloodScenario, CustomScenario) and pass it to
 // RunScenario.
@@ -128,6 +139,14 @@ func (s Scenario) WithCaps(c Caps) Scenario {
 // WithSampling returns a copy sampling metrics every n events.
 func (s Scenario) WithSampling(n int) Scenario {
 	s.cfg.SampleEvery = n
+	return s
+}
+
+// WithSolverOptions returns a copy of the scenario whose engine solver
+// uses the given tuning — the hook ablation sweeps use to quantify each
+// solver-pipeline layer's contribution.
+func (s Scenario) WithSolverOptions(o SolverOptions) Scenario {
+	s.cfg.Solver = o
 	return s
 }
 
@@ -188,6 +207,10 @@ func (r *Report) Violations() []*Violation { return r.res.Violations }
 
 // Samples returns the metrics time series (state and memory growth).
 func (r *Report) Samples() []Sample { return r.res.Series.Samples() }
+
+// SolverStats returns the run's constraint-solver activity counters
+// (queries, cache and subsumption hits, incremental solves, conflicts).
+func (r *Report) SolverStats() SolverStats { return r.res.SolverStats }
 
 // TestCases explodes up to limit dscenarios (limit <= 0 = all) and solves
 // one concrete test case per dscenario (§IV-C).
