@@ -26,6 +26,11 @@
 //
 //	sde-bench -json                           # writes BENCH_solver.json
 //	sde-bench -json -out results.json -depth 32 -reps 5
+//
+// Long sweeps can be made durable with -checkpoint DIR: every run (and,
+// in -sharded mode, every shard of the adaptive schedule) snapshots its
+// frontier into its own subdirectory, and re-invoking the same command
+// resumes each one from its last snapshot instead of starting over.
 package main
 
 import (
@@ -63,6 +68,7 @@ func run() error {
 	jsonOut := flag.String("out", "BENCH_solver.json", "output path for -json")
 	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
 	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory: make runs durable and resume interrupted ones")
 	flag.Parse()
 
 	// Batch tool: trade GC frequency for throughput on large state sets.
@@ -81,7 +87,7 @@ func run() error {
 	}
 	if *sharded {
 		return runSharded(dims[0], uint32(*packets), *workers, *shardBits,
-			*splitBits, *splitThreshold, *sharedCache, *wallCap)
+			*splitBits, *splitThreshold, *sharedCache, *wallCap, *checkpoint)
 	}
 	if *table1 {
 		dims = []int{10}
@@ -92,6 +98,7 @@ func run() error {
 		if *packets > 0 {
 			opts.Packets = uint32(*packets)
 		}
+		opts.CheckpointDir = *checkpoint
 		for algo, caps := range opts.Caps {
 			caps.MaxWall = *wallCap
 			opts.Caps[algo] = caps
@@ -119,7 +126,7 @@ func run() error {
 // runSharded compares an unsharded run, a static uniform pre-split, and
 // the adaptive work-stealing scheduler on the same grid scenario at the
 // same worker count.
-func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThreshold int, sharedCache bool, wallCap time.Duration) error {
+func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThreshold int, sharedCache bool, wallCap time.Duration, checkpoint string) error {
 	opts := sde.DefaultEvalOptions(dim)
 	if packets > 0 {
 		opts.Packets = packets
@@ -180,6 +187,7 @@ func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThr
 		MaxSplitBits:      splitBits,
 		SplitThreshold:    splitThreshold,
 		SharedSolverCache: sharedCache,
+		CheckpointDir:     checkpoint,
 	})
 	if err != nil {
 		return err

@@ -7,6 +7,10 @@
 //	sde-run -topo grid:5 -algo sds -packets 3 -drops route
 //	sde-run -topo line:4 -algo cow -failures dup:0 -testcases 8
 //	sde-run -topo mesh:4 -app flood -algo sds
+//
+// Long runs can be made durable with -checkpoint DIR (periodic frontier
+// snapshots plus a progress journal) and continued after a crash with
+// -resume DIR; a resumed run is bit-identical to an uninterrupted one.
 package main
 
 import (
@@ -41,6 +45,8 @@ func run() error {
 	replay := flag.Bool("replay", false, "replay each violation's witness and report reproduction")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	analysis := flag.Bool("analysis", false, "print the state-population analysis block")
+	checkpoint := flag.String("checkpoint", "", "write periodic durable checkpoints into this directory")
+	resume := flag.String("resume", "", "resume from the checkpoint in this directory (or start fresh into it)")
 	flag.Parse()
 
 	debug.SetGCPercent(600)
@@ -56,15 +62,29 @@ func run() error {
 	if *maxStates > 0 {
 		scenario = scenario.WithCaps(sde.Caps{MaxStates: *maxStates})
 	}
+	if *checkpoint != "" && *resume != "" {
+		return fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume already checkpoints)")
+	}
 	if !*jsonOut {
 		fmt.Println("Scenario:", scenario.Description())
 	}
-	report, err := sde.RunScenario(scenario)
+	var report *sde.Report
+	switch {
+	case *resume != "":
+		report, err = sde.Resume(scenario, *resume)
+	case *checkpoint != "":
+		report, err = sde.Checkpoint(scenario, *checkpoint)
+	default:
+		report, err = sde.RunScenario(scenario)
+	}
 	if err != nil {
 		return err
 	}
 	if *jsonOut {
 		return report.WriteJSON(os.Stdout, *testcases)
+	}
+	if report.Resumed() {
+		fmt.Println("resumed from checkpoint:", *resume)
 	}
 	fmt.Println(report.Summary())
 	if *analysis {

@@ -3,6 +3,7 @@ package sde
 import (
 	"fmt"
 	"math/big"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -40,6 +41,11 @@ type EvalOptions struct {
 	SampleEvery int
 	// Algorithms to run (default all three, in the paper's order).
 	Algorithms []Algorithm
+	// CheckpointDir, when non-empty, makes the sweep durable: each run
+	// checkpoints into its own subdirectory (grid<dim>-<algo>) and a
+	// rerun resumes finished or interrupted runs instead of repeating
+	// them.
+	CheckpointDir string
 }
 
 // DefaultEvalOptions returns the calibrated evaluation configuration for
@@ -104,7 +110,13 @@ func RunGridEvaluation(dim int, opts EvalOptions) ([]EvalRow, error) {
 			return nil, err
 		}
 		scenario = scenario.WithSampling(opts.SampleEvery)
-		report, err := RunScenario(scenario)
+		var report *Report
+		if opts.CheckpointDir != "" {
+			dir := filepath.Join(opts.CheckpointDir, fmt.Sprintf("grid%d-%s", dim, algo))
+			report, err = Resume(scenario, dir)
+		} else {
+			report, err = RunScenario(scenario)
+		}
 		if err != nil {
 			return nil, err
 		}

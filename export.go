@@ -2,6 +2,7 @@ package sde
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"time"
 
@@ -91,4 +92,25 @@ func (r *Report) WriteJSON(w io.Writer, maxTestCases int) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(obj)
+}
+
+// WriteCSV streams the run's metrics time series (the Figure 10 data) to
+// w as CSV. Unlike metrics.Series.CSV — which builds a string and leaves
+// writing, and hence write-error handling, to the caller — every write
+// here is checked, so exporters piping into files see short writes as
+// errors instead of silently truncated series.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries\n"); err != nil {
+		return err
+	}
+	for _, sm := range r.res.Series.Samples() {
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d\n",
+			float64(sm.Wall.Microseconds())/1000.0,
+			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes,
+			sm.Instructions, sm.SolverQueries); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,120 @@
+package expr
+
+import "fmt"
+
+// LookupVar returns the variable registered under name without creating
+// it, so callers can probe a builder's symbol table non-destructively.
+func (b *Builder) LookupVar(name string) (*Expr, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v, ok := b.vars[name]
+	return v, ok
+}
+
+// KindArity returns the operand count of a node kind, and whether the
+// kind is a valid expression kind at all. Variables report arity 0.
+func KindArity(k Kind) (int, bool) {
+	switch k {
+	case KindConst, KindVar:
+		return 0, true
+	case KindNot, KindZExt, KindSExt, KindTrunc:
+		return 1, true
+	case KindAdd, KindSub, KindMul, KindUDiv, KindURem,
+		KindAnd, KindOr, KindXor, KindShl, KindLShr, KindAShr,
+		KindEq, KindUlt, KindUle, KindSlt, KindSle:
+		return 2, true
+	case KindIte:
+		return 3, true
+	}
+	return 0, false
+}
+
+// RawNode interns a node exactly as given, bypassing the constructor
+// simplifications. It exists for deserializers restoring a DAG whose
+// nodes were produced by this package's own constructors and are
+// therefore already in canonical form; re-interning them structurally
+// reproduces identical hashes, so expressions built after the restore
+// canonicalize exactly as they would have in the original process.
+//
+// Unlike the constructors it validates instead of panicking, because its
+// input is untrusted bytes: unknown kinds, variable nodes (use Var),
+// wrong arity, and width-rule breaches all return errors. val is only
+// meaningful for KindConst and must be zero otherwise.
+func (b *Builder) RawNode(kind Kind, width int, val uint64, args ...*Expr) (*Expr, error) {
+	if width < 1 || width > 64 {
+		return nil, fmt.Errorf("expr: raw node width %d outside [1,64]", width)
+	}
+	w := uint8(width)
+	arity, ok := KindArity(kind)
+	if !ok {
+		return nil, fmt.Errorf("expr: raw node of unknown kind %d", kind)
+	}
+	if kind == KindVar {
+		return nil, fmt.Errorf("expr: raw variable node (use Var)")
+	}
+	if len(args) != arity {
+		return nil, fmt.Errorf("expr: raw node kind %d wants %d operands, got %d", kind, arity, len(args))
+	}
+	for i, a := range args {
+		if a == nil {
+			return nil, fmt.Errorf("expr: raw node kind %d has nil operand %d", kind, i)
+		}
+	}
+	if kind != KindConst && val != 0 {
+		return nil, fmt.Errorf("expr: raw node kind %d carries a constant value", kind)
+	}
+	switch kind {
+	case KindConst:
+		if val&mask(w) != val {
+			return nil, fmt.Errorf("expr: raw const %#x exceeds width %d", val, width)
+		}
+	case KindAdd, KindSub, KindMul, KindUDiv, KindURem,
+		KindAnd, KindOr, KindXor, KindShl, KindLShr, KindAShr:
+		if args[0].width != w || args[1].width != w {
+			return nil, fmt.Errorf("expr: raw node kind %d operand widths %d,%d != %d",
+				kind, args[0].width, args[1].width, width)
+		}
+	case KindEq, KindUlt, KindUle, KindSlt, KindSle:
+		if w != 1 {
+			return nil, fmt.Errorf("expr: raw comparison of width %d", width)
+		}
+		if args[0].width != args[1].width {
+			return nil, fmt.Errorf("expr: raw comparison of widths %d vs %d",
+				args[0].width, args[1].width)
+		}
+	case KindNot:
+		if args[0].width != w {
+			return nil, fmt.Errorf("expr: raw not of width %d on operand width %d", width, args[0].width)
+		}
+	case KindIte:
+		if args[0].width != 1 {
+			return nil, fmt.Errorf("expr: raw ite condition width %d", args[0].width)
+		}
+		if args[1].width != w || args[2].width != w {
+			return nil, fmt.Errorf("expr: raw ite arm widths %d,%d != %d",
+				args[1].width, args[2].width, width)
+		}
+	case KindZExt, KindSExt:
+		if int(args[0].width) >= width {
+			return nil, fmt.Errorf("expr: raw extension from width %d to %d", args[0].width, width)
+		}
+	case KindTrunc:
+		if int(args[0].width) <= width {
+			return nil, fmt.Errorf("expr: raw truncation from width %d to %d", args[0].width, width)
+		}
+	}
+	k := exprKey{kind: kind, width: w}
+	if kind == KindConst {
+		k.val = val
+	}
+	if arity > 0 {
+		k.a = args[0]
+	}
+	if arity > 1 {
+		k.b = args[1]
+	}
+	if arity > 2 {
+		k.c = args[2]
+	}
+	return b.intern(k), nil
+}

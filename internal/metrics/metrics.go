@@ -31,6 +31,12 @@ type Series struct {
 // Add appends a sample.
 func (s *Series) Add(sm Sample) { s.samples = append(s.samples, sm) }
 
+// Restore replaces the series with samples recovered from a checkpoint,
+// so a resumed run's series continues where the interrupted one stopped.
+func (s *Series) Restore(samples []Sample) {
+	s.samples = append([]Sample(nil), samples...)
+}
+
 // Samples returns the recorded samples (shared slice; do not modify).
 func (s *Series) Samples() []Sample { return s.samples }
 
@@ -104,6 +110,7 @@ type SchedStats struct {
 	Shards  int // leaf shards that ran to completion
 	Steals  int // work items executed by a worker other than their creator
 	Splits  int // straggling shards subdivided in place
+	Resumed int // work items restored from durable checkpoints
 
 	SharedLookups int64 // cross-shard solver cache lookups
 	SharedHits    int64 // lookups answered from the cross-shard cache

@@ -1,0 +1,139 @@
+// Engine checkpoint/resume: Snapshot flattens the full exploration
+// frontier between Steps; ResumeEngine rebuilds a live engine from a
+// decoded snapshot so the resumed run is bit-identical to an
+// uninterrupted one (same state ids, same mapper structure, same future
+// forks). Solver state is deliberately absent from snapshots — each
+// restored state's session is re-warmed from its path condition.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sde/internal/core"
+	"sde/internal/metrics"
+	"sde/internal/snap"
+	"sde/internal/vm"
+)
+
+// Snapshot flattens the engine's current frontier. It must be called
+// between Steps: every state is then at an event boundary (idle, halted,
+// or dead), the only point where a state image is well-defined.
+func (e *Engine) Snapshot() (*snap.Snapshot, error) {
+	if len(e.runnable) != 0 {
+		return nil, fmt.Errorf("sim: snapshot mid-event (%d runnable states)", len(e.runnable))
+	}
+	pt := vm.NewPageTable()
+	images := make([]vm.StateImage, 0, len(e.states))
+	for _, s := range e.states {
+		if s.Status() == vm.StatusRunning {
+			return nil, fmt.Errorf("sim: snapshot with running state %d", s.ID())
+		}
+		images = append(images, s.Image(pt))
+	}
+	mapper, err := core.SnapshotMapper[*vm.State](e.mapper)
+	if err != nil {
+		return nil, err
+	}
+	return &snap.Snapshot{
+		Algorithm:    e.cfg.Algorithm,
+		K:            e.cfg.Topo.K(),
+		Topology:     e.cfg.Topo.Name(),
+		Clock:        e.clock,
+		Events:       e.events,
+		PeakStates:   e.peakStates,
+		PeakMem:      e.peakMem,
+		PriorWall:    e.priorWall + time.Since(e.started),
+		NextStateID:  e.ctx.StateIDSeq(),
+		Instructions: e.ctx.Instructions(),
+		Forks:        e.ctx.Forks(),
+		States:       images,
+		Pages:        pt.Pages(),
+		Mapper:       mapper,
+		Samples:      append([]metrics.Sample(nil), e.series.Samples()...),
+		Violations:   append([]*vm.Violation(nil), e.violations...),
+	}, nil
+}
+
+// writeCheckpoint snapshots the frontier and writes it durably into
+// cfg.CheckpointDir, updating the checkpoint watermark on success.
+func (e *Engine) writeCheckpoint() error {
+	sp, err := e.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := snap.Save(e.cfg.CheckpointDir, sp, e.ctx.Exprs); err != nil {
+		return err
+	}
+	e.lastCkpt = e.events
+	return nil
+}
+
+// ResumeEngine rebuilds an engine from an encoded checkpoint. The config
+// must describe the same scenario (program, topology, algorithm, failure
+// plan) as the interrupted run; caps, checkpoint settings, and solver
+// tuning may differ. Decoding interns the snapshot's expressions into a
+// fresh builder whose variable ids match the interrupted run's, so every
+// hash, fingerprint, and future canonicalisation is reproduced exactly.
+func ResumeEngine(cfg Config, data []byte) (*Engine, error) {
+	e, err := newEngineShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = e.cfg // with defaults applied
+	sp, err := snap.Decode(data, e.ctx.Exprs)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Algorithm != cfg.Algorithm {
+		return nil, fmt.Errorf("sim: checkpoint is a %v run, config says %v", sp.Algorithm, cfg.Algorithm)
+	}
+	if sp.Topology != cfg.Topo.Name() || sp.K != cfg.Topo.K() {
+		return nil, fmt.Errorf("sim: checkpoint topology %s (k=%d) does not match config %s (k=%d)",
+			sp.Topology, sp.K, cfg.Topo.Name(), cfg.Topo.K())
+	}
+	// Counters first: restored sessions and future forks must draw ids
+	// after every id the snapshot already handed out.
+	e.ctx.RestoreCounters(sp.NextStateID, sp.Instructions, sp.Forks)
+	states, err := vm.RestoreStates(e.ctx, cfg.Prog, sp.States, sp.Pages)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[uint64]*vm.State, len(states))
+	for _, s := range states {
+		if _, dup := byID[s.ID()]; dup {
+			return nil, fmt.Errorf("sim: checkpoint contains state id %d twice", s.ID())
+		}
+		// Ids are handed out with Add(1), so the counter equals the
+		// highest id already assigned.
+		if s.ID() > sp.NextStateID {
+			return nil, fmt.Errorf("sim: checkpoint state id %d beyond counter %d", s.ID(), sp.NextStateID)
+		}
+		byID[s.ID()] = s
+	}
+	mapper, err := core.RestoreMapper[*vm.State](sp.Mapper, func(id uint64) (*vm.State, bool) {
+		s, ok := byID[id]
+		return s, ok
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mapper = mapper
+	e.states = states
+	e.clock = sp.Clock
+	e.events = sp.Events
+	e.lastCkpt = sp.Events
+	e.peakStates = sp.PeakStates
+	if len(states) > e.peakStates {
+		e.peakStates = len(states)
+	}
+	e.peakMem = sp.PeakMem
+	e.priorWall = sp.PriorWall
+	e.violations = append([]*vm.Violation(nil), sp.Violations...)
+	e.series.Restore(sp.Samples)
+	e.resumed = true
+	for _, s := range states {
+		e.scheduleHeap(s)
+	}
+	return e, nil
+}

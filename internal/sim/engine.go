@@ -125,6 +125,17 @@ type Config struct {
 	// conflict budget). The zero value enables every optimisation. A
 	// non-nil SharedSolverCache overrides Solver.SharedCache.
 	Solver solver.Options
+
+	// CheckpointDir, when non-empty, makes the run durable: a snapshot of
+	// the full exploration frontier is written there (atomic
+	// write-rename, plus an append-only journal line) every
+	// CheckpointEvery processed events and once more on completion. A
+	// crashed run restarts from the last snapshot via ResumeEngine.
+	CheckpointDir string
+
+	// CheckpointEvery is the checkpoint interval in processed events
+	// (default 256). Only meaningful with CheckpointDir.
+	CheckpointEvery int
 }
 
 // Result summarises a finished (or aborted) run.
@@ -137,6 +148,10 @@ type Result struct {
 	// result covers only the explored prefix and its consumer (the shard
 	// scheduler) is expected to discard it and re-partition.
 	Stopped bool
+	// Resumed reports that the run continued from a durable checkpoint
+	// rather than starting fresh. Wall includes the time the interrupted
+	// run(s) already spent.
+	Resumed bool
 
 	Wall         time.Duration
 	VirtualTime  uint64
@@ -181,6 +196,9 @@ type Engine struct {
 	violations []*vm.Violation
 	series     metrics.Series
 	started    time.Time
+	priorWall  time.Duration // wall time spent before a resume
+	lastCkpt   uint64        // events count at the last written checkpoint
+	resumed    bool
 
 	bootFn, recvFn int
 	aborted        bool
@@ -189,6 +207,10 @@ type Engine struct {
 	finished       bool
 	err            error
 }
+
+// defaultCheckpointEvery is the checkpoint interval (in processed events)
+// when CheckpointDir is set but CheckpointEvery is not.
+const defaultCheckpointEvery = 256
 
 // progressPollEvents is how often (in processed events) Step consults
 // the Progress hook. Events are coarse units of work — a single event
@@ -224,9 +246,11 @@ func (h *entryHeap) Pop() any {
 	return it
 }
 
-// NewEngine validates the configuration and builds the initial k node
-// states (node i runs cfg.Prog with a boot event at time 0).
-func NewEngine(cfg Config) (*Engine, error) {
+// newEngineShell validates the configuration, applies defaults, and
+// builds an engine without any states or mapper — the part of engine
+// construction shared by NewEngine (fresh run) and ResumeEngine
+// (checkpoint restore).
+func newEngineShell(cfg Config) (*Engine, error) {
 	if cfg.Topo == nil {
 		return nil, errors.New("sim: config needs a topology")
 	}
@@ -248,6 +272,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.SampleEvery == 0 {
 		cfg.SampleEvery = 64
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = defaultCheckpointEvery
+	}
 	bootFn := cfg.Prog.FuncIndex(cfg.BootFn)
 	if bootFn < 0 {
 		return nil, fmt.Errorf("sim: program lacks boot function %q", cfg.BootFn)
@@ -260,25 +287,36 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	ctx := vm.NewContextWithSolver(sopts)
 	ctx.Replay = cfg.Replay
-	mapper, err := core.New[*vm.State](cfg.Algorithm, cfg.Topo.K())
-	if err != nil {
-		return nil, err
-	}
-	e := &Engine{
+	return &Engine{
 		cfg:      cfg,
 		ctx:      ctx,
-		mapper:   mapper,
 		entrySeq: make(map[*vm.State]uint64),
 		bootFn:   bootFn,
 		recvFn:   recvFn,
 		started:  time.Now(),
+	}, nil
+}
+
+// NewEngine validates the configuration and builds the initial k node
+// states (node i runs cfg.Prog with a boot event at time 0).
+func NewEngine(cfg Config) (*Engine, error) {
+	e, err := newEngineShell(cfg)
+	if err != nil {
+		return nil, err
 	}
+	cfg = e.cfg // with defaults applied
+	ctx := e.ctx
+	mapper, err := core.New[*vm.State](cfg.Algorithm, cfg.Topo.K())
+	if err != nil {
+		return nil, err
+	}
+	e.mapper = mapper
 	for node := 0; node < cfg.Topo.K(); node++ {
 		s := vm.NewState(ctx, cfg.Prog, node)
 		if cfg.NodeInit != nil {
 			cfg.NodeInit(node, s, ctx.Exprs)
 		}
-		s.PushEvent(vm.Event{Time: 0, Kind: vm.EventBoot, Fn: bootFn})
+		s.PushEvent(vm.Event{Time: 0, Kind: vm.EventBoot, Fn: e.bootFn})
 		e.states = append(e.states, s)
 		mapper.Register(s)
 		e.scheduleHeap(s)
@@ -368,6 +406,14 @@ func (e *Engine) Step() bool {
 		if e.cfg.SampleEvery > 0 && e.events%uint64(e.cfg.SampleEvery) == 0 {
 			e.sample()
 		}
+		if e.err == nil && e.cfg.CheckpointDir != "" && e.events != e.lastCkpt &&
+			e.events%uint64(e.cfg.CheckpointEvery) == 0 {
+			// Between Steps every state is at an event boundary (idle,
+			// halted, or dead) — the only sound checkpoint point.
+			if cerr := e.writeCheckpoint(); cerr != nil {
+				e.err = fmt.Errorf("sim: checkpoint: %w", cerr)
+			}
+		}
 		return e.err == nil && !e.aborted
 	}
 }
@@ -378,6 +424,13 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	if e.err != nil {
 		return nil, e.err
+	}
+	// A final checkpoint makes completed runs durable too: resuming a
+	// finished run replays zero events and reports the same result.
+	if e.cfg.CheckpointDir != "" && e.events != e.lastCkpt {
+		if err := e.writeCheckpoint(); err != nil {
+			return nil, fmt.Errorf("sim: checkpoint: %w", err)
+		}
 	}
 	return e.Finish(), nil
 }
@@ -393,7 +446,8 @@ func (e *Engine) Finish() *Result {
 		Aborted:      e.aborted,
 		AbortReason:  e.abortReason,
 		Stopped:      e.stopped,
-		Wall:         time.Since(e.started),
+		Resumed:      e.resumed,
+		Wall:         e.priorWall + time.Since(e.started),
 		VirtualTime:  e.clock,
 		Instructions: e.ctx.Instructions(),
 		Events:       e.events,
@@ -428,7 +482,7 @@ func (e *Engine) capExceeded() string {
 	if c.MaxInstructions > 0 && e.ctx.Instructions() > c.MaxInstructions {
 		return fmt.Sprintf("instruction cap exceeded (%d)", e.ctx.Instructions())
 	}
-	if c.MaxWall > 0 && time.Since(e.started) > c.MaxWall {
+	if c.MaxWall > 0 && e.priorWall+time.Since(e.started) > c.MaxWall {
 		return fmt.Sprintf("wall-time cap exceeded (%v)", c.MaxWall)
 	}
 	// The memory cap is checked on sampling ticks (see sample), since
@@ -692,7 +746,7 @@ func (e *Engine) sample() {
 		e.peakMem = mem
 	}
 	e.series.Add(metrics.Sample{
-		Wall:          time.Since(e.started),
+		Wall:          e.priorWall + time.Since(e.started),
 		VirtualTime:   e.clock,
 		States:        e.mapper.NumStates(),
 		Groups:        e.mapper.NumGroups(),

@@ -1,0 +1,42 @@
+package solver
+
+import "sde/internal/expr"
+
+// WarmSession syncs a freshly created session onto the persistent
+// incremental instance, encoding the given path-condition prefix so later
+// prefix-extension queries find their assumption literals cached.
+//
+// This is the resume half of the checkpoint subsystem's deliberate
+// trade-off: solver state (SAT instance, blast memo, caches) is never
+// serialized, because it is derived data — re-warming each restored
+// state's session rebuilds it from the path conditions alone. The cost is
+// recorded in Stats (RewarmSessions, RewarmEncodes) so the trade-off
+// stays visible in benchmark output.
+//
+// A nil session (incremental solving disabled) is a no-op.
+func (s *Solver) WarmSession(sess *Session, prefix []*expr.Expr) {
+	if sess == nil || s.opts.DisableIncremental {
+		return
+	}
+	s.incMu.Lock()
+	if s.inc == nil {
+		sat := newSatSolver()
+		s.inc = &incContext{sat: sat, bl: newBlaster(sat)}
+	}
+	ic := s.inc
+	// Encoding must happen at decision level 0 so gate clauses become
+	// permanent facts (same discipline as solveIncremental).
+	ic.sat.backtrackTo(0)
+	reused, skips := sess.sync(ic, prefix)
+	gates := ic.bl.gates - ic.gatesSeen
+	ic.gatesSeen = ic.bl.gates
+	s.incMu.Unlock()
+
+	s.mu.Lock()
+	s.stats.RewarmSessions++
+	s.stats.RewarmEncodes += int64(len(prefix)) - reused
+	s.stats.AssumeReuses += reused
+	s.stats.EncodeSkips += skips
+	s.stats.Gates += gates
+	s.mu.Unlock()
+}

@@ -31,6 +31,8 @@ type Stats struct {
 	EncodeSkips     int64 // constraint encodes served by the persistent blast memo
 	Gates           int64 // Tseitin gate variables allocated across all runs
 	LearnedRetained int64 // learned clauses alive in the persistent instance (gauge)
+	RewarmSessions  int64 // sessions re-synced after a checkpoint resume
+	RewarmEncodes   int64 // constraints re-encoded during those re-warms
 }
 
 type cacheEntry struct {

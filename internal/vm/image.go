@@ -1,0 +1,270 @@
+// State images: a plain-data, exported mirror of the VM state used by the
+// checkpoint subsystem. Image flattens a State (and deduplicates its COW
+// memory pages through a PageTable); RestoreStates rebuilds live states —
+// with the original ids, shared pages, and re-warmed solver sessions —
+// from images that have already survived a round-trip through untrusted
+// bytes, so every structural assumption is validated rather than assumed.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sde/internal/expr"
+	"sde/internal/isa"
+)
+
+// PageWords is the number of machine words in one memory page.
+const PageWords = pageWords
+
+// PageTable deduplicates memory pages across the states of one snapshot.
+// Shared pages (the COW fork case) are interned once, keyed by their
+// process-global identity but numbered densely in first-reference order —
+// a stable numbering that survives encode→decode→encode byte-identically,
+// which raw page ids (fresh per process) would not.
+type PageTable struct {
+	index map[uint64]int // page identity -> dense index
+	words [][]*expr.Expr
+}
+
+// NewPageTable returns an empty page table.
+func NewPageTable() *PageTable {
+	return &PageTable{index: make(map[uint64]int)}
+}
+
+// Pages returns the interned pages in dense index order. Each page is a
+// PageWords-long slice with nil entries for unwritten (zero) words.
+func (t *PageTable) Pages() [][]*expr.Expr { return t.words }
+
+func (t *PageTable) intern(p *page) int {
+	if i, ok := t.index[p.id]; ok {
+		return i
+	}
+	i := len(t.words)
+	t.index[p.id] = i
+	t.words = append(t.words, append([]*expr.Expr(nil), p.words[:]...))
+	return i
+}
+
+// PageRef attaches one interned page to a state's address space.
+type PageRef struct {
+	MemIndex uint32 // page number within the state's address space
+	Page     int    // dense index into the snapshot's page table
+}
+
+// FrameImage is one saved return address.
+type FrameImage struct {
+	Fn, PC int
+}
+
+// EventImage is a pending event without its queue-internal sequence
+// number; restored events are renumbered 0..n-1 in queue order, which
+// preserves the only property the engine relies on (relative order among
+// same-time events) and is invisible to fingerprints.
+type EventImage struct {
+	Time uint64
+	Kind EventKind
+	Fn   int
+	Arg  *expr.Expr // nilable
+	Src  uint32
+	Data []*expr.Expr
+}
+
+// StateImage is the flattened form of a State.
+type StateImage struct {
+	ID   uint64
+	Node int
+
+	Regs   []*expr.Expr // always isa.NumRegs entries; nil = never written
+	Frames []FrameImage
+	Fn, PC int
+
+	Status Status
+	HasErr bool
+	ErrMsg string
+
+	PathCond []*expr.Expr
+	Events   []EventImage
+
+	Hist  []HistEntry
+	Trace []TraceEntry
+
+	SendSeq, RecvSeq, SymSeq uint32
+	Steps                    uint64
+
+	Pages []PageRef // sorted by MemIndex
+}
+
+// Image flattens the state, interning its memory pages into t.
+func (s *State) Image(t *PageTable) StateImage {
+	img := StateImage{
+		ID:       s.id,
+		Node:     s.node,
+		Regs:     append([]*expr.Expr(nil), s.regs[:]...),
+		Fn:       s.fn,
+		PC:       s.pc,
+		Status:   s.status,
+		PathCond: append([]*expr.Expr(nil), s.pathCond...),
+		Hist:     append([]HistEntry(nil), s.hist...),
+		Trace:    append([]TraceEntry(nil), s.trace...),
+		SendSeq:  s.sendSeq,
+		RecvSeq:  s.recvSeq,
+		SymSeq:   s.symSeq,
+		Steps:    s.steps,
+	}
+	if s.runErr != nil {
+		img.HasErr = true
+		img.ErrMsg = s.runErr.Error()
+	}
+	for _, fr := range s.frames {
+		img.Frames = append(img.Frames, FrameImage{Fn: fr.fn, PC: fr.pc})
+	}
+	for _, ev := range s.events {
+		img.Events = append(img.Events, EventImage{
+			Time: ev.Time,
+			Kind: ev.Kind,
+			Fn:   ev.Fn,
+			Arg:  ev.Arg,
+			Src:  ev.Src,
+			Data: append([]*expr.Expr(nil), ev.Data...),
+		})
+	}
+	idxs := make([]uint32, 0, len(s.mem.pages))
+	for idx := range s.mem.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		img.Pages = append(img.Pages, PageRef{MemIndex: idx, Page: t.intern(s.mem.pages[idx])})
+	}
+	return img
+}
+
+// RestoreStates rebuilds live states from images and the snapshot's page
+// table, preserving state ids and re-sharing pages referenced by several
+// states (with fresh process-local page identities, which fingerprints and
+// memory accounting are insensitive to). Each restored state gets a fresh
+// solver session re-warmed on its path condition — solver state is
+// deliberately never serialized.
+func RestoreStates(ctx *Context, prog *isa.Program, images []StateImage, pages [][]*expr.Expr) ([]*State, error) {
+	for i, pw := range pages {
+		if len(pw) != PageWords {
+			return nil, fmt.Errorf("vm: restored page %d has %d words, want %d", i, len(pw), PageWords)
+		}
+	}
+	shared := make([]*page, len(pages))
+	out := make([]*State, 0, len(images))
+	for i := range images {
+		img := &images[i]
+		s, err := restoreState(ctx, prog, img, pages, shared)
+		if err != nil {
+			return nil, fmt.Errorf("vm: restore state %d: %w", img.ID, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func restoreState(ctx *Context, prog *isa.Program, img *StateImage, pages [][]*expr.Expr, shared []*page) (*State, error) {
+	if img.Node < 0 {
+		return nil, fmt.Errorf("negative node id %d", img.Node)
+	}
+	if len(img.Regs) != isa.NumRegs {
+		return nil, fmt.Errorf("%d registers, want %d", len(img.Regs), isa.NumRegs)
+	}
+	switch img.Status {
+	case StatusIdle, StatusHalted, StatusDead:
+	default:
+		// StatusRunning is transient within Engine.Step and never a
+		// legal checkpoint boundary.
+		return nil, fmt.Errorf("status %d not restorable", img.Status)
+	}
+	if img.Fn < -1 || img.Fn >= prog.NumFuncs() {
+		return nil, fmt.Errorf("function %d outside program", img.Fn)
+	}
+	s := &State{
+		ctx:      ctx,
+		prog:     prog,
+		id:       img.ID,
+		node:     img.Node,
+		mem:      newMemory(),
+		fn:       img.Fn,
+		pc:       img.PC,
+		status:   img.Status,
+		pathCond: append([]*expr.Expr(nil), img.PathCond...),
+		hist:     append([]HistEntry(nil), img.Hist...),
+		trace:    append([]TraceEntry(nil), img.Trace...),
+		sendSeq:  img.SendSeq,
+		recvSeq:  img.RecvSeq,
+		symSeq:   img.SymSeq,
+		steps:    img.Steps,
+	}
+	copy(s.regs[:], img.Regs)
+	if img.HasErr {
+		s.runErr = errors.New(img.ErrMsg)
+	}
+	for _, fr := range img.Frames {
+		if fr.Fn < 0 || fr.Fn >= prog.NumFuncs() || fr.PC < 0 {
+			return nil, fmt.Errorf("frame (%d,%d) outside program", fr.Fn, fr.PC)
+		}
+		s.frames = append(s.frames, frame{fn: fr.Fn, pc: fr.PC})
+	}
+	var prevTime uint64
+	for i, ev := range img.Events {
+		if ev.Kind < EventBoot || ev.Kind > EventRecv {
+			return nil, fmt.Errorf("event %d has kind %d", i, ev.Kind)
+		}
+		if ev.Fn < -1 || ev.Fn >= prog.NumFuncs() {
+			return nil, fmt.Errorf("event %d targets function %d", i, ev.Fn)
+		}
+		if ev.Time < prevTime {
+			return nil, fmt.Errorf("event %d out of time order", i)
+		}
+		prevTime = ev.Time
+		s.events = append(s.events, &Event{
+			Time: ev.Time,
+			Kind: ev.Kind,
+			Fn:   ev.Fn,
+			Arg:  ev.Arg,
+			Src:  ev.Src,
+			Data: append([]*expr.Expr(nil), ev.Data...),
+			seq:  uint64(i),
+		})
+	}
+	s.eventSeq = uint64(len(img.Events))
+	var prevIdx int64 = -1
+	for _, ref := range img.Pages {
+		if ref.Page < 0 || ref.Page >= len(shared) {
+			return nil, fmt.Errorf("page ref %d outside table", ref.Page)
+		}
+		if int64(ref.MemIndex) <= prevIdx {
+			return nil, fmt.Errorf("page index %d out of order", ref.MemIndex)
+		}
+		prevIdx = int64(ref.MemIndex)
+		p := shared[ref.Page]
+		if p == nil {
+			p = &page{id: pageIDSeq.Add(1)}
+			copy(p.words[:], pages[ref.Page])
+			shared[ref.Page] = p
+		}
+		p.ref++
+		s.mem.pages[ref.MemIndex] = p
+	}
+	s.sess = ctx.Solver.NewSession()
+	ctx.Solver.WarmSession(s.sess, s.pathCond)
+	return s, nil
+}
+
+// RestoreCounters overwrites the context's global counters with values
+// recovered from a checkpoint, so ids assigned after a resume continue
+// exactly where the interrupted run stopped — the property that makes a
+// resumed exploration bit-identical to an uninterrupted one.
+func (c *Context) RestoreCounters(nextStateID, instructions, forks uint64) {
+	c.nextStateID.Store(nextStateID)
+	c.instrCount.Store(instructions)
+	c.forkCount.Store(forks)
+}
+
+// StateIDSeq returns the number of state ids handed out so far.
+func (c *Context) StateIDSeq() uint64 { return c.nextStateID.Load() }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -70,6 +71,18 @@ type ShardConfig struct {
 	// bulk of distributed test-case queries), so later shards skip SAT
 	// work the earlier ones already did.
 	SharedSolverCache bool
+
+	// CheckpointDir, when non-empty, makes the sharded run durable: each
+	// shard checkpoints into its own subdirectory (named by its pinned
+	// bit string), and a rerun with the same directory resumes every
+	// shard from its last snapshot — finished shards replay nothing. The
+	// resumed run may use a different Workers count; the partition, not
+	// the pool, defines the shards.
+	CheckpointDir string
+
+	// CheckpointEvery is the per-shard checkpoint interval in processed
+	// events (0 = the engine default).
+	CheckpointEvery int
 }
 
 const (
@@ -178,11 +191,12 @@ type shardSched struct {
 	queue   []workItem
 	pending int // queued + in-flight items
 
-	leaves []leafResult
-	errs   []error
-	steals int
-	splits int
-	busy   []time.Duration
+	leaves  []leafResult
+	errs    []error
+	steals  int
+	splits  int
+	resumed int
+	busy    []time.Duration
 }
 
 func (sc *shardSched) pinFor(item workItem) map[string]uint64 {
@@ -199,6 +213,17 @@ func bitLabel(item workItem) string {
 		return "root"
 	}
 	return fmt.Sprintf("%0*b/%d", item.depth, item.bits, item.depth)
+}
+
+// shardDirName names a work item's checkpoint subdirectory. The (depth,
+// bits) pair identifies the sub-space, so a rerun's identical pre-split
+// finds each shard's own snapshot; items never collide because completed
+// items form a prefix-free cover.
+func shardDirName(item workItem) string {
+	if item.depth == 0 {
+		return "root"
+	}
+	return fmt.Sprintf("d%d-%0*b", item.depth, item.depth, item.bits)
 }
 
 // progressHook decides whether a running shard should stop and split: it
@@ -227,18 +252,28 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 	if item.depth < sc.cfg.MaxSplitBits {
 		cfg.Progress = sc.progressHook
 	}
+	cfg.CheckpointEvery = sc.cfg.CheckpointEvery
 	shard := sc.scenario
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
-	report, err := RunScenario(shard)
+	var report *Report
+	var err error
+	if sc.cfg.CheckpointDir != "" {
+		report, err = runOrResume(shard, filepath.Join(sc.cfg.CheckpointDir, shardDirName(item)))
+	} else {
+		report, err = RunScenario(shard)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
 	// Scrub the run-time hooks from the stored scenario: a replay
 	// through this report must not be stopped by the (now stale)
-	// scheduler hook or write into the shared cache.
+	// scheduler hook, write into the shared cache, or overwrite the
+	// shard's checkpoint.
 	report.scenario.cfg.Progress = nil
 	report.scenario.cfg.SharedSolverCache = nil
+	report.scenario.cfg.CheckpointDir = ""
+	report.scenario.cfg.CheckpointEvery = 0
 	return report, pin, nil
 }
 
@@ -265,6 +300,9 @@ func (sc *shardSched) worker(id int) {
 
 		sc.mu.Lock()
 		sc.busy[id] += elapsed
+		if report != nil && report.Resumed() {
+			sc.resumed++
+		}
 		switch {
 		case err != nil:
 			sc.errs = append(sc.errs,
@@ -400,6 +438,7 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		Shards:     len(shards),
 		Steals:     sc.steals,
 		Splits:     sc.splits,
+		Resumed:    sc.resumed,
 		WorkerBusy: sc.busy,
 		Elapsed:    time.Since(start),
 	}

@@ -27,6 +27,7 @@
 package sde
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 	"time"
@@ -35,6 +36,7 @@ import (
 	"sde/internal/expr"
 	"sde/internal/metrics"
 	"sde/internal/sim"
+	"sde/internal/snap"
 	"sde/internal/solver"
 	"sde/internal/trace"
 	"sde/internal/vm"
@@ -150,6 +152,16 @@ func (s Scenario) WithSolverOptions(o SolverOptions) Scenario {
 	return s
 }
 
+// WithCheckpoints returns a copy of the scenario that writes a durable
+// snapshot of the exploration frontier into dir every `every` processed
+// events (0 = the engine default) and once more on completion. A crashed
+// run continues from the last snapshot via Resume.
+func (s Scenario) WithCheckpoints(dir string, every int) Scenario {
+	s.cfg.CheckpointDir = dir
+	s.cfg.CheckpointEvery = every
+	return s
+}
+
 // Report is the outcome of a scenario run.
 type Report struct {
 	res      *sim.Result
@@ -170,8 +182,49 @@ func RunScenario(s Scenario) (*Report, error) {
 	return &Report{res: res, scenario: s}, nil
 }
 
+// Checkpoint runs the scenario with periodic durable checkpoints written
+// into dir: RunScenario with WithCheckpoints applied.
+func Checkpoint(s Scenario, dir string) (*Report, error) {
+	return RunScenario(s.WithCheckpoints(dir, s.cfg.CheckpointEvery))
+}
+
+// Resume continues the scenario from the checkpoint in dir — or starts it
+// fresh (checkpointing into dir) when none has been written yet, so a
+// crash-restart loop can call Resume unconditionally. The resumed run is
+// bit-identical to an uninterrupted one: same state ids, same dscenarios,
+// same fingerprints, same test cases. Report.Resumed distinguishes the
+// two outcomes. The scenario must match the interrupted run (program,
+// topology, algorithm, failures); caps and solver tuning may differ.
+func Resume(s Scenario, dir string) (*Report, error) {
+	return runOrResume(s, dir)
+}
+
+func runOrResume(s Scenario, dir string) (*Report, error) {
+	s = s.WithCheckpoints(dir, s.cfg.CheckpointEvery)
+	data, err := snap.LoadBytes(dir)
+	if errors.Is(err, snap.ErrNoCheckpoint) {
+		return RunScenario(s)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	eng, err := sim.ResumeEngine(s.cfg, data)
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, fmt.Errorf("sde: %w", err)
+	}
+	return &Report{res: res, scenario: s}, nil
+}
+
 // Aborted reports whether the run hit a resource cap, and why.
 func (r *Report) Aborted() (bool, string) { return r.res.Aborted, r.res.AbortReason }
+
+// Resumed reports whether the run continued from a durable checkpoint
+// (see Resume). A resumed run's Wall includes the interrupted run's time.
+func (r *Report) Resumed() bool { return r.res.Resumed }
 
 // Stopped reports whether the run was cut short by a progress hook —
 // the adaptive shard scheduler stops straggling shards this way before
@@ -290,7 +343,16 @@ func CustomScenario(desc string, cfg CustomConfig) (Scenario, error) {
 	if cfg.Program == nil {
 		return Scenario{}, fmt.Errorf("sde: custom scenario needs a program")
 	}
+	seen := make(map[int]bool, len(cfg.ShardableNodes))
 	for _, n := range cfg.ShardableNodes {
+		if n < 0 || n >= cfg.Topology.K() {
+			return Scenario{}, fmt.Errorf(
+				"sde: shardable node %d outside topology (k=%d)", n, cfg.Topology.K())
+		}
+		if seen[n] {
+			return Scenario{}, fmt.Errorf("sde: shardable node %d listed twice", n)
+		}
+		seen[n] = true
 		if !cfg.Failures.DropFirst[n] {
 			return Scenario{}, fmt.Errorf(
 				"sde: shardable node %d has no DropFirst failure armed", n)
