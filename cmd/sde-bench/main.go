@@ -64,8 +64,9 @@ func run() error {
 	splitBits := flag.Int("split-bits", 0, "adaptive split depth cap for -sharded (0 = same as -shard-bits)")
 	splitThreshold := flag.Int("split-threshold", 0, "live-state straggler threshold for -sharded (0 = default)")
 	sharedCache := flag.Bool("shared-cache", true, "share one solver cache across shards in -sharded")
-	jsonBench := flag.Bool("json", false, "run the solver prefix-extension bench and write machine-readable results")
+	jsonBench := flag.Bool("json", false, "run the solver prefix-extension and query-optimizer benches and write machine-readable results")
 	jsonOut := flag.String("out", "BENCH_solver.json", "output path for -json")
+	qoptOut := flag.String("qopt-out", "BENCH_qopt.json", "output path for the -json query-optimizer results")
 	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
 	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: make runs durable and resume interrupted ones")
@@ -75,7 +76,10 @@ func run() error {
 	debug.SetGCPercent(600)
 
 	if *jsonBench {
-		return runSolverBench(*jsonOut, *jsonDepth, *jsonReps)
+		if err := runSolverBench(*jsonOut, *jsonDepth, *jsonReps); err != nil {
+			return err
+		}
+		return runQoptBench(*qoptOut, *jsonReps)
 	}
 	if *worstCase {
 		return runWorstCase()

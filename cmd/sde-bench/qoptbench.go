@@ -1,0 +1,211 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sde"
+	"sde/internal/expr"
+	"sde/internal/qopt"
+	"sde/internal/solver"
+)
+
+// qoptQueryResult is one query-stream row of BENCH_qopt.json: the
+// runicast prefix workload replayed under one optimizer configuration.
+type qoptQueryResult struct {
+	Name             string `json:"name"`
+	NsPerOp          int64  `json:"ns_per_op"`
+	NsPerQuery       int64  `json:"ns_per_query"`
+	Gates            int64  `json:"gates"`
+	SATCalls         int64  `json:"sat_calls"`
+	SlicedQueries    int64  `json:"sliced_queries"`
+	SlicedFactors    int64  `json:"sliced_factors"`
+	RewriteHits      int64  `json:"rewrite_hits"`
+	GatesElided      int64  `json:"gates_elided"`
+	ConcretizedReads int64  `json:"concretized_reads"`
+}
+
+// qoptEngineResult is one whole-run row of BENCH_qopt.json: the runicast
+// scenario executed end to end with the optimizer on or off.
+type qoptEngineResult struct {
+	Algorithm        string `json:"algorithm"`
+	Optimized        bool   `json:"optimized"`
+	WallNs           int64  `json:"wall_ns"`
+	States           int    `json:"states"`
+	Queries          int64  `json:"queries"`
+	Gates            int64  `json:"gates"`
+	SlicedQueries    int64  `json:"sliced_queries"`
+	RewriteHits      int64  `json:"rewrite_hits"`
+	GatesElided      int64  `json:"gates_elided"`
+	ConcretizedReads int64  `json:"concretized_reads"`
+}
+
+// qoptBenchReport is the BENCH_qopt.json document: the query-stream
+// ablation (full pipeline, one stage off at a time, everything off) and
+// the end-to-end runicast runs per mapping algorithm.
+type qoptBenchReport struct {
+	Benchmark string    `json:"benchmark"`
+	Generated time.Time `json:"generated"`
+	Pairs     int       `json:"pairs"`
+	Depth     int       `json:"depth"`
+	Queries   int       `json:"queries"`
+	Reps      int       `json:"reps"`
+
+	QueryStream []qoptQueryResult  `json:"query_stream"`
+	EngineRuns  []qoptEngineResult `json:"engine_runs"`
+
+	// Headline acceptance ratios: unoptimized / optimized on the query
+	// stream. The acceptance bar is ≥ 2x on at least one of them.
+	GateReduction float64 `json:"gate_reduction"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// runQoptBench measures the query-optimization pipeline and writes
+// BENCH_qopt.json — the artifact CI uploads and the README solver-stack
+// section quotes.
+func runQoptBench(out string, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", reps)
+	}
+	const pairs, depth = 4, 8
+	rep := qoptBenchReport{
+		Benchmark: "QueryOptimizer",
+		Generated: time.Now().UTC(),
+		Pairs:     pairs,
+		Depth:     depth,
+		Reps:      reps,
+	}
+	rep.Queries = len(solver.RunicastPrefixQueries(expr.NewBuilder(), pairs, depth))
+
+	// Caching layers off in every mode so the comparison isolates what
+	// the optimizer saves per encoded query, mirroring
+	// BenchmarkQueryOptimizer.
+	base := solver.Options{
+		DisableCache:       true,
+		DisablePool:        true,
+		DisableFastPath:    true,
+		DisablePartition:   true,
+		DisableSubsumption: true,
+	}
+	measure := func(name string, optimized bool, mutate func(*solver.Options)) qoptQueryResult {
+		var best time.Duration
+		var stats solver.Stats
+		for r := 0; r < reps; r++ {
+			// Fresh builder per rep: expression hash-consing and the
+			// rewrite memo must not carry over between reps.
+			eb := expr.NewBuilder()
+			qs := solver.RunicastPrefixQueries(eb, pairs, depth)
+			opts := base
+			if optimized {
+				opts.Optimizer = qopt.New(eb)
+			}
+			if mutate != nil {
+				mutate(&opts)
+			}
+			s := solver.NewWithOptions(opts)
+			sess := s.NewSession()
+			start := time.Now()
+			for j, q := range qs {
+				if _, err := s.FeasibleWith(sess, q.Prefix, q.Extra); err != nil {
+					fmt.Fprintf(os.Stderr, "sde-bench: %s query %d: %v\n", name, j, err)
+					os.Exit(1)
+				}
+			}
+			elapsed := time.Since(start)
+			if r == 0 || elapsed < best {
+				best = elapsed
+				stats = s.Stats()
+			}
+		}
+		return qoptQueryResult{
+			Name:          name,
+			NsPerOp:       best.Nanoseconds(),
+			NsPerQuery:    best.Nanoseconds() / int64(rep.Queries),
+			Gates:         stats.Gates,
+			SATCalls:      stats.SATCalls,
+			SlicedQueries: stats.SlicedQueries,
+			SlicedFactors: stats.SlicedFactors,
+			RewriteHits:   stats.RewriteHits,
+			GatesElided:   stats.GatesElided,
+		}
+	}
+
+	opt := measure("optimized", true, nil)
+	rep.QueryStream = []qoptQueryResult{
+		opt,
+		measure("no-slicing", true, func(o *solver.Options) { o.DisableSlicing = true }),
+		measure("no-rewrite", true, func(o *solver.Options) { o.DisableRewrite = true }),
+		measure("unoptimized", false, nil),
+	}
+	unopt := rep.QueryStream[len(rep.QueryStream)-1]
+	if opt.Gates > 0 {
+		rep.GateReduction = float64(unopt.Gates) / float64(opt.Gates)
+	}
+	if opt.NsPerOp > 0 {
+		rep.Speedup = float64(unopt.NsPerOp) / float64(opt.NsPerOp)
+	}
+
+	// End-to-end: the runicast scenario per mapping algorithm, optimizer
+	// on and off, with symbolic drops so the solver is actually
+	// exercised. The state counts must agree — the optimizer is a pure
+	// encoding-cost lever.
+	for _, algo := range []sde.Algorithm{sde.COB, sde.COW, sde.SDS} {
+		var states [2]int
+		for i, optimized := range []bool{true, false} {
+			scenario, err := sde.RunicastScenario(sde.RunicastOptions{
+				K:         3,
+				Algorithm: algo,
+				Packets:   2,
+				Failures:  sde.FailurePlan{DropFirst: map[int]bool{0: true, 1: true}},
+			})
+			if err != nil {
+				return err
+			}
+			if !optimized {
+				scenario = scenario.WithoutQueryOptimizer()
+			}
+			report, err := sde.RunScenario(scenario)
+			if err != nil {
+				return err
+			}
+			st := report.SolverStats()
+			states[i] = report.States()
+			rep.EngineRuns = append(rep.EngineRuns, qoptEngineResult{
+				Algorithm:        algo.String(),
+				Optimized:        optimized,
+				WallNs:           report.Wall().Nanoseconds(),
+				States:           report.States(),
+				Queries:          st.Queries,
+				Gates:            st.Gates,
+				SlicedQueries:    st.SlicedQueries,
+				RewriteHits:      st.RewriteHits,
+				GatesElided:      st.GatesElided,
+				ConcretizedReads: st.ConcretizedReads,
+			})
+		}
+		if states[0] != states[1] {
+			return fmt.Errorf("%v: optimizer changed the state count: %d optimized, %d unoptimized",
+				algo, states[0], states[1])
+		}
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("Query-optimizer bench (%d pairs, depth %d, %d queries, best of %d):\n",
+		pairs, depth, rep.Queries, reps)
+	for _, row := range rep.QueryStream {
+		fmt.Printf("  %-12s %12s  gates=%-6d sliced=%-4d elided=%d\n",
+			row.Name, time.Duration(row.NsPerOp), row.Gates, row.SlicedQueries, row.GatesElided)
+	}
+	fmt.Printf("  gate reduction: %.2fx  speedup: %.2fx  → %s\n",
+		rep.GateReduction, rep.Speedup, out)
+	return nil
+}

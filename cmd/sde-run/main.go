@@ -47,6 +47,7 @@ func run() error {
 	analysis := flag.Bool("analysis", false, "print the state-population analysis block")
 	checkpoint := flag.String("checkpoint", "", "write periodic durable checkpoints into this directory")
 	resume := flag.String("resume", "", "resume from the checkpoint in this directory (or start fresh into it)")
+	qoptFlag := flag.Bool("qopt", true, "query-optimization pipeline (slicing, rewriting, concretization); -qopt=false is the first soundness-triage step")
 	flag.Parse()
 
 	debug.SetGCPercent(600)
@@ -61,6 +62,9 @@ func run() error {
 	}
 	if *maxStates > 0 {
 		scenario = scenario.WithCaps(sde.Caps{MaxStates: *maxStates})
+	}
+	if !*qoptFlag {
+		scenario = scenario.WithoutQueryOptimizer()
 	}
 	if *checkpoint != "" && *resume != "" {
 		return fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume already checkpoints)")

@@ -101,14 +101,15 @@ func (r *Report) WriteJSON(w io.Writer, maxTestCases int) error {
 // errors instead of silently truncated series.
 func (r *Report) WriteCSV(w io.Writer) error {
 	if _, err := io.WriteString(w,
-		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries\n"); err != nil {
+		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided\n"); err != nil {
 		return err
 	}
 	for _, sm := range r.res.Series.Samples() {
-		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes,
-			sm.Instructions, sm.SolverQueries); err != nil {
+			sm.Instructions, sm.SolverQueries, sm.QueriesSliced,
+			sm.GatesElided); err != nil {
 			return err
 		}
 	}

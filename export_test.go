@@ -2,7 +2,9 @@ package sde_test
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
+	"strconv"
 	"testing"
 
 	"sde"
@@ -82,5 +84,67 @@ func TestRunicastScenarioPublicAPI(t *testing.T) {
 	}
 	if _, err := sde.RunicastScenario(sde.RunicastOptions{K: 1}); err == nil {
 		t.Error("K=1 accepted")
+	}
+}
+
+// TestWriteCSVRoundTrip parses the emitted CSV back and checks the header
+// and the optimizer columns (queries_sliced, gates_elided) survive the
+// trip — the schema the shard aggregator and external plotters rely on.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	s, err := sde.LineCollectScenario(sde.LineCollectOptions{
+		K:         3,
+		Algorithm: sde.SDS,
+		Packets:   2,
+		Failures:  sde.FailurePlan{DropFirst: map[int]bool{0: true, 1: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sde.RunScenario(s.WithSampling(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse emitted CSV: %v", err)
+	}
+	wantHeader := []string{"wall_ms", "virtual_time", "states", "groups", "mem_bytes",
+		"instructions", "solver_queries", "queries_sliced", "gates_elided"}
+	if len(rows) == 0 {
+		t.Fatal("no rows emitted")
+	}
+	for i, col := range wantHeader {
+		if rows[0][i] != col {
+			t.Fatalf("header[%d] = %q, want %q (full header %v)", i, rows[0][i], col, rows[0])
+		}
+	}
+	samples := report.Samples()
+	if len(rows)-1 != len(samples) {
+		t.Fatalf("%d data rows, want %d samples", len(rows)-1, len(samples))
+	}
+	for i, sm := range samples {
+		row := rows[i+1]
+		if len(row) != len(wantHeader) {
+			t.Fatalf("row %d has %d columns, want %d", i, len(row), len(wantHeader))
+		}
+		for col, want := range map[int]int64{
+			2: int64(sm.States),
+			6: sm.SolverQueries,
+			7: sm.QueriesSliced,
+			8: sm.GatesElided,
+		} {
+			got, err := strconv.ParseInt(row[col], 10, 64)
+			if err != nil {
+				t.Fatalf("row %d col %d %q: %v", i, col, row[col], err)
+			}
+			if got != want {
+				t.Errorf("row %d %s = %d, want %d", i, wantHeader[col], got, want)
+			}
+		}
 	}
 }

@@ -20,10 +20,14 @@ type Env map[string]uint64
 // query evaluate to true.
 func Eval(e *Expr, env Env) uint64 {
 	memo := make(map[*Expr]uint64)
-	return evalMemo(e, env, memo)
+	return evalMemo(e, func(v *Expr) uint64 { return env[v.name] }, memo)
 }
 
-func evalMemo(e *Expr, env Env, memo map[*Expr]uint64) uint64 {
+// evalMemo evaluates e with variable values supplied by look (the result
+// is masked to the variable's width here, so lookups may return un-masked
+// integers). Sharing the operator semantics between Eval and EvalBound
+// keeps the two evaluators from drifting apart.
+func evalMemo(e *Expr, look func(*Expr) uint64, memo map[*Expr]uint64) uint64 {
 	if v, ok := memo[e]; ok {
 		return v
 	}
@@ -32,82 +36,82 @@ func evalMemo(e *Expr, env Env, memo map[*Expr]uint64) uint64 {
 	case KindConst:
 		v = e.val
 	case KindVar:
-		v = env[e.name] & mask(e.width)
+		v = look(e) & mask(e.width)
 	case KindAdd:
-		v = evalMemo(e.a, env, memo) + evalMemo(e.b, env, memo)
+		v = evalMemo(e.a, look, memo) + evalMemo(e.b, look, memo)
 	case KindSub:
-		v = evalMemo(e.a, env, memo) - evalMemo(e.b, env, memo)
+		v = evalMemo(e.a, look, memo) - evalMemo(e.b, look, memo)
 	case KindMul:
-		v = evalMemo(e.a, env, memo) * evalMemo(e.b, env, memo)
+		v = evalMemo(e.a, look, memo) * evalMemo(e.b, look, memo)
 	case KindUDiv:
-		d := evalMemo(e.b, env, memo)
+		d := evalMemo(e.b, look, memo)
 		if d == 0 {
 			v = mask(e.width)
 		} else {
-			v = evalMemo(e.a, env, memo) / d
+			v = evalMemo(e.a, look, memo) / d
 		}
 	case KindURem:
-		d := evalMemo(e.b, env, memo)
+		d := evalMemo(e.b, look, memo)
 		if d == 0 {
-			v = evalMemo(e.a, env, memo)
+			v = evalMemo(e.a, look, memo)
 		} else {
-			v = evalMemo(e.a, env, memo) % d
+			v = evalMemo(e.a, look, memo) % d
 		}
 	case KindAnd:
-		v = evalMemo(e.a, env, memo) & evalMemo(e.b, env, memo)
+		v = evalMemo(e.a, look, memo) & evalMemo(e.b, look, memo)
 	case KindOr:
-		v = evalMemo(e.a, env, memo) | evalMemo(e.b, env, memo)
+		v = evalMemo(e.a, look, memo) | evalMemo(e.b, look, memo)
 	case KindXor:
-		v = evalMemo(e.a, env, memo) ^ evalMemo(e.b, env, memo)
+		v = evalMemo(e.a, look, memo) ^ evalMemo(e.b, look, memo)
 	case KindNot:
-		v = ^evalMemo(e.a, env, memo)
+		v = ^evalMemo(e.a, look, memo)
 	case KindShl:
-		s := evalMemo(e.b, env, memo)
+		s := evalMemo(e.b, look, memo)
 		if s >= uint64(e.width) {
 			v = 0
 		} else {
-			v = evalMemo(e.a, env, memo) << s
+			v = evalMemo(e.a, look, memo) << s
 		}
 	case KindLShr:
-		s := evalMemo(e.b, env, memo)
+		s := evalMemo(e.b, look, memo)
 		if s >= uint64(e.width) {
 			v = 0
 		} else {
-			v = evalMemo(e.a, env, memo) >> s
+			v = evalMemo(e.a, look, memo) >> s
 		}
 	case KindAShr:
-		s := evalMemo(e.b, env, memo)
-		sx := int64(signExtend(evalMemo(e.a, env, memo), e.width))
+		s := evalMemo(e.b, look, memo)
+		sx := int64(signExtend(evalMemo(e.a, look, memo), e.width))
 		if s >= uint64(e.width) {
 			s = uint64(e.width) - 1
 		}
 		v = uint64(sx >> s)
 	case KindEq:
-		v = boolBit(evalMemo(e.a, env, memo) == evalMemo(e.b, env, memo))
+		v = boolBit(evalMemo(e.a, look, memo) == evalMemo(e.b, look, memo))
 	case KindUlt:
-		v = boolBit(evalMemo(e.a, env, memo) < evalMemo(e.b, env, memo))
+		v = boolBit(evalMemo(e.a, look, memo) < evalMemo(e.b, look, memo))
 	case KindUle:
-		v = boolBit(evalMemo(e.a, env, memo) <= evalMemo(e.b, env, memo))
+		v = boolBit(evalMemo(e.a, look, memo) <= evalMemo(e.b, look, memo))
 	case KindSlt:
 		w := e.a.width
-		v = boolBit(int64(signExtend(evalMemo(e.a, env, memo), w)) <
-			int64(signExtend(evalMemo(e.b, env, memo), w)))
+		v = boolBit(int64(signExtend(evalMemo(e.a, look, memo), w)) <
+			int64(signExtend(evalMemo(e.b, look, memo), w)))
 	case KindSle:
 		w := e.a.width
-		v = boolBit(int64(signExtend(evalMemo(e.a, env, memo), w)) <=
-			int64(signExtend(evalMemo(e.b, env, memo), w)))
+		v = boolBit(int64(signExtend(evalMemo(e.a, look, memo), w)) <=
+			int64(signExtend(evalMemo(e.b, look, memo), w)))
 	case KindIte:
-		if evalMemo(e.a, env, memo) != 0 {
-			v = evalMemo(e.b, env, memo)
+		if evalMemo(e.a, look, memo) != 0 {
+			v = evalMemo(e.b, look, memo)
 		} else {
-			v = evalMemo(e.c, env, memo)
+			v = evalMemo(e.c, look, memo)
 		}
 	case KindZExt:
-		v = evalMemo(e.a, env, memo)
+		v = evalMemo(e.a, look, memo)
 	case KindSExt:
-		v = signExtend(evalMemo(e.a, env, memo), e.a.width)
+		v = signExtend(evalMemo(e.a, look, memo), e.a.width)
 	case KindTrunc:
-		v = evalMemo(e.a, env, memo)
+		v = evalMemo(e.a, look, memo)
 	default:
 		panic("expr: Eval of invalid kind " + e.kind.String())
 	}

@@ -97,6 +97,7 @@ type Expr struct {
 	b     *Expr  // second operand
 	c     *Expr  // third operand (KindIte condition uses a, then b, else c)
 	hash  uint64 // structural hash, fixed at construction
+	vids  []uint32
 }
 
 // Kind returns the node's operator kind.
@@ -272,6 +273,15 @@ func (b *Builder) intern(k exprKey) *Expr {
 	e := &Expr{
 		kind: k.kind, width: k.width, val: k.val, name: k.name,
 		a: k.a, b: k.b, c: k.c, hash: h,
+	}
+	// Operands are interned before their parents, so the free-variable
+	// set is a sorted merge of already-computed child sets. Computing it
+	// eagerly here makes VarIDs O(1) for the optimizer's union-find
+	// slicing and the VM's implied-value checks.
+	if k.kind == KindVar {
+		e.vids = []uint32{uint32(k.val)}
+	} else {
+		e.vids = mergeVarIDs(k.a, k.b, k.c)
 	}
 	b.table[k] = e
 	return e

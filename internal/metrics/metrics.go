@@ -21,6 +21,8 @@ type Sample struct {
 	MemBytes      int64         // modeled RAM (deduplicated pages + overheads)
 	Instructions  uint64        // instructions executed so far
 	SolverQueries int64         // constraint-solver queries issued so far
+	QueriesSliced int64         // queries shrunk by constraint independence slicing
+	GatesElided   int64         // encoding work avoided by the query optimizer (DAG nodes)
 }
 
 // Series accumulates samples in order.
@@ -91,12 +93,12 @@ func (s *Series) Downsample(n int) []Sample {
 // CSV renders the series with a header row, one sample per line.
 func (s *Series) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries\n")
+	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided\n")
 	for _, sm := range s.samples {
-		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions,
-			sm.SolverQueries)
+			sm.SolverQueries, sm.QueriesSliced, sm.GatesElided)
 	}
 	return sb.String()
 }
@@ -120,6 +122,8 @@ type SchedStats struct {
 	IncrementalSolves int64 // CDCL runs on the persistent per-shard instances
 	SubsumptionHits   int64 // queries answered by subset/superset cache entries
 	EncodeSkips       int64 // constraint encodes served by persistent blast memos
+	QueriesSliced     int64 // queries shrunk by constraint independence slicing
+	GatesElided       int64 // encoding work the query optimizer avoided (DAG nodes)
 
 	WorkerBusy []time.Duration // per-worker time spent running shards
 	Elapsed    time.Duration   // scheduler wall time (the makespan)

@@ -745,6 +745,7 @@ func (e *Engine) sample() {
 	if mem > e.peakMem {
 		e.peakMem = mem
 	}
+	st := e.ctx.Solver.Stats()
 	e.series.Add(metrics.Sample{
 		Wall:          e.priorWall + time.Since(e.started),
 		VirtualTime:   e.clock,
@@ -752,7 +753,9 @@ func (e *Engine) sample() {
 		Groups:        e.mapper.NumGroups(),
 		MemBytes:      mem,
 		Instructions:  e.ctx.Instructions(),
-		SolverQueries: e.ctx.Solver.Stats().Queries,
+		SolverQueries: st.Queries,
+		QueriesSliced: st.SlicedQueries,
+		GatesElided:   st.GatesElided,
 	})
 	if c := e.cfg.Caps.MaxMemBytes; c > 0 && mem > c {
 		e.abort(fmt.Sprintf("memory cap exceeded (%s > %s)",

@@ -42,7 +42,10 @@ var ErrCorrupt = errors.New("snap: corrupt snapshot")
 
 var magic = []byte("SDEsnp\x00")
 
-const version = 1
+// version 2 added the query-optimizer columns (QueriesSliced,
+// GatesElided) to metric samples. Optimizer state itself is derived and
+// never serialized — only the recorded time series changed shape.
+const version = 2
 
 // Snapshot is the complete persistent form of an exploration frontier,
 // taken at an event boundary (no state mid-execution).
@@ -262,6 +265,8 @@ func (s *Snapshot) Encode(b *expr.Builder) ([]byte, error) {
 		w.i64(sm.MemBytes)
 		w.u64(sm.Instructions)
 		w.i64(sm.SolverQueries)
+		w.i64(sm.QueriesSliced)
+		w.i64(sm.GatesElided)
 	}
 
 	w.u64(uint64(len(s.Violations)))
@@ -707,6 +712,12 @@ func Decode(data []byte, b *expr.Builder) (*Snapshot, error) {
 			return nil, err
 		}
 		if sm.SolverQueries, err = r.i64(); err != nil {
+			return nil, err
+		}
+		if sm.QueriesSliced, err = r.i64(); err != nil {
+			return nil, err
+		}
+		if sm.GatesElided, err = r.i64(); err != nil {
 			return nil, err
 		}
 		s.Samples = append(s.Samples, sm)

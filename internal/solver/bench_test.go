@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sde/internal/expr"
+	"sde/internal/qopt"
 )
 
 // branchQueries builds the query stream a symbolic executor generates: a
@@ -169,5 +170,60 @@ func BenchmarkModelGeneration(b *testing.B) {
 		if (model["x"]+model["y"])&0xffffffff != 1000 {
 			b.Fatalf("bad model: %v", model)
 		}
+	}
+}
+
+// BenchmarkQueryOptimizer is the query-optimization pipeline's acceptance
+// benchmark: the runicast prefix stream (see RunicastPrefixQueries)
+// replayed with the full optimizer, with one stage ablated at a time, and
+// with the optimizer off. The caching layers are disabled in every mode
+// so the comparison isolates what the optimizer saves per encoded query.
+func BenchmarkQueryOptimizer(b *testing.B) {
+	base := Options{
+		DisableCache:       true,
+		DisablePool:        true,
+		DisableFastPath:    true,
+		DisablePartition:   true,
+		DisableSubsumption: true,
+	}
+	for _, mode := range []struct {
+		name      string
+		optimized bool
+		mutate    func(*Options)
+	}{
+		{"optimized", true, nil},
+		{"no-slicing", true, func(o *Options) { o.DisableSlicing = true }},
+		{"no-rewrite", true, func(o *Options) { o.DisableRewrite = true }},
+		{"unoptimized", false, nil},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			eb := expr.NewBuilder()
+			queries := RunicastPrefixQueries(eb, 4, 8)
+			var last Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := base
+				if mode.optimized {
+					opts.Optimizer = qopt.New(eb)
+				}
+				if mode.mutate != nil {
+					mode.mutate(&opts)
+				}
+				s := NewWithOptions(opts)
+				sess := s.NewSession()
+				for j, q := range queries {
+					if _, err := s.FeasibleWith(sess, q.Prefix, q.Extra); err != nil {
+						b.Fatalf("query %d: %v", j, err)
+					}
+				}
+				last = s.Stats()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Gates), "gates/op")
+			b.ReportMetric(float64(last.SATCalls), "satcalls/op")
+			b.ReportMetric(float64(last.SlicedQueries), "sliced/op")
+			b.ReportMetric(float64(last.GatesElided), "gateselided/op")
+		})
 	}
 }

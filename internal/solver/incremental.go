@@ -65,7 +65,13 @@ func (sess *Session) Branch() *Session {
 // Path conditions are append-only, so the common case is a pure
 // extension; if the prefix diverged anyway, the session resyncs from the
 // divergence point — correct, just slower.
-func (sess *Session) sync(ic *incContext, prefix []*expr.Expr) (reused, skips int64) {
+//
+// rw, when non-nil, maps each constraint to an equivalent (rewritten)
+// form before encoding: the session's assumption literal then asserts
+// the rewritten constraint, so the persistent blast context only ever
+// sees post-rewrite gates. sess.exprs still records the original
+// constraints — prefix identity, not encoding, drives resync.
+func (sess *Session) sync(ic *incContext, prefix []*expr.Expr, rw func(*expr.Expr) *expr.Expr) (reused, skips int64) {
 	n := len(sess.lits)
 	if n > len(prefix) {
 		n = 0
@@ -80,11 +86,15 @@ func (sess *Session) sync(ic *incContext, prefix []*expr.Expr) (reused, skips in
 	sess.lits = sess.lits[:n]
 	reused = int64(n)
 	for _, c := range prefix[n:] {
-		if _, ok := ic.bl.memo[c]; ok {
+		ec := c
+		if rw != nil {
+			ec = rw(c)
+		}
+		if _, ok := ic.bl.memo[ec]; ok {
 			skips++
 		}
 		sess.exprs = append(sess.exprs, c)
-		sess.lits = append(sess.lits, ic.bl.encode(c)[0])
+		sess.lits = append(sess.lits, ic.bl.encode(ec)[0])
 	}
 	return reused, skips
 }
@@ -105,6 +115,7 @@ func (s *Solver) solveIncremental(sess *Session, prefix []*expr.Expr, extra *exp
 	ic.sat.maxConfl = s.opts.MaxConflicts
 	ic.sat.backtrackTo(0)
 
+	rw := s.rewriteFn()
 	var assumptions []Lit
 	var reused, skips int64
 	memoed := func(c *expr.Expr) {
@@ -113,14 +124,21 @@ func (s *Solver) solveIncremental(sess *Session, prefix []*expr.Expr, extra *exp
 		}
 	}
 	if sess != nil {
-		reused, skips = sess.sync(ic, prefix)
+		reused, skips = sess.sync(ic, prefix, rw)
 		assumptions = make([]Lit, 0, len(sess.lits)+1)
 		assumptions = append(assumptions, sess.lits...)
 		if extra != nil && !extra.IsTrue() {
-			memoed(extra)
-			assumptions = append(assumptions, ic.bl.encode(extra)[0])
+			ec := extra
+			if rw != nil {
+				ec = rw(ec)
+			}
+			memoed(ec)
+			assumptions = append(assumptions, ic.bl.encode(ec)[0])
 		}
 	} else {
+		// Sessionless queries receive active already optimized (the
+		// checkQuery pipeline runs before the solve); rw here is a no-op
+		// on already-rewritten constraints via the rewrite memo.
 		assumptions = make([]Lit, 0, len(active))
 		for _, c := range active {
 			memoed(c)

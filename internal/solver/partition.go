@@ -11,28 +11,10 @@ import (
 // and pays off heavily on distributed test-case queries, which union the
 // path conditions of k nodes whose decisions are largely disjoint.
 
-// varsOf returns the ids of the variables in e, memoised per expression
-// node (expressions are interned, so pointer identity is stable).
-func (s *Solver) varsOf(e *expr.Expr) []uint32 {
-	s.mu.Lock()
-	if s.varsCache == nil {
-		s.varsCache = make(map[*expr.Expr][]uint32, 256)
-	}
-	if ids, ok := s.varsCache[e]; ok {
-		s.mu.Unlock()
-		return ids
-	}
-	s.mu.Unlock()
-	vars := expr.CollectVars(e, nil)
-	ids := make([]uint32, len(vars))
-	for i, v := range vars {
-		ids[i] = v.VarID()
-	}
-	s.mu.Lock()
-	s.varsCache[e] = ids
-	s.mu.Unlock()
-	return ids
-}
+// varsOf returns the ids of the variables in e. The id sets are memoised
+// eagerly on the hash-consed DAG at intern time (see expr.VarIDs), so
+// this is a field read, not a traversal.
+func (s *Solver) varsOf(e *expr.Expr) []uint32 { return e.VarIDs() }
 
 // partition groups the constraints into connected components linked by
 // shared variables. Constraints without any variable (non-constant-folded

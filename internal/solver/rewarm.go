@@ -27,7 +27,10 @@ func (s *Solver) WarmSession(sess *Session, prefix []*expr.Expr) {
 	// Encoding must happen at decision level 0 so gate clauses become
 	// permanent facts (same discipline as solveIncremental).
 	ic.sat.backtrackTo(0)
-	reused, skips := sess.sync(ic, prefix)
+	// Re-warming encodes through the same rewrite hook as live solving,
+	// so a resumed run's blast context sees the rewritten constraints —
+	// never the originals — exactly as the killed run's did.
+	reused, skips := sess.sync(ic, prefix, s.rewriteFn())
 	gates := ic.bl.gates - ic.gatesSeen
 	ic.gatesSeen = ic.bl.gates
 	s.incMu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"sde/internal/expr"
+	"sde/internal/qopt"
 )
 
 // ErrBudget is returned when a query exceeds the configured conflict budget
@@ -33,6 +34,14 @@ type Stats struct {
 	LearnedRetained int64 // learned clauses alive in the persistent instance (gauge)
 	RewarmSessions  int64 // sessions re-synced after a checkpoint resume
 	RewarmEncodes   int64 // constraints re-encoded during those re-warms
+
+	// Query-optimizer pipeline counters (internal/qopt). The last three
+	// are owned by the Optimizer and merged into snapshots by Stats().
+	SlicedQueries    int64 // feasibility queries shrunk by independence slicing
+	SlicedFactors    int64 // independent factor groups dropped across those queries
+	RewriteHits      int64 // constraints changed by the algebraic rewriter
+	ConcretizedReads int64 // VM reads/branches decided from implied bindings
+	GatesElided      int64 // DAG nodes removed from queries before encoding (proxy for gates)
 }
 
 type cacheEntry struct {
@@ -69,20 +78,41 @@ type Options struct {
 	// whose expressions come from different expr.Builders: query keys
 	// are structural constraint hashes, comparable across builders.
 	SharedCache *SharedCache
+
+	// Optimizer, when non-nil, enables the query-optimization pipeline
+	// (internal/qopt) on feasibility queries: independence slicing and
+	// algebraic rewriting run between constant folding and every later
+	// stage, so caches, the shared cache, and the SAT core all see the
+	// shrunk query. Model queries are never optimized — they always
+	// solve the original constraints from scratch, which keeps witness
+	// models bit-identical whether the optimizer is on or off. The
+	// Optimizer must share the expr.Builder of the query expressions.
+	Optimizer *qopt.Optimizer
+	// DisableSlicing turns off independence slicing while keeping the
+	// rest of the optimizer. Per-stage switches exist because shutting
+	// stages off one at a time is the first triage step for a suspected
+	// optimizer soundness bug.
+	DisableSlicing bool
+	// DisableRewrite turns off the algebraic rewriter (both the
+	// per-constraint fixpoint pass and cross-constraint substitution).
+	DisableRewrite bool
+	// DisableConcretization turns off implied-value concretization in
+	// the VM. The solver itself ignores it; internal/vm consults it when
+	// wiring a Context.
+	DisableConcretization bool
 }
 
 // Solver answers satisfiability queries over sets of 1-bit constraint
 // expressions. It is safe for concurrent use. All constraint expressions
 // passed to one Solver must come from a single expr.Builder.
 type Solver struct {
-	opts      Options
-	mu        sync.Mutex
-	cache     map[uint64]cacheEntry
-	subs      subsumptionIndex
-	pool      []expr.Env // recent satisfying models, most recent last
-	poolCap   int
-	varsCache map[*expr.Expr][]uint32
-	stats     Stats
+	opts    Options
+	mu      sync.Mutex
+	cache   map[uint64]cacheEntry
+	subs    subsumptionIndex
+	pool    []expr.Env // recent satisfying models, most recent last
+	poolCap int
+	stats   Stats
 
 	// incMu serialises the persistent incremental instance. It is never
 	// acquired while mu is held (mu may be taken under incMu).
@@ -103,11 +133,28 @@ func NewWithOptions(opts Options) *Solver {
 	}
 }
 
-// Stats returns a snapshot of the activity counters.
+// Stats returns a snapshot of the activity counters, merging in the
+// counters owned by the attached query optimizer (if any).
 func (s *Solver) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if o := s.opts.Optimizer; o != nil {
+		st.RewriteHits = o.RewriteHits()
+		st.ConcretizedReads = o.ConcretizedReads()
+		st.GatesElided = o.GatesElided()
+	}
+	return st
+}
+
+// rewriteFn returns the per-constraint rewrite hook for encoding, or nil
+// when rewriting is off. Sessions and re-warms encode through this hook,
+// so the persistent blast context only ever sees rewritten constraints.
+func (s *Solver) rewriteFn() func(*expr.Expr) *expr.Expr {
+	if o := s.opts.Optimizer; o != nil && !s.opts.DisableRewrite {
+		return o.Rewrite
+	}
+	return nil
 }
 
 // Feasible reports whether the conjunction of the constraints is
@@ -188,6 +235,53 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 		return true, expr.Env{}, nil
 	}
 
+	// Query-optimization pipeline (internal/qopt): shrink feasibility
+	// queries before any cache key, cache lookup, or encoding sees them.
+	// Model queries skip the pipeline entirely — they are decided on the
+	// original constraints by a from-scratch SAT run below, so the models
+	// an exploration emits cannot depend on optimizer history.
+	bypassSession := false
+	if o := s.opts.Optimizer; o != nil && !needModel {
+		// Independence slicing: drop the factor groups of the path
+		// condition not variable-connected to the query expression. Every
+		// dropped group joined the path condition through a feasibility
+		// check, so it is satisfiable on its own, and being variable-
+		// disjoint from the kept factors it cannot flip the verdict.
+		if !s.opts.DisableSlicing && extra != nil && !extra.IsConst() && len(active) > 1 {
+			kept, dropped := o.Slice(active, extra)
+			if len(dropped) > 0 {
+				active = kept
+				// The session's assumption literals cover the whole
+				// prefix; answering with them would re-assert the dropped
+				// factors, so a sliced query solves sessionless.
+				bypassSession = true
+				o.NoteSliced(dropped)
+				s.mu.Lock()
+				s.stats.SlicedQueries++
+				s.stats.SlicedFactors += int64(len(dropped))
+				s.mu.Unlock()
+			}
+		}
+		// Algebraic rewriting: per-constraint fixpoint rules plus
+		// cross-constraint substitution of implied constants. The result
+		// set's conjunction is equivalent to the input's; substitution
+		// results are not per-constraint session literals, so they also
+		// solve sessionless.
+		if !s.opts.DisableRewrite {
+			out, subChanged, unsat := o.OptimizeSet(active)
+			if unsat {
+				return false, nil, nil
+			}
+			if subChanged {
+				bypassSession = true
+			}
+			active = out
+			if len(active) == 0 {
+				return true, expr.Env{}, nil
+			}
+		}
+	}
+
 	// Fast path: a pure conjunction of boolean literals (v / ¬v) is
 	// satisfiable iff no variable occurs with both polarities. This covers
 	// the failure-model decision variables that dominate sensornet
@@ -226,9 +320,12 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 		}
 	}
 	// Counterexample reuse: a recent model satisfying all constraints
-	// proves satisfiability without a SAT call.
+	// proves satisfiability without a SAT call. Pool models may come from
+	// optimized queries on the persistent instance, so they decide
+	// feasibility verdicts only — model queries always fall through to
+	// the deterministic from-scratch solve.
 	var pool []expr.Env
-	if !s.opts.DisablePool {
+	if !s.opts.DisablePool && !needModel {
 		pool = append(pool, s.pool...)
 	}
 	s.mu.Unlock()
@@ -249,12 +346,15 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 
 	for i := len(pool) - 1; i >= 0; i-- {
 		if satisfies(pool[i], active) {
+			// Verdict-only caching: pool models never become cache or
+			// shared-cache models, so a later model query cannot observe
+			// a model whose origin depended on optimizer history.
 			s.mu.Lock()
 			s.stats.PoolHits++
-			s.remember(key, hashes, true, pool[i])
+			s.remember(key, hashes, true, nil)
 			s.mu.Unlock()
 			if sc := s.opts.SharedCache; sc != nil {
-				sc.store(key, hashes, true, pool[i])
+				sc.store(key, hashes, true, nil)
 			}
 			return true, pool[i], nil
 		}
@@ -282,10 +382,19 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 	var sat bool
 	var model expr.Env
 	var err error
-	if s.opts.DisableIncremental {
-		sat, model, err = s.solveSAT(active)
+	incremental := !s.opts.DisableIncremental && !needModel
+	if incremental {
+		useSess := sess
+		if bypassSession {
+			useSess = nil
+		}
+		sat, model, err = s.solveIncremental(useSess, prefix, extra, active)
 	} else {
-		sat, model, err = s.solveIncremental(sess, prefix, extra, active)
+		// Model queries always bit-blast the original constraints on a
+		// throwaway instance: the persistent instance's saved phases and
+		// activities depend on the whole query history (and so on the
+		// optimizer), which would leak into the concrete witnesses.
+		sat, model, err = s.solveSAT(active)
 	}
 	if err != nil {
 		// Budget-exhausted verdicts are unknowns: they must never reach
@@ -293,12 +402,19 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 		return false, nil, err
 	}
 
+	// Only deterministic models (from the needModel path) enter the
+	// caches; feasibility-path models go to the pool, which never serves
+	// model queries.
+	cacheModel := model
+	if !needModel {
+		cacheModel = nil
+	}
 	s.mu.Lock()
 	s.stats.SATCalls++
-	if !s.opts.DisableIncremental {
+	if incremental {
 		s.stats.IncSolves++
 	}
-	s.remember(key, hashes, sat, model)
+	s.remember(key, hashes, sat, cacheModel)
 	if sat {
 		s.pool = append(s.pool, model)
 		if len(s.pool) > s.poolCap {
@@ -307,7 +423,7 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 	}
 	s.mu.Unlock()
 	if sc := s.opts.SharedCache; sc != nil {
-		sc.store(key, hashes, sat, model)
+		sc.store(key, hashes, sat, cacheModel)
 	}
 	return sat, model, nil
 }

@@ -394,6 +394,13 @@ func (s *State) assert(in *isa.Instr, now uint64, h Hooks) error {
 	if cond.IsTrue() {
 		return nil
 	}
+	// A condition forced true by the path condition cannot fail on this
+	// path: skip the (expensive, from-scratch) witness-model query. An
+	// implied-false condition falls through — the violation report needs
+	// the solver's concrete witness.
+	if v, ok := s.impliedValue(cond); ok && v != 0 {
+		return nil
+	}
 	notCond := eb.Not(cond)
 	model, canFail, err := s.ctx.Solver.ModelWith(s.sess, s.pathCond, notCond)
 	if err != nil {
@@ -432,7 +439,29 @@ func (s *State) feasibleWith(c *expr.Expr) (bool, error) {
 	if c.IsFalse() {
 		return false, nil
 	}
+	// Implied-value concretization: when every variable of c is forced
+	// to a constant by the path condition, c has exactly one value on
+	// this path — the conjunction pathCond ∧ c is then feasible iff that
+	// value is true (path conditions are kept feasible by construction),
+	// with no solver query at all. This is what makes straight-line code
+	// after a determining branch effectively concrete.
+	if v, ok := s.impliedValue(c); ok {
+		return v != 0, nil
+	}
 	return s.ctx.Solver.FeasibleWith(s.sess, s.pathCond, c)
+}
+
+// impliedValue evaluates c under the state's implied bindings, reporting
+// ok=false when concretization is off or some variable of c is unbound.
+func (s *State) impliedValue(c *expr.Expr) (uint64, bool) {
+	if !s.ctx.concretize || len(s.bound) == 0 {
+		return 0, false
+	}
+	v, ok := expr.EvalBound(c, s.bound)
+	if ok {
+		s.ctx.qo.NoteConcretizedRead()
+	}
+	return v, ok
 }
 
 func (s *State) concreteAddr(base *expr.Expr, off uint32) (uint32, error) {

@@ -253,6 +253,12 @@ func restoreState(ctx *Context, prog *isa.Program, img *StateImage, pages [][]*e
 	}
 	s.sess = ctx.Solver.NewSession()
 	ctx.Solver.WarmSession(s.sess, s.pathCond)
+	// Implied bindings are derived from the path condition and never
+	// serialized; replay the restored constraints through the same
+	// recording the live run used.
+	for _, c := range s.pathCond {
+		s.noteBinding(c)
+	}
 	return s, nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"sde/internal/expr"
 	"sde/internal/isa"
+	"sde/internal/qopt"
 	"sde/internal/solver"
 )
 
@@ -33,6 +34,14 @@ type Context struct {
 	// analysis.
 	Replay expr.Env
 
+	// qo is the query optimizer shared with the solver; the VM uses it
+	// to account concretized reads. concretize gates implied-value
+	// concretization: branch/assert/assume conditions whose variables
+	// are all forced to constants by the path condition are decided here
+	// instead of going to the solver.
+	qo         *qopt.Optimizer
+	concretize bool
+
 	nextStateID atomic.Uint64
 	instrCount  atomic.Uint64
 	forkCount   atomic.Uint64
@@ -46,9 +55,15 @@ func NewContext() *Context { return NewContextWithSolver(solver.Options{}) }
 // given tuning — the injection point for a cross-run solver.SharedCache
 // (parallel shards) or the ablation switches.
 func NewContextWithSolver(opts solver.Options) *Context {
+	eb := expr.NewBuilder()
+	if opts.Optimizer == nil {
+		opts.Optimizer = qopt.New(eb)
+	}
 	return &Context{
-		Exprs:  expr.NewBuilder(),
-		Solver: solver.NewWithOptions(opts),
+		Exprs:      eb,
+		Solver:     solver.NewWithOptions(opts),
+		qo:         opts.Optimizer,
+		concretize: !opts.DisableConcretization,
 	}
 }
 
@@ -248,6 +263,12 @@ type State struct {
 	status   Status
 	runErr   error
 	pathCond []*expr.Expr
+	// bound maps variables the path condition forces to a constant
+	// (var == c, or a pinned 1-bit decision) to that constant. It is
+	// derived from pathCond — never serialized, rebuilt on checkpoint
+	// restore — and drives implied-value concretization: conditions
+	// fully covered by bound are decided without the solver.
+	bound map[uint32]uint64
 	// sess pins the append-only pathCond to the solver's persistent
 	// incremental context, so each branch decision solves under cached
 	// assumption literals instead of re-encoding the whole prefix. Nil
@@ -341,6 +362,12 @@ func (s *State) Fork() *State {
 		recvSeq:  s.recvSeq,
 		symSeq:   s.symSeq,
 		steps:    s.steps,
+	}
+	if len(s.bound) > 0 {
+		n.bound = make(map[uint32]uint64, len(s.bound))
+		for id, v := range s.bound {
+			n.bound[id] = v
+		}
 	}
 	n.events = make([]*Event, len(s.events))
 	for i, ev := range s.events {
@@ -471,6 +498,21 @@ func (s *State) AddConstraint(c *expr.Expr) {
 		return
 	}
 	s.pathCond = append(s.pathCond, c)
+	s.noteBinding(c)
+}
+
+// noteBinding records the implied variable binding of a constraint that
+// forces a variable to a constant, feeding implied-value concretization.
+func (s *State) noteBinding(c *expr.Expr) {
+	if !s.ctx.concretize {
+		return
+	}
+	if v, val, ok := qopt.ImpliedBinding(c); ok {
+		if s.bound == nil {
+			s.bound = make(map[uint32]uint64, 4)
+		}
+		s.bound[v.VarID()] = val
+	}
 }
 
 // InheritConstraints merges the sender's path condition into this state's
@@ -491,6 +533,7 @@ func (s *State) InheritConstraints(cs []*expr.Expr) {
 		}
 		if !present {
 			s.pathCond = append(s.pathCond, c)
+			s.noteBinding(c)
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"sde/internal/expr"
 	"sde/internal/isa"
+	"sde/internal/solver"
 )
 
 func build(t *testing.T, f func(b *isa.Builder)) *isa.Program {
@@ -781,5 +782,63 @@ func TestSharedPagesCountedOnce(t *testing.T) {
 	}
 	if len(ids) != 3 {
 		t.Errorf("distinct page ids after COW split = %d, want 3", len(ids))
+	}
+}
+
+// TestImpliedConcretization: once x == 7 is in the path condition, later
+// branches over x must be decided concretely by the recorded binding —
+// no fork, no new constraint, no solver query.
+func TestImpliedConcretization(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		f := b.Func("main")
+		f.Sym(isa.R1, "x", 8)
+		f.EqI(isa.R2, isa.R1, 7)
+		f.BrNZ(isa.R2, "pinned")
+		f.MovI(isa.R3, 2) // x != 7
+		f.Ret()
+		f.Label("pinned")
+		// x == 7 is bound: both comparisons below have known outcomes.
+		f.UltI(isa.R4, isa.R1, 10) // 7 < 10: true
+		f.BrZ(isa.R4, "dead")
+		f.UltI(isa.R5, isa.R1, 3) // 7 < 3: false
+		f.BrNZ(isa.R5, "dead")
+		f.MovI(isa.R3, 1)
+		f.Ret()
+		f.Label("dead")
+		f.MovI(isa.R3, 99)
+		f.Ret()
+	})
+	ctx := NewContext()
+	s := NewState(ctx, prog, 1)
+	s.StartCall(prog.FuncIndex("main"))
+	h := &forkCollector{}
+	if err := s.Run(0, 0, h); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(h.siblings) != 1 {
+		t.Fatalf("forks = %d, want 1 (only the x==7 decision)", len(h.siblings))
+	}
+	if got := constReg(t, s, isa.R3); got != 1 {
+		t.Errorf("r3 = %d, want 1 (concretized branches mispredicted)", got)
+	}
+	if got := len(s.PathCond()); got != 1 {
+		t.Errorf("path condition has %d constraints, want 1 — implied branches must not add any", got)
+	}
+	if st := ctx.Solver.Stats(); st.ConcretizedReads < 2 {
+		t.Errorf("ConcretizedReads = %d, want >= 2", st.ConcretizedReads)
+	}
+	// With concretization disabled the run is identical, minus the counter.
+	ctx2 := NewContextWithSolver(solver.Options{DisableConcretization: true})
+	s2 := NewState(ctx2, prog, 1)
+	s2.StartCall(prog.FuncIndex("main"))
+	h2 := &forkCollector{}
+	if err := s2.Run(0, 0, h2); err != nil {
+		t.Fatalf("Run (concretization off): %v", err)
+	}
+	if len(h2.siblings) != 1 || constReg(t, s2, isa.R3) != 1 {
+		t.Fatalf("concretization-off run diverged: forks=%d r3=%v", len(h2.siblings), s2.Reg(isa.R3))
+	}
+	if st := ctx2.Solver.Stats(); st.ConcretizedReads != 0 {
+		t.Errorf("DisableConcretization still concretized %d reads", st.ConcretizedReads)
 	}
 }

@@ -452,6 +452,8 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		sched.IncrementalSolves += st.IncSolves
 		sched.SubsumptionHits += st.SubsumptionHits
 		sched.EncodeSkips += st.EncodeSkips
+		sched.QueriesSliced += st.SlicedQueries
+		sched.GatesElided += st.GatesElided
 	}
 	return &ShardedReport{Shards: shards, Sched: sched}, nil
 }

@@ -1,0 +1,80 @@
+package sde_test
+
+import (
+	"testing"
+
+	"sde"
+	"sde/internal/trace"
+)
+
+// TestOptimizerSoundness is the query-optimizer's whole-run acceptance
+// gate, run repeatedly (-count=20) in CI: on the paper's 25-node grid
+// scenario, an optimizer-enabled run and a run with every stage disabled
+// must produce identical test-case sets and identical dscenario state
+// fingerprints for each mapping algorithm. Model queries bypass the
+// optimizer entirely (and always solve on a fresh instance), so the
+// generated inputs depend only on the constraints — which the optimizer
+// must never change observably.
+func TestOptimizerSoundness(t *testing.T) {
+	for _, algo := range []sde.Algorithm{sde.COB, sde.COW, sde.SDS} {
+		algo := algo
+		t.Run(algo.String(), func(t *testing.T) {
+			build := func() sde.Scenario {
+				s, err := sde.GridCollectScenario(sde.GridCollectOptions{
+					Dim:          5,
+					Algorithm:    algo,
+					Packets:      2,
+					MaxDropNodes: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+			run := func(s sde.Scenario) (*sde.Report, []string) {
+				report, err := sde.RunScenario(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var cases []string
+				err = report.StreamTestCases(0, func(tc trace.TestCase) error {
+					cases = append(cases, tc.String())
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("StreamTestCases: %v", err)
+				}
+				return report, cases
+			}
+			on, onCases := run(build())
+			off, offCases := run(build().WithoutQueryOptimizer())
+
+			if on.States() != off.States() {
+				t.Errorf("states = %d optimized, %d unoptimized", on.States(), off.States())
+			}
+			if on.DScenarios().Cmp(off.DScenarios()) != 0 {
+				t.Errorf("dscenarios = %v optimized, %v unoptimized",
+					on.DScenarios(), off.DScenarios())
+			}
+			onSet, offSet := explodeFingerprints(on), explodeFingerprints(off)
+			if len(onSet) != len(offSet) {
+				t.Fatalf("%d distinct fingerprints optimized, %d unoptimized",
+					len(onSet), len(offSet))
+			}
+			for fp := range offSet {
+				if !onSet[fp] {
+					t.Fatal("optimized run is missing a dscenario state fingerprint")
+				}
+			}
+			if len(onCases) != len(offCases) {
+				t.Fatalf("%d test cases optimized, %d unoptimized", len(onCases), len(offCases))
+			}
+			for i := range offCases {
+				if onCases[i] != offCases[i] {
+					t.Fatalf("test case %d diverges:\n optimized:   %s\n unoptimized: %s",
+						i, onCases[i], offCases[i])
+				}
+			}
+		})
+	}
+}

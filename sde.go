@@ -96,7 +96,8 @@ type SchedStats = metrics.SchedStats
 
 // SolverOptions tunes a run's constraint solver: ablation switches for
 // each pipeline layer (caches, model pool, fast path, partitioning,
-// incremental solving, subsumption) and the CDCL conflict budget. The
+// incremental solving, subsumption, and the query-optimizer stages —
+// slicing, rewriting, concretization) and the CDCL conflict budget. The
 // zero value enables every optimisation.
 type SolverOptions = solver.Options
 
@@ -149,6 +150,19 @@ func (s Scenario) WithSampling(n int) Scenario {
 // solver-pipeline layer's contribution.
 func (s Scenario) WithSolverOptions(o SolverOptions) Scenario {
 	s.cfg.Solver = o
+	return s
+}
+
+// WithoutQueryOptimizer returns a copy of the scenario with all three
+// query-optimizer stages (independence slicing, algebraic rewriting,
+// implied-value concretization) switched off. Optimized and unoptimized
+// runs produce identical test-case sets and state fingerprints, so this
+// switch — and the per-stage SolverOptions flags for finer bisection —
+// is the first triage step when a soundness bug is suspected.
+func (s Scenario) WithoutQueryOptimizer() Scenario {
+	s.cfg.Solver.DisableSlicing = true
+	s.cfg.Solver.DisableRewrite = true
+	s.cfg.Solver.DisableConcretization = true
 	return s
 }
 
