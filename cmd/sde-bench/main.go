@@ -27,6 +27,13 @@
 //	sde-bench -json                           # writes BENCH_solver.json
 //	sde-bench -json -out results.json -depth 32 -reps 5
 //
+// -json also benchmarks the query-optimization pipeline (-qopt-out,
+// default BENCH_qopt.json) and the speculative-fork solver pipeline
+// (-spec-out, default BENCH_spec.json; synchronous vs 1/2/4 async
+// solver workers on the entangled assume-chain workload). -spec-workers
+// sizes the speculation pool for the table sweeps, and
+// -cpuprofile/-memprofile write pprof profiles for any mode.
+//
 // Long sweeps can be made durable with -checkpoint DIR: every run (and,
 // in -sharded mode, every shard of the adaptive schedule) snapshots its
 // frontier into its own subdirectory, and re-invoking the same command
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"sde"
+	"sde/internal/prof"
 )
 
 func main() {
@@ -52,7 +60,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	dimsFlag := flag.String("dims", "5,7,10", "comma-separated grid dimensions to evaluate")
 	packets := flag.Uint("packets", 0, "packets per run (0 = calibrated default of 3; the paper uses 10)")
 	table1 := flag.Bool("table1", false, "run only the 100-node Table I scenario")
@@ -64,22 +72,45 @@ func run() error {
 	splitBits := flag.Int("split-bits", 0, "adaptive split depth cap for -sharded (0 = same as -shard-bits)")
 	splitThreshold := flag.Int("split-threshold", 0, "live-state straggler threshold for -sharded (0 = default)")
 	sharedCache := flag.Bool("shared-cache", true, "share one solver cache across shards in -sharded")
-	jsonBench := flag.Bool("json", false, "run the solver prefix-extension and query-optimizer benches and write machine-readable results")
+	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative-fork pipeline (0 = one per CPU)")
+	jsonBench := flag.Bool("json", false, "run the solver, query-optimizer, and speculation benches and write machine-readable results")
 	jsonOut := flag.String("out", "BENCH_solver.json", "output path for -json")
 	qoptOut := flag.String("qopt-out", "BENCH_qopt.json", "output path for the -json query-optimizer results")
+	specOut := flag.String("spec-out", "BENCH_spec.json", "output path for the -json speculative-pipeline results")
 	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
 	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: make runs durable and resume interrupted ones")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	// Batch tool: trade GC frequency for throughput on large state sets.
 	debug.SetGCPercent(600)
 
+	if err := validateWorkerFlag("-workers", *workers); err != nil {
+		return err
+	}
+	if err := validateWorkerFlag("-spec-workers", *specWorkers); err != nil {
+		return err
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+
 	if *jsonBench {
 		if err := runSolverBench(*jsonOut, *jsonDepth, *jsonReps); err != nil {
 			return err
 		}
-		return runQoptBench(*qoptOut, *jsonReps)
+		if err := runQoptBench(*qoptOut, *jsonReps); err != nil {
+			return err
+		}
+		return runSpecBench(*specOut, *jsonReps)
 	}
 	if *worstCase {
 		return runWorstCase()
@@ -90,7 +121,7 @@ func run() error {
 		return err
 	}
 	if *sharded {
-		return runSharded(dims[0], uint32(*packets), *workers, *shardBits,
+		return runSharded(dims[0], uint32(*packets), *workers, *specWorkers, *shardBits,
 			*splitBits, *splitThreshold, *sharedCache, *wallCap, *checkpoint)
 	}
 	if *table1 {
@@ -130,7 +161,7 @@ func run() error {
 // runSharded compares an unsharded run, a static uniform pre-split, and
 // the adaptive work-stealing scheduler on the same grid scenario at the
 // same worker count.
-func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThreshold int, sharedCache bool, wallCap time.Duration, checkpoint string) error {
+func runSharded(dim int, packets uint32, workers, specWorkers, shardBits, splitBits, splitThreshold int, sharedCache bool, wallCap time.Duration, checkpoint string) error {
 	opts := sde.DefaultEvalOptions(dim)
 	if packets > 0 {
 		opts.Packets = packets
@@ -178,8 +209,9 @@ func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThr
 	row("unsharded", plain.Wall(), plain.States(), sde.SchedStats{Shards: 1})
 
 	static, err := sde.RunScenarioShardedWith(scenario, sde.ShardConfig{
-		ShardBits: shardBits,
-		Workers:   workers,
+		ShardBits:   shardBits,
+		Workers:     workers,
+		SpecWorkers: specWorkers,
 	})
 	if err != nil {
 		return err
@@ -188,6 +220,7 @@ func runSharded(dim int, packets uint32, workers, shardBits, splitBits, splitThr
 
 	adaptive, err := sde.RunScenarioShardedWith(scenario, sde.ShardConfig{
 		Workers:           workers,
+		SpecWorkers:       specWorkers,
 		MaxSplitBits:      splitBits,
 		SplitThreshold:    splitThreshold,
 		SharedSolverCache: sharedCache,
@@ -274,6 +307,15 @@ func runWorstCaseOnce(k, u int, algo sde.Algorithm) (int, error) {
 		return 0, err
 	}
 	return report.States(), nil
+}
+
+// validateWorkerFlag rejects negative worker counts with a clear error
+// instead of letting them silently fall back to a default downstream.
+func validateWorkerFlag(name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %d); 0 means one per CPU", name, n)
+	}
+	return nil
 }
 
 func parseDims(s string) ([]int, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -17,6 +18,38 @@ func TestParseDims(t *testing.T) {
 	for _, bad := range []string{"", "x", "1", "5,,x", "0"} {
 		if _, err := parseDims(bad); err == nil {
 			t.Errorf("parseDims(%q) accepted", bad)
+		}
+	}
+}
+
+// TestValidateWorkerFlag: negative -workers/-spec-workers must be
+// rejected with an error naming the flag, not silently mapped to a
+// default worker count.
+func TestValidateWorkerFlag(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		ok   bool
+	}{
+		{"-workers", 0, true},
+		{"-workers", 8, true},
+		{"-workers", -1, false},
+		{"-spec-workers", 0, true},
+		{"-spec-workers", 4, true},
+		{"-spec-workers", -1, false},
+		{"-spec-workers", -100, false},
+	}
+	for _, tt := range cases {
+		err := validateWorkerFlag(tt.name, tt.n)
+		if tt.ok && err != nil {
+			t.Errorf("validateWorkerFlag(%q, %d) = %v, want nil", tt.name, tt.n, err)
+		}
+		if !tt.ok {
+			if err == nil {
+				t.Errorf("validateWorkerFlag(%q, %d) accepted a negative count", tt.name, tt.n)
+			} else if !strings.Contains(err.Error(), tt.name) {
+				t.Errorf("error %q does not name the flag %q", err, tt.name)
+			}
 		}
 	}
 }

@@ -11,6 +11,11 @@
 // Long runs can be made durable with -checkpoint DIR (periodic frontier
 // snapshots plus a progress journal) and continued after a crash with
 // -resume DIR; a resumed run is bit-identical to an uninterrupted one.
+//
+// Feasibility solving overlaps with symbolic execution by default
+// (-spec-workers N sizes the solver pool, 0 = one per CPU); if outputs
+// ever look wrong, -speculate=false is the first soundness-triage step.
+// -cpuprofile/-memprofile write pprof profiles for the whole run.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"strings"
 
 	"sde"
+	"sde/internal/prof"
 	"sde/internal/trace"
 )
 
@@ -32,7 +38,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	topoFlag := flag.String("topo", "grid:5", "topology: grid:<dim>, line:<k>, or mesh:<k>")
 	appFlag := flag.String("app", "collect",
 		"application: collect, flood, discovery, runicast, or threshold")
@@ -48,9 +54,26 @@ func run() error {
 	checkpoint := flag.String("checkpoint", "", "write periodic durable checkpoints into this directory")
 	resume := flag.String("resume", "", "resume from the checkpoint in this directory (or start fresh into it)")
 	qoptFlag := flag.Bool("qopt", true, "query-optimization pipeline (slicing, rewriting, concretization); -qopt=false is the first soundness-triage step")
+	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline (overlap execution with feasibility solving); -speculate=false is the first soundness-triage step")
+	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative-fork pipeline (0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	debug.SetGCPercent(600)
+
+	if err := validateWorkerFlag("-spec-workers", *specWorkers); err != nil {
+		return err
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	algo, err := parseAlgo(*algoFlag)
 	if err != nil {
@@ -65,6 +88,11 @@ func run() error {
 	}
 	if !*qoptFlag {
 		scenario = scenario.WithoutQueryOptimizer()
+	}
+	if !*speculate {
+		scenario = scenario.WithoutSpeculation()
+	} else if *specWorkers > 0 {
+		scenario = scenario.WithSpeculation(*specWorkers)
 	}
 	if *checkpoint != "" && *resume != "" {
 		return fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume already checkpoints)")
@@ -116,6 +144,15 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateWorkerFlag rejects negative worker counts with a clear error
+// instead of letting them silently fall back to a default downstream.
+func validateWorkerFlag(name string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("%s must be >= 0 (got %d); 0 means one per CPU", name, n)
 	}
 	return nil
 }

@@ -103,6 +103,38 @@ func (s *Series) CSV() string {
 	return sb.String()
 }
 
+// SpecStats summarises one run's speculative-fork solver pipeline
+// activity: how many branch decisions overlapped with execution, how the
+// speculation resolved, and how much time resolution barriers spent
+// waiting on verdicts. All zero when speculation is disabled.
+type SpecStats struct {
+	Workers int // solver worker count of the pipeline
+
+	Submitted    int64 // speculations submitted (a branch pair counts once)
+	Pairs        int64 // two-sided branch speculations
+	Assumes      int64 // single-query assume speculations
+	Solves       int64 // feasibility queries the workers actually issued
+	Elided       int64 // false-side verdicts answered by complement elision
+	InflightPeak int64 // high-water mark of unresolved speculations
+
+	Rewinds   int64 // speculative executions rewound onto the false side
+	SpecKills int64 // states killed at resolution (infeasible assume, solver error)
+	Removed   int64 // provisional constraints removed (one-sided-true branches)
+
+	Barriers      int64 // resolution barriers that found a non-empty pipeline
+	BarrierWaitNs int64 // total nanoseconds barriers spent draining verdicts
+}
+
+// String renders a one-line speculation summary.
+func (s SpecStats) String() string {
+	if s.Submitted == 0 {
+		return "speculation: off"
+	}
+	return fmt.Sprintf("spec: workers=%d submitted=%d (pairs=%d assumes=%d) solves=%d elided=%d rewinds=%d kills=%d barrier-wait=%s",
+		s.Workers, s.Submitted, s.Pairs, s.Assumes, s.Solves, s.Elided,
+		s.Rewinds, s.SpecKills, time.Duration(s.BarrierWaitNs).Round(time.Microsecond))
+}
+
 // SchedStats summarises one parallel scheduler run: how the adaptive
 // work-stealing shard scheduler spent its worker pool. It is the
 // scheduling counterpart of the per-run Sample series — per-worker
@@ -124,6 +156,13 @@ type SchedStats struct {
 	EncodeSkips       int64 // constraint encodes served by persistent blast memos
 	QueriesSliced     int64 // queries shrunk by constraint independence slicing
 	GatesElided       int64 // encoding work the query optimizer avoided (DAG nodes)
+
+	// Per-shard speculative-fork pipeline activity, summed over the leaf
+	// shards (see SpecStats).
+	SpecSubmitted int64 // speculations submitted across shards
+	SpecSolves    int64 // feasibility queries issued by speculation workers
+	SpecElided    int64 // false-side verdicts answered by complement elision
+	SpecRewinds   int64 // speculative executions rewound onto the false side
 
 	WorkerBusy []time.Duration // per-worker time spent running shards
 	Elapsed    time.Duration   // scheduler wall time (the makespan)

@@ -1,0 +1,50 @@
+// Package prof wires the standard pprof profilers to CLI flags, so both
+// command-line tools expose the same -cpuprofile/-memprofile workflow.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpu is a non-empty path. The returned
+// stop function ends the CPU profile and, when mem is a non-empty path,
+// writes a heap profile; call it exactly once, after the workload.
+func Start(cpu, mem string) (func() error, error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer f.Close()
+			// Flush pending frees so the profile reflects live heap.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

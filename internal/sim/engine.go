@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"runtime"
 	"time"
 
 	"sde/internal/core"
@@ -136,6 +137,18 @@ type Config struct {
 	// CheckpointEvery is the checkpoint interval in processed events
 	// (default 256). Only meaningful with CheckpointDir.
 	CheckpointEvery int
+
+	// DisableSpeculation turns the speculative-fork solver pipeline off:
+	// every branch feasibility query is then solved synchronously on the
+	// interpreter thread. Speculation preserves verdicts, fingerprints,
+	// and test cases bit-for-bit, so disabling it is the first triage step
+	// when a run looks wrong — if the output changes, the pipeline is the
+	// bug. Replay runs never speculate (they take no symbolic branches).
+	DisableSpeculation bool
+
+	// SpecWorkers is the solver worker count of the speculation pipeline:
+	// 0 picks one worker per available CPU; negative values are rejected.
+	SpecWorkers int
 }
 
 // Result summarises a finished (or aborted) run.
@@ -170,6 +183,10 @@ type Result struct {
 
 	// SolverStats snapshots the constraint-solver activity counters.
 	SolverStats solver.Stats
+
+	// Spec summarises the speculative-fork solver pipeline's activity
+	// (zero when speculation was disabled).
+	Spec metrics.SpecStats
 
 	// Mapper and Ctx expose the final symbolic state population for
 	// post-processing: dscenario explosion, test-case generation.
@@ -206,6 +223,17 @@ type Engine struct {
 	stopped        bool
 	finished       bool
 	err            error
+
+	// Speculative-fork pipeline (see speculate.go). specPending holds the
+	// unresolved speculations of the currently executing state, in
+	// creation order.
+	specPool        *solver.SpecPool
+	specPending     []specEntry
+	specRewinds     int64
+	specKills       int64
+	specRemoved     int64
+	specBarriers    int64
+	specBarrierWait time.Duration
 }
 
 // defaultCheckpointEvery is the checkpoint interval (in processed events)
@@ -285,16 +313,28 @@ func newEngineShell(cfg Config) (*Engine, error) {
 	if cfg.SharedSolverCache != nil {
 		sopts.SharedCache = cfg.SharedSolverCache
 	}
+	if cfg.SpecWorkers < 0 {
+		return nil, fmt.Errorf("sim: SpecWorkers must be >= 0 (got %d)", cfg.SpecWorkers)
+	}
 	ctx := vm.NewContextWithSolver(sopts)
 	ctx.Replay = cfg.Replay
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		ctx:      ctx,
 		entrySeq: make(map[*vm.State]uint64),
 		bootFn:   bootFn,
 		recvFn:   recvFn,
 		started:  time.Now(),
-	}, nil
+	}
+	if !cfg.DisableSpeculation && cfg.Replay == nil {
+		workers := cfg.SpecWorkers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		e.specPool = solver.NewSpecPool(ctx.Solver, workers)
+		ctx.SetSpecHooks((*engineHooks)(e))
+	}
+	return e, nil
 }
 
 // NewEngine validates the configuration and builds the initial k node
@@ -423,6 +463,7 @@ func (e *Engine) Run() (*Result, error) {
 	for e.Step() {
 	}
 	if e.err != nil {
+		e.closeSpecPool()
 		return nil, e.err
 	}
 	// A final checkpoint makes completed runs durable too: resuming a
@@ -438,6 +479,7 @@ func (e *Engine) Run() (*Result, error) {
 // Finish finalises metrics and assembles the result. It may be called
 // once, after Step has returned false.
 func (e *Engine) Finish() *Result {
+	e.closeSpecPool()
 	e.sample()
 	mem := e.modelBytes()
 	res := &Result{
@@ -462,6 +504,23 @@ func (e *Engine) Finish() *Result {
 		SolverStats:  e.ctx.Solver.Stats(),
 		Mapper:       e.mapper,
 		Ctx:          e.ctx,
+	}
+	if e.specPool != nil {
+		ps := e.specPool.Stats()
+		res.Spec = metrics.SpecStats{
+			Workers:       e.specPool.Workers(),
+			Submitted:     ps.Submitted,
+			Pairs:         ps.Pairs,
+			Assumes:       ps.Assumes,
+			Solves:        ps.Solves,
+			Elided:        ps.Elided,
+			InflightPeak:  ps.InflightPeak,
+			Rewinds:       e.specRewinds,
+			SpecKills:     e.specKills,
+			Removed:       e.specRemoved,
+			Barriers:      e.specBarriers,
+			BarrierWaitNs: e.specBarrierWait.Nanoseconds(),
+		}
 	}
 	if res.PeakMem < mem {
 		res.PeakMem = mem
@@ -523,8 +582,28 @@ func (e *Engine) processEvent(s *vm.State) {
 }
 
 // runToCompletion drives one mid-event state until its handler returns.
+// With speculation on, the activation ends with a pipeline drain: an
+// infeasible-true-side verdict rewinds the state onto the false side and
+// re-runs it, so by the time this returns the state's path condition is
+// fully confirmed and the pipeline is empty.
 func (e *Engine) runToCompletion(s *vm.State) {
 	err := s.Run(e.clock, e.cfg.StepBudget, (*engineHooks)(e))
+	if e.specPool != nil {
+		for {
+			e.drainSpec()
+			if !s.SpecRewound() {
+				break
+			}
+			s.ClearSpecRewound()
+			err = s.Run(e.clock, e.cfg.StepBudget, (*engineHooks)(e))
+		}
+		if s.Status() == vm.StatusDead {
+			// A deferred verdict may have killed the state after (or
+			// regardless of) what Run returned; the resolution-time error
+			// is what a synchronous run would have died of first.
+			err = s.Err()
+		}
+	}
 	if err == nil && s.Status() == vm.StatusDead {
 		err = s.Err() // killed by a hook (e.g. out-of-range unicast)
 	}

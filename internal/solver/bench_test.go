@@ -132,6 +132,7 @@ func BenchmarkPrefixExtension(b *testing.B) {
 			opts := base
 			opts.DisableIncremental = mode.fromScratch
 			var last Stats
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s := NewWithOptions(opts)

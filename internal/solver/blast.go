@@ -2,9 +2,35 @@ package solver
 
 import (
 	"fmt"
+	"sync"
 
 	"sde/internal/expr"
 )
+
+// litScratch pools the literal scratch buffers of the word-level circuit
+// constructors below. The big circuits (multiplier, divider, barrel
+// shifter) build and discard one transient word per stage; on constraint-
+// heavy runs those made the blaster the dominant allocator. Only buffers
+// that never escape are pooled — memoised encode outputs live as long as
+// the blaster. satSolver.addClause copies its literals, so a recycled
+// buffer never aliases a stored clause, and the pool is shared safely by
+// the per-slot blasters of concurrent speculation workers.
+var litScratch = sync.Pool{
+	New: func() any {
+		s := make([]Lit, 0, 64)
+		return &s
+	},
+}
+
+// scratchWord borrows a width-w literal buffer from the pool.
+func scratchWord(w int) *[]Lit {
+	p := litScratch.Get().(*[]Lit)
+	if cap(*p) < w {
+		*p = make([]Lit, w)
+	}
+	*p = (*p)[:w]
+	return p
+}
 
 // blaster lowers expression DAGs onto a satSolver instance. Each bitvector
 // expression becomes a little-endian slice of literals (index 0 = LSB).
@@ -152,20 +178,23 @@ func (b *blaster) adder(x, y []Lit, cin Lit) ([]Lit, Lit) {
 }
 
 func (b *blaster) negWord(x []Lit) []Lit {
-	inv := make([]Lit, len(x))
+	ip := scratchWord(len(x))
+	inv := *ip
 	for i := range x {
 		inv[i] = -x[i]
 	}
 	out, _ := b.adder(inv, b.constWord(1, len(x)), b.litFalse())
+	litScratch.Put(ip)
 	return out
 }
 
 func (b *blaster) mul(x, y []Lit) []Lit {
 	w := len(x)
 	acc := b.constWord(0, w)
+	pp := scratchWord(w)
+	partial := *pp
 	for i := 0; i < w; i++ {
 		// acc += y_i ? (x << i) : 0
-		partial := make([]Lit, w)
 		for j := 0; j < w; j++ {
 			if j < i {
 				partial[j] = b.litFalse()
@@ -175,6 +204,7 @@ func (b *blaster) mul(x, y []Lit) []Lit {
 		}
 		acc, _ = b.adder(acc, partial, b.litFalse())
 	}
+	litScratch.Put(pp)
 	return acc
 }
 
@@ -219,15 +249,17 @@ func (b *blaster) divRem(x, y []Lit) (quo, rem []Lit) {
 	w := len(x)
 	r := b.constWord(0, w)
 	q := make([]Lit, w)
+	sp := scratchWord(w)
+	shifted := *sp
 	for i := w - 1; i >= 0; i-- {
 		// r = (r << 1) | x_i
-		shifted := make([]Lit, w)
 		shifted[0] = x[i]
 		copy(shifted[1:], r[:w-1])
 		ge := b.ugeWord(shifted, y)
 		r = b.subIf(ge, shifted, y)
 		q[i] = ge
 	}
+	litScratch.Put(sp)
 	yZero := b.eqWord(y, b.constWord(0, w))
 	quo = make([]Lit, w)
 	rem = make([]Lit, w)
@@ -255,11 +287,12 @@ func (b *blaster) shift(x, amount []Lit, dir shiftDir) []Lit {
 	if dir == shiftRightArith {
 		fill = x[w-1]
 	}
-	cur := append([]Lit(nil), x...)
+	cp, np := scratchWord(w), scratchWord(w)
+	cur, next := *cp, *np
+	copy(cur, x)
 	// Stages for each amount bit that can shift within the word.
 	for k := 0; k < len(amount) && (1<<uint(k)) < w; k++ {
 		step := 1 << uint(k)
-		next := make([]Lit, w)
 		for i := 0; i < w; i++ {
 			var from Lit
 			switch dir {
@@ -278,7 +311,7 @@ func (b *blaster) shift(x, amount []Lit, dir shiftDir) []Lit {
 			}
 			next[i] = b.muxGate(amount[k], from, cur[i])
 		}
-		cur = next
+		cur, next = next, cur
 	}
 	// If any amount bit at or above log2(w) is set, the shift saturates.
 	over := b.litFalse()
@@ -291,6 +324,8 @@ func (b *blaster) shift(x, amount []Lit, dir shiftDir) []Lit {
 	for i := 0; i < w; i++ {
 		out[i] = b.muxGate(over, fill, cur[i])
 	}
+	litScratch.Put(cp)
+	litScratch.Put(np)
 	return out
 }
 

@@ -100,22 +100,32 @@ func (sess *Session) sync(ic *incContext, prefix []*expr.Expr, rw func(*expr.Exp
 }
 
 // solveIncremental decides active (the constant-folded form of
-// prefix ∧ extra) on the persistent instance. All encoding happens at
-// decision level 0 — the instance is backtracked before any blasting —
-// so new gate clauses and their unit consequences are installed as
-// permanent level-0 facts.
-func (s *Solver) solveIncremental(sess *Session, prefix []*expr.Expr, extra *expr.Expr, active []*expr.Expr) (bool, expr.Env, error) {
-	s.incMu.Lock()
-	defer s.incMu.Unlock()
-	if s.inc == nil {
+// prefix ∧ extra) on the persistent instance of qc's slot. All encoding
+// happens at decision level 0 — the instance is backtracked before any
+// blasting — so new gate clauses and their unit consequences are
+// installed as permanent level-0 facts.
+//
+// Each slot owns a private CDCL instance and blast memo, so concurrent
+// solves on distinct slots never contend here; a session is only ever
+// pinned to slot 0 (the interpreter thread).
+func (s *Solver) solveIncremental(qc queryCtx, sess *Session, prefix []*expr.Expr, extra *expr.Expr, active []*expr.Expr) (bool, expr.Env, error) {
+	slot := qc.slot
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if slot.ic == nil {
 		sat := newSatSolver()
-		s.inc = &incContext{sat: sat, bl: newBlaster(sat)}
+		slot.ic = &incContext{sat: sat, bl: newBlaster(sat)}
 	}
-	ic := s.inc
+	ic := slot.ic
 	ic.sat.maxConfl = s.opts.MaxConflicts
 	ic.sat.backtrackTo(0)
 
+	// Speculation workers bypass the rewrite hook along with the rest of
+	// the optimizer: its memo tables are not built for concurrent access.
 	rw := s.rewriteFn()
+	if qc.skipOpt {
+		rw = nil
+	}
 	var assumptions []Lit
 	var reused, skips int64
 	memoed := func(c *expr.Expr) {
@@ -148,14 +158,17 @@ func (s *Solver) solveIncremental(sess *Session, prefix []*expr.Expr, extra *exp
 
 	confl0, dec0 := ic.sat.conflicts, ic.sat.decisions
 	res := ic.sat.solveUnder(assumptions)
-	s.mu.Lock()
-	s.stats.Conflicts += ic.sat.conflicts - confl0
-	s.stats.Decisions += ic.sat.decisions - dec0
-	s.stats.Gates += ic.bl.gates - ic.gatesSeen
-	s.stats.AssumeReuses += reused
-	s.stats.EncodeSkips += skips
-	s.stats.LearnedRetained = ic.sat.learned
-	s.mu.Unlock()
+	mainSlot := slot == &s.slot0
+	s.bumpStat(func(st *Stats) {
+		st.Conflicts += ic.sat.conflicts - confl0
+		st.Decisions += ic.sat.decisions - dec0
+		st.Gates += ic.bl.gates - ic.gatesSeen
+		st.AssumeReuses += reused
+		st.EncodeSkips += skips
+		if mainSlot {
+			st.LearnedRetained = ic.sat.learned
+		}
+	})
 	ic.gatesSeen = ic.bl.gates
 
 	switch res {

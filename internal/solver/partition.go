@@ -73,18 +73,17 @@ func (s *Solver) partition(constraints []*expr.Expr) [][]*expr.Expr {
 // component goes through the full pipeline (fast path, cache, pool, SAT),
 // so repeated components — the common case across a run's many queries —
 // hit the cache. Returns ok=false when partitioning does not apply
-// (single component).
-func (s *Solver) checkPartitioned(constraints []*expr.Expr, needModel bool) (bool, expr.Env, bool, error) {
+// (single component). Recursion stays on the caller's query context, so
+// a speculation worker's components solve on the worker's own slot.
+func (s *Solver) checkPartitioned(qc queryCtx, constraints []*expr.Expr, needModel bool) (bool, expr.Env, bool, error) {
 	comps := s.partition(constraints)
 	if len(comps) <= 1 {
 		return false, nil, false, nil
 	}
-	s.mu.Lock()
-	s.stats.Partitions++
-	s.mu.Unlock()
+	s.bumpStat(func(st *Stats) { st.Partitions++ })
 	merged := expr.Env{}
 	for _, comp := range comps {
-		sat, model, err := s.check(comp, needModel)
+		sat, model, err := s.checkQuery(qc, nil, comp, nil, needModel)
 		if err != nil {
 			return false, nil, true, err
 		}

@@ -74,11 +74,11 @@ func TestWarmSessionEncodesRewritten(t *testing.T) {
 	sess := s.NewSession()
 	s.WarmSession(sess, []*expr.Expr{orig})
 
-	s.incMu.Lock()
-	memo := s.inc.bl.memo
+	s.slot0.mu.Lock()
+	memo := s.slot0.ic.bl.memo
 	_, hasRewritten := memo[rewritten]
 	_, hasOrig := memo[orig]
-	s.incMu.Unlock()
+	s.slot0.mu.Unlock()
 	if !hasRewritten {
 		t.Error("re-warm did not encode the rewritten constraint")
 	}

@@ -18,12 +18,13 @@ func (s *Solver) WarmSession(sess *Session, prefix []*expr.Expr) {
 	if sess == nil || s.opts.DisableIncremental {
 		return
 	}
-	s.incMu.Lock()
-	if s.inc == nil {
+	// Sessions always live on slot 0, the interpreter thread's slot.
+	s.slot0.mu.Lock()
+	if s.slot0.ic == nil {
 		sat := newSatSolver()
-		s.inc = &incContext{sat: sat, bl: newBlaster(sat)}
+		s.slot0.ic = &incContext{sat: sat, bl: newBlaster(sat)}
 	}
-	ic := s.inc
+	ic := s.slot0.ic
 	// Encoding must happen at decision level 0 so gate clauses become
 	// permanent facts (same discipline as solveIncremental).
 	ic.sat.backtrackTo(0)
@@ -33,13 +34,13 @@ func (s *Solver) WarmSession(sess *Session, prefix []*expr.Expr) {
 	reused, skips := sess.sync(ic, prefix, s.rewriteFn())
 	gates := ic.bl.gates - ic.gatesSeen
 	ic.gatesSeen = ic.bl.gates
-	s.incMu.Unlock()
+	s.slot0.mu.Unlock()
 
-	s.mu.Lock()
-	s.stats.RewarmSessions++
-	s.stats.RewarmEncodes += int64(len(prefix)) - reused
-	s.stats.AssumeReuses += reused
-	s.stats.EncodeSkips += skips
-	s.stats.Gates += gates
-	s.mu.Unlock()
+	s.bumpStat(func(st *Stats) {
+		st.RewarmSessions++
+		st.RewarmEncodes += int64(len(prefix)) - reused
+		st.AssumeReuses += reused
+		st.EncodeSkips += skips
+		st.Gates += gates
+	})
 }

@@ -25,13 +25,13 @@ type Stats struct {
 	FastPath        int64 // answered by the syntactic literal scan
 	Partitions      int64 // queries split into independent components
 	SATCalls        int64 // CDCL runs (incremental and from-scratch)
-	IncSolves       int64 // CDCL runs answered by the persistent instance
+	IncSolves       int64 // CDCL runs answered by a persistent instance
 	Conflicts       int64 // CDCL conflicts across all runs
 	Decisions       int64 // CDCL decisions across all runs
 	AssumeReuses    int64 // assumption literals reused from session prefixes
-	EncodeSkips     int64 // constraint encodes served by the persistent blast memo
+	EncodeSkips     int64 // constraint encodes served by a persistent blast memo
 	Gates           int64 // Tseitin gate variables allocated across all runs
-	LearnedRetained int64 // learned clauses alive in the persistent instance (gauge)
+	LearnedRetained int64 // learned clauses alive in the main persistent instance (gauge)
 	RewarmSessions  int64 // sessions re-synced after a checkpoint resume
 	RewarmEncodes   int64 // constraints re-encoded during those re-warms
 
@@ -102,22 +102,63 @@ type Options struct {
 	DisableConcretization bool
 }
 
+// cacheStripes is the number of exact-cache segments. Striping lets
+// speculation workers and the main thread decide disjoint queries without
+// contending on one map lock.
+const cacheStripes = 64
+
+type cacheStripe struct {
+	mu sync.Mutex
+	m  map[uint64]cacheEntry
+}
+
+// solverSlot is one persistent incremental solving context plus the mutex
+// that serialises it. The Solver owns slot 0 (session-pinned queries from
+// the interpreter thread); the speculation pool allocates one extra slot
+// per worker so feasibility queries never share a CDCL instance — only
+// the read-mostly caches — across goroutines.
+type solverSlot struct {
+	mu sync.Mutex
+	ic *incContext
+}
+
+// queryCtx routes one query through the pipeline: which incremental slot
+// decides it, and whether the query-optimizer stage is bypassed.
+// Speculative workers bypass the optimizer (and the rewrite hook): the
+// optimizer is a pure optimisation, and bypassing it keeps its internal
+// memo tables off the concurrent path.
+type queryCtx struct {
+	slot    *solverSlot
+	skipOpt bool
+}
+
 // Solver answers satisfiability queries over sets of 1-bit constraint
-// expressions. It is safe for concurrent use. All constraint expressions
-// passed to one Solver must come from a single expr.Builder.
+// expressions. It is safe for concurrent use: the exact cache is striped,
+// the subsumption index sits behind a read-mostly RWMutex, and every
+// incremental CDCL instance lives in its own slot — there is no global
+// mutex on the query path. All constraint expressions passed to one
+// Solver must come from a single expr.Builder.
 type Solver struct {
-	opts    Options
-	mu      sync.Mutex
-	cache   map[uint64]cacheEntry
-	subs    subsumptionIndex
+	opts Options
+
+	cache [cacheStripes]cacheStripe
+
+	// subsMu guards the subsumption index. One index (not striped):
+	// subset/superset lookups must see every stored entry to stay
+	// complete, so reads take the shared lock and stores the exclusive.
+	subsMu sync.RWMutex
+	subs   subsumptionIndex
+
+	poolMu  sync.Mutex
 	pool    []expr.Env // recent satisfying models, most recent last
 	poolCap int
+
+	statsMu sync.Mutex
 	stats   Stats
 
-	// incMu serialises the persistent incremental instance. It is never
-	// acquired while mu is held (mu may be taken under incMu).
-	incMu sync.Mutex
-	inc   *incContext
+	// slot0 is the main incremental context: all session-pinned queries
+	// (the interpreter thread) and session re-warms land here.
+	slot0 solverSlot
 }
 
 // New returns a Solver with all optimisations enabled.
@@ -126,19 +167,42 @@ func New() *Solver { return NewWithOptions(Options{}) }
 // NewWithOptions returns a Solver with the given tuning. Options is the
 // single source of truth for the conflict budget (Options.MaxConflicts).
 func NewWithOptions(opts Options) *Solver {
-	return &Solver{
+	s := &Solver{
 		opts:    opts,
-		cache:   make(map[uint64]cacheEntry, 256),
 		poolCap: 16,
 	}
+	for i := range s.cache {
+		s.cache[i].m = make(map[uint64]cacheEntry, 8)
+	}
+	return s
+}
+
+// NewWorkerSlot returns a fresh incremental solving slot with its own
+// CDCL instance and blast context. The speculation pool gives one to each
+// worker, so concurrent feasibility queries share only the caches.
+func (s *Solver) NewWorkerSlot() *SolverSlot { return &SolverSlot{} }
+
+// SolverSlot is the exported handle for a worker-owned incremental
+// context; see Solver.NewWorkerSlot.
+type SolverSlot struct {
+	slot solverSlot
+}
+
+// FeasibleOn decides prefix ∧ extra on the given worker slot, bypassing
+// the query optimizer and any session. This is the speculation-worker
+// entry point: it shares the Solver's caches but never its slot-0 CDCL
+// instance, so it is safe to call concurrently with every other method.
+func (s *Solver) FeasibleOn(slot *SolverSlot, prefix []*expr.Expr, extra *expr.Expr) (bool, error) {
+	sat, _, err := s.checkQuery(queryCtx{slot: &slot.slot, skipOpt: true}, nil, prefix, extra, false)
+	return sat, err
 }
 
 // Stats returns a snapshot of the activity counters, merging in the
 // counters owned by the attached query optimizer (if any).
 func (s *Solver) Stats() Stats {
-	s.mu.Lock()
+	s.statsMu.Lock()
 	st := s.stats
-	s.mu.Unlock()
+	s.statsMu.Unlock()
 	if o := s.opts.Optimizer; o != nil {
 		st.RewriteHits = o.RewriteHits()
 		st.ConcretizedReads = o.ConcretizedReads()
@@ -180,24 +244,32 @@ func (s *Solver) Model(constraints []*expr.Expr) (expr.Env, bool, error) {
 // with the (append-only) prefix; a nil sess (or nil extra) is always
 // valid and falls back to stateless solving.
 func (s *Solver) FeasibleWith(sess *Session, prefix []*expr.Expr, extra *expr.Expr) (bool, error) {
-	sat, _, err := s.checkQuery(sess, prefix, extra, false)
+	sat, _, err := s.checkQuery(queryCtx{slot: &s.slot0}, sess, prefix, extra, false)
 	return sat, err
 }
 
 // ModelWith is Model for prefix-extension queries; see FeasibleWith.
 func (s *Solver) ModelWith(sess *Session, prefix []*expr.Expr, extra *expr.Expr) (expr.Env, bool, error) {
-	sat, model, err := s.checkQuery(sess, prefix, extra, true)
+	sat, model, err := s.checkQuery(queryCtx{slot: &s.slot0}, sess, prefix, extra, true)
 	return model, sat, err
 }
 
 func (s *Solver) check(constraints []*expr.Expr, needModel bool) (bool, expr.Env, error) {
-	return s.checkQuery(nil, constraints, nil, needModel)
+	return s.checkQuery(queryCtx{slot: &s.slot0}, nil, constraints, nil, needModel)
 }
 
-func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr, needModel bool) (bool, expr.Env, error) {
-	s.mu.Lock()
-	s.stats.Queries++
-	s.mu.Unlock()
+func (s *Solver) bumpStat(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
+
+func (s *Solver) stripe(key uint64) *cacheStripe {
+	return &s.cache[key&(cacheStripes-1)]
+}
+
+func (s *Solver) checkQuery(qc queryCtx, sess *Session, prefix []*expr.Expr, extra *expr.Expr, needModel bool) (bool, expr.Env, error) {
+	s.bumpStat(func(st *Stats) { st.Queries++ })
 
 	// Constant-fold the constraint set.
 	n := len(prefix)
@@ -240,8 +312,10 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 	// Model queries skip the pipeline entirely — they are decided on the
 	// original constraints by a from-scratch SAT run below, so the models
 	// an exploration emits cannot depend on optimizer history.
+	// Speculation workers skip it too (qc.skipOpt): the optimizer is an
+	// optimisation, never a soundness requirement.
 	bypassSession := false
-	if o := s.opts.Optimizer; o != nil && !needModel {
+	if o := s.opts.Optimizer; o != nil && !needModel && !qc.skipOpt {
 		// Independence slicing: drop the factor groups of the path
 		// condition not variable-connected to the query expression. Every
 		// dropped group joined the path condition through a feasibility
@@ -256,10 +330,10 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 				// factors, so a sliced query solves sessionless.
 				bypassSession = true
 				o.NoteSliced(dropped)
-				s.mu.Lock()
-				s.stats.SlicedQueries++
-				s.stats.SlicedFactors += int64(len(dropped))
-				s.mu.Unlock()
+				s.bumpStat(func(st *Stats) {
+					st.SlicedQueries++
+					st.SlicedFactors += int64(len(dropped))
+				})
 			}
 		}
 		// Algebraic rewriting: per-constraint fixpoint rules plus
@@ -288,58 +362,60 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 	// scenarios without touching the SAT core.
 	if !s.opts.DisableFastPath {
 		if sat, model, ok := literalScan(active, needModel); ok {
-			s.mu.Lock()
-			s.stats.FastPath++
-			s.mu.Unlock()
+			s.bumpStat(func(st *Stats) { st.FastPath++ })
 			return sat, model, nil
 		}
 	}
 
 	key, hashes := queryKey(active)
 
-	s.mu.Lock()
 	if !s.opts.DisableCache {
-		if ent, ok := s.cache[key]; ok && hashesEqual(ent.hashes, hashes) {
+		str := s.stripe(key)
+		str.mu.Lock()
+		if ent, ok := str.m[key]; ok && hashesEqual(ent.hashes, hashes) {
 			if !ent.sat || !needModel || ent.model != nil {
-				s.stats.CacheHits++
 				model := ent.model
-				s.mu.Unlock()
+				str.mu.Unlock()
+				s.bumpStat(func(st *Stats) { st.CacheHits++ })
 				return ent.sat, model, nil
 			}
 		}
+		str.mu.Unlock()
 		// Subsumption: a cached UNSAT subset of the query proves UNSAT, a
 		// cached SAT superset proves SAT (and donates its model).
 		if !s.opts.DisableSubsumption {
-			if ent, ok := s.subs.lookup(hashes, needModel); ok {
-				s.stats.SubsumptionHits++
-				s.cache[key] = cacheEntry{hashes: hashes, sat: ent.sat, model: ent.model}
-				model := ent.model
-				s.mu.Unlock()
-				return ent.sat, model, nil
+			s.subsMu.RLock()
+			ent, ok := s.subs.lookup(hashes, needModel)
+			s.subsMu.RUnlock()
+			if ok {
+				str.mu.Lock()
+				str.m[key] = cacheEntry{hashes: hashes, sat: ent.sat, model: ent.model}
+				str.mu.Unlock()
+				s.bumpStat(func(st *Stats) { st.SubsumptionHits++ })
+				return ent.sat, ent.model, nil
 			}
 		}
 	}
 	// Counterexample reuse: a recent model satisfying all constraints
 	// proves satisfiability without a SAT call. Pool models may come from
-	// optimized queries on the persistent instance, so they decide
+	// optimized queries on a persistent instance, so they decide
 	// feasibility verdicts only — model queries always fall through to
 	// the deterministic from-scratch solve.
 	var pool []expr.Env
 	if !s.opts.DisablePool && !needModel {
+		s.poolMu.Lock()
 		pool = append(pool, s.pool...)
+		s.poolMu.Unlock()
 	}
-	s.mu.Unlock()
 
 	// Cross-solver shared cache: another shard of a parallel run may
 	// already have decided this structural query.
 	if sc := s.opts.SharedCache; sc != nil {
 		if ent, ok := sc.lookup(key, hashes); ok && (!ent.sat || !needModel || ent.model != nil) {
-			s.mu.Lock()
-			s.stats.SharedHits++
+			s.bumpStat(func(st *Stats) { st.SharedHits++ })
 			if !s.opts.DisableCache {
 				s.remember(key, hashes, ent.sat, ent.model)
 			}
-			s.mu.Unlock()
 			return ent.sat, ent.model, nil
 		}
 	}
@@ -349,10 +425,8 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 			// Verdict-only caching: pool models never become cache or
 			// shared-cache models, so a later model query cannot observe
 			// a model whose origin depended on optimizer history.
-			s.mu.Lock()
-			s.stats.PoolHits++
+			s.bumpStat(func(st *Stats) { st.PoolHits++ })
 			s.remember(key, hashes, true, nil)
-			s.mu.Unlock()
 			if sc := s.opts.SharedCache; sc != nil {
 				sc.store(key, hashes, true, nil)
 			}
@@ -363,14 +437,12 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 	// Split into independent components when possible: each component is
 	// decided through the full pipeline and its result cached separately.
 	if !s.opts.DisablePartition {
-		if sat, model, handled, err := s.checkPartitioned(active, needModel); handled {
+		if sat, model, handled, err := s.checkPartitioned(qc, active, needModel); handled {
 			if err != nil {
 				return false, nil, err
 			}
 			if sat {
-				s.mu.Lock()
 				s.remember(key, hashes, true, model)
-				s.mu.Unlock()
 				if sc := s.opts.SharedCache; sc != nil {
 					sc.store(key, hashes, true, model)
 				}
@@ -388,7 +460,7 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 		if bypassSession {
 			useSess = nil
 		}
-		sat, model, err = s.solveIncremental(useSess, prefix, extra, active)
+		sat, model, err = s.solveIncremental(qc, useSess, prefix, extra, active)
 	} else {
 		// Model queries always bit-blast the original constraints on a
 		// throwaway instance: the persistent instance's saved phases and
@@ -409,19 +481,21 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 	if !needModel {
 		cacheModel = nil
 	}
-	s.mu.Lock()
-	s.stats.SATCalls++
-	if incremental {
-		s.stats.IncSolves++
-	}
+	s.bumpStat(func(st *Stats) {
+		st.SATCalls++
+		if incremental {
+			st.IncSolves++
+		}
+	})
 	s.remember(key, hashes, sat, cacheModel)
 	if sat {
+		s.poolMu.Lock()
 		s.pool = append(s.pool, model)
 		if len(s.pool) > s.poolCap {
 			s.pool = s.pool[len(s.pool)-s.poolCap:]
 		}
+		s.poolMu.Unlock()
 	}
-	s.mu.Unlock()
 	if sc := s.opts.SharedCache; sc != nil {
 		sc.store(key, hashes, sat, cacheModel)
 	}
@@ -429,11 +503,19 @@ func (s *Solver) checkQuery(sess *Session, prefix []*expr.Expr, extra *expr.Expr
 }
 
 // remember records a decided query in the private caches. The caller must
-// hold s.mu, and must never pass a budget-exhausted (ErrBudget) verdict.
+// never pass a budget-exhausted (ErrBudget) verdict.
 func (s *Solver) remember(key uint64, hashes []uint64, sat bool, model expr.Env) {
-	s.cache[key] = cacheEntry{hashes: hashes, sat: sat, model: model}
+	if s.opts.DisableCache {
+		return
+	}
+	str := s.stripe(key)
+	str.mu.Lock()
+	str.m[key] = cacheEntry{hashes: hashes, sat: sat, model: model}
+	str.mu.Unlock()
 	if !s.opts.DisableSubsumption {
+		s.subsMu.Lock()
 		s.subs.store(key, hashes, sat, model)
+		s.subsMu.Unlock()
 	}
 }
 
@@ -472,11 +554,11 @@ func (s *Solver) solveSAT(constraints []*expr.Expr) (bool, expr.Env, error) {
 }
 
 func (s *Solver) addRunStats(sat *satSolver, bl *blaster) {
-	s.mu.Lock()
-	s.stats.Conflicts += sat.conflicts
-	s.stats.Decisions += sat.decisions
-	s.stats.Gates += bl.gates
-	s.mu.Unlock()
+	s.bumpStat(func(st *Stats) {
+		st.Conflicts += sat.conflicts
+		st.Decisions += sat.decisions
+		st.Gates += bl.gates
+	})
 }
 
 // literalScan handles constraint sets consisting solely of boolean

@@ -108,18 +108,35 @@ func TestDisableSubsumption(t *testing.T) {
 // unsatVerdictsCached counts UNSAT verdicts across the solver's private
 // exact cache and subsumption index.
 func unsatVerdictsCached(s *Solver) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, e := range s.cache {
-		if !e.sat {
-			n++
+	for i := range s.cache {
+		str := &s.cache[i]
+		str.mu.Lock()
+		for _, e := range str.m {
+			if !e.sat {
+				n++
+			}
 		}
+		str.mu.Unlock()
 	}
+	s.subsMu.RLock()
 	for _, e := range s.subs.entries {
 		if !e.sat {
 			n++
 		}
+	}
+	s.subsMu.RUnlock()
+	return n
+}
+
+// exactCacheLen counts entries across the striped exact cache.
+func exactCacheLen(s *Solver) int {
+	n := 0
+	for i := range s.cache {
+		str := &s.cache[i]
+		str.mu.Lock()
+		n += len(str.m)
+		str.mu.Unlock()
 	}
 	return n
 }
@@ -159,9 +176,10 @@ func TestErrBudgetNeverCached(t *testing.T) {
 	if !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
-	s.mu.Lock()
-	ncache, nsubs := len(s.cache), len(s.subs.entries)
-	s.mu.Unlock()
+	ncache := exactCacheLen(s)
+	s.subsMu.RLock()
+	nsubs := len(s.subs.entries)
+	s.subsMu.RUnlock()
 	if ncache != 0 || nsubs != 0 {
 		t.Errorf("budget-exhausted verdict cached: %d exact entries, %d subsumption entries", ncache, nsubs)
 	}

@@ -127,6 +127,20 @@ func (s *State) Run(now uint64, budget int, h Hooks) error {
 			return s.runErr
 		}
 		in := &f.Instrs[s.pc]
+		// Resolution barrier: an instruction whose effects escape the state
+		// (a packet send, an assertion report) must not execute on an
+		// unconfirmed path. Drain the speculative pipeline first; the state
+		// comes back confirmed, rewound onto the false side, or dead.
+		if s.ctx.spec != nil && (in.Op == isa.OpAssert || in.Op == isa.OpSend) {
+			s.ctx.spec.OnSpecBarrier(s)
+			if s.status != StatusRunning {
+				return nil
+			}
+			if s.specRewound {
+				s.ClearSpecRewound()
+				continue
+			}
+		}
 		s.steps++
 		s.ctx.instrCount.Add(1)
 
@@ -228,6 +242,12 @@ func (s *State) Run(now uint64, budget int, h Hooks) error {
 
 		case isa.OpAssume:
 			cond := eb.Ne(s.regs[in.Ra], eb.Const(0, WordBits))
+			if sp := s.ctx.spec; sp != nil && !cond.IsTrue() && !cond.IsFalse() {
+				if _, ok := s.impliedValue(cond); !ok {
+					s.specAssume(sp, cond)
+					continue
+				}
+			}
 			feasible, err := s.feasibleWith(cond)
 			if err != nil {
 				s.Kill(err)
@@ -353,6 +373,16 @@ func (s *State) branch(cond *expr.Expr, target int, h Hooks) error {
 	if cond.IsFalse() {
 		s.pc++
 		return nil
+	}
+	// Speculative path: fork both sides now, let the solver pipeline decide
+	// feasibility while execution continues on the true side. Conditions
+	// decided by implied-value concretization stay on the synchronous path —
+	// they never reach the solver anyway.
+	if sp := s.ctx.spec; sp != nil {
+		if _, ok := s.impliedValue(cond); !ok {
+			s.specBranch(sp, cond, target)
+			return nil
+		}
 	}
 	feasTrue, err := s.feasibleWith(cond)
 	if err != nil {

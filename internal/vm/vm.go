@@ -42,6 +42,11 @@ type Context struct {
 	qo         *qopt.Optimizer
 	concretize bool
 
+	// spec, when non-nil, enables speculative branch forking: feasibility
+	// queries go to an asynchronous solver pipeline and execution
+	// continues on the true side until a resolution barrier (see spec.go).
+	spec SpecHooks
+
 	nextStateID atomic.Uint64
 	instrCount  atomic.Uint64
 	forkCount   atomic.Uint64
@@ -284,6 +289,12 @@ type State struct {
 	symSeq  uint32 // per-state symbolic-input counter (input naming)
 
 	steps uint64 // instructions executed by this state (incl. inherited)
+
+	// Speculative-execution bookkeeping (see spec.go). specRemoved counts
+	// provisional constraints removed from pathCond; specRewound marks a
+	// state restored onto a false-side snapshot that must be re-run.
+	specRemoved int
+	specRewound bool
 }
 
 type frame struct {
@@ -341,39 +352,8 @@ func (s *State) Reg(r isa.Reg) *expr.Expr { return s.regs[r] }
 // the copy. The copy receives a fresh id; everything else, including the
 // pending event queue and the communication history, is identical.
 func (s *State) Fork() *State {
-	s.ctx.forkCount.Add(1)
-	n := &State{
-		ctx:      s.ctx,
-		prog:     s.prog,
-		id:       s.ctx.newStateID(),
-		node:     s.node,
-		regs:     s.regs,
-		mem:      s.mem.clone(),
-		frames:   append([]frame(nil), s.frames...),
-		fn:       s.fn,
-		pc:       s.pc,
-		status:   s.status,
-		pathCond: append([]*expr.Expr(nil), s.pathCond...),
-		sess:     s.sess.Branch(),
-		eventSeq: s.eventSeq,
-		hist:     append([]HistEntry(nil), s.hist...),
-		trace:    append([]TraceEntry(nil), s.trace...),
-		sendSeq:  s.sendSeq,
-		recvSeq:  s.recvSeq,
-		symSeq:   s.symSeq,
-		steps:    s.steps,
-	}
-	if len(s.bound) > 0 {
-		n.bound = make(map[uint32]uint64, len(s.bound))
-		for id, v := range s.bound {
-			n.bound[id] = v
-		}
-	}
-	n.events = make([]*Event, len(s.events))
-	for i, ev := range s.events {
-		cp := *ev
-		n.events[i] = &cp
-	}
+	n := s.SpecFork()
+	n.AdoptFreshID()
 	return n
 }
 

@@ -45,10 +45,10 @@ type ShardConfig struct {
 	// initial shards. It must not exceed the scenario's MaxShardBits.
 	ShardBits int
 
-	// Workers bounds the worker pool (default GOMAXPROCS). Unlike the
-	// naive one-goroutine-per-shard scheme, shard count and parallelism
-	// are independent: thousands of shards can drain through a small
-	// pool.
+	// Workers bounds the worker pool (0 = GOMAXPROCS; negative values
+	// are rejected). Unlike the naive one-goroutine-per-shard scheme,
+	// shard count and parallelism are independent: thousands of shards
+	// can drain through a small pool.
 	Workers int
 
 	// MaxSplitBits caps how many drop decisions a shard may pin in
@@ -83,6 +83,17 @@ type ShardConfig struct {
 	// CheckpointEvery is the per-shard checkpoint interval in processed
 	// events (0 = the engine default).
 	CheckpointEvery int
+
+	// DisableSpeculation turns the speculative-fork solver pipeline off
+	// in every shard (see Scenario.WithoutSpeculation).
+	DisableSpeculation bool
+
+	// SpecWorkers is the per-shard solver worker count of the speculation
+	// pipeline (0 = the engine default, one per CPU). In a sharded run the
+	// shard pool and the per-shard solver pools multiply, so bounding this
+	// to 1 or 2 avoids oversubscription on small machines. Negative values
+	// are rejected.
+	SpecWorkers int
 }
 
 const (
@@ -253,6 +264,8 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 		cfg.Progress = sc.progressHook
 	}
 	cfg.CheckpointEvery = sc.cfg.CheckpointEvery
+	cfg.DisableSpeculation = sc.cfg.DisableSpeculation
+	cfg.SpecWorkers = sc.cfg.SpecWorkers
 	shard := sc.scenario
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
@@ -351,13 +364,19 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 	if cfg.ShardBits < 0 {
 		return nil, fmt.Errorf("sde: negative shard bits")
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sde: Workers must be >= 0 (got %d); 0 means one per CPU", cfg.Workers)
+	}
+	if cfg.SpecWorkers < 0 {
+		return nil, fmt.Errorf("sde: SpecWorkers must be >= 0 (got %d); 0 means the engine default", cfg.SpecWorkers)
+	}
 	armed := append([]int(nil), s.shardable...)
 	sort.Ints(armed)
 	if cfg.ShardBits > len(armed) {
 		return nil, fmt.Errorf("sde: %d shard bits but only %d shardable drop nodes",
 			cfg.ShardBits, len(armed))
 	}
-	if cfg.Workers <= 0 {
+	if cfg.Workers == 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.MaxSplitBits < cfg.ShardBits {
@@ -454,6 +473,11 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		sched.EncodeSkips += st.EncodeSkips
 		sched.QueriesSliced += st.SlicedQueries
 		sched.GatesElided += st.GatesElided
+		sp := leaf.report.res.Spec
+		sched.SpecSubmitted += sp.Submitted
+		sched.SpecSolves += sp.Solves
+		sched.SpecElided += sp.Elided
+		sched.SpecRewinds += sp.Rewinds
 	}
 	return &ShardedReport{Shards: shards, Sched: sched}, nil
 }

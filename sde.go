@@ -94,6 +94,11 @@ type Sample = metrics.Sample
 // See ShardedReport.Sched.
 type SchedStats = metrics.SchedStats
 
+// SpecStats is the speculative-fork solver pipeline's telemetry:
+// speculations submitted, complement elisions, rewinds, and barrier wait
+// time. See Report.SpecStats.
+type SpecStats = metrics.SpecStats
+
 // SolverOptions tunes a run's constraint solver: ablation switches for
 // each pipeline layer (caches, model pool, fast path, partitioning,
 // incremental solving, subsumption, and the query-optimizer stages —
@@ -163,6 +168,25 @@ func (s Scenario) WithoutQueryOptimizer() Scenario {
 	s.cfg.Solver.DisableSlicing = true
 	s.cfg.Solver.DisableRewrite = true
 	s.cfg.Solver.DisableConcretization = true
+	return s
+}
+
+// WithSpeculation returns a copy of the scenario with the speculative-fork
+// solver pipeline enabled and its worker-pool size set (0 = one worker per
+// CPU). Speculation is on by default; use this to tune the pool.
+func (s Scenario) WithSpeculation(workers int) Scenario {
+	s.cfg.DisableSpeculation = false
+	s.cfg.SpecWorkers = workers
+	return s
+}
+
+// WithoutSpeculation returns a copy of the scenario that resolves every
+// branch feasibility query synchronously, with no speculative execution.
+// Speculative and synchronous runs produce bit-identical state
+// fingerprints, dscenario sets, and test cases, so this switch is the
+// first triage step when a soundness bug is suspected.
+func (s Scenario) WithoutSpeculation() Scenario {
+	s.cfg.DisableSpeculation = true
 	return s
 }
 
@@ -278,6 +302,10 @@ func (r *Report) Samples() []Sample { return r.res.Series.Samples() }
 // SolverStats returns the run's constraint-solver activity counters
 // (queries, cache and subsumption hits, incremental solves, conflicts).
 func (r *Report) SolverStats() SolverStats { return r.res.SolverStats }
+
+// SpecStats returns the run's speculative-fork pipeline counters (all
+// zero when speculation is disabled or the run was a replay).
+func (r *Report) SpecStats() SpecStats { return r.res.Spec }
 
 // TestCases explodes up to limit dscenarios (limit <= 0 = all) and solves
 // one concrete test case per dscenario (§IV-C).
