@@ -23,8 +23,6 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
-	"strconv"
-	"strings"
 
 	"sde"
 	"sde/internal/prof"
@@ -75,16 +73,21 @@ func run() (err error) {
 		}
 	}()
 
-	algo, err := parseAlgo(*algoFlag)
+	// The flags assemble a ScenarioSpec — the same declarative form the
+	// exploration service's job API accepts — so the CLI and the service
+	// materialise scenarios through one code path.
+	spec := sde.ScenarioSpec{
+		Workload:  *appFlag,
+		Topology:  *topoFlag,
+		Algorithm: *algoFlag,
+		Packets:   uint32(*packets),
+		Drops:     *drops,
+		Failures:  *failures,
+		MaxStates: *maxStates,
+	}
+	scenario, err := spec.Scenario()
 	if err != nil {
 		return err
-	}
-	scenario, err := buildScenario(*topoFlag, *appFlag, algo, uint32(*packets), *drops, *failures)
-	if err != nil {
-		return err
-	}
-	if *maxStates > 0 {
-		scenario = scenario.WithCaps(sde.Caps{MaxStates: *maxStates})
 	}
 	if !*qoptFlag {
 		scenario = scenario.WithoutQueryOptimizer()
@@ -155,143 +158,4 @@ func validateWorkerFlag(name string, n int) error {
 		return fmt.Errorf("%s must be >= 0 (got %d); 0 means one per CPU", name, n)
 	}
 	return nil
-}
-
-func parseAlgo(s string) (sde.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "cob":
-		return sde.COB, nil
-	case "cow":
-		return sde.COW, nil
-	case "sds":
-		return sde.SDS, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q (want cob, cow, or sds)", s)
-	}
-}
-
-func parseTopo(s string) (kind string, size int, err error) {
-	parts := strings.SplitN(s, ":", 2)
-	if len(parts) != 2 || parts[0] == "" {
-		return "", 0, fmt.Errorf("topology %q: want kind:size", s)
-	}
-	size, err = strconv.Atoi(parts[1])
-	if err != nil || size < 2 {
-		return "", 0, fmt.Errorf("topology %q: bad size", s)
-	}
-	return parts[0], size, nil
-}
-
-func buildScenario(topo, app string, algo sde.Algorithm, packets uint32, drops, failures string) (sde.Scenario, error) {
-	kind, size, err := parseTopo(topo)
-	if err != nil {
-		return sde.Scenario{}, err
-	}
-	extra, err := parseFailures(failures)
-	if err != nil {
-		return sde.Scenario{}, err
-	}
-	switch {
-	case app == "collect" && kind == "grid":
-		sel := sde.DropRoute
-		switch drops {
-		case "route":
-		case "route+neighbors":
-			sel = sde.DropRouteAndNeighbors
-		case "none":
-			sel = sde.DropNone
-		default:
-			return sde.Scenario{}, fmt.Errorf("unknown drop selection %q", drops)
-		}
-		if len(extra.DuplicateFirst)+len(extra.RebootOnFirst) > 0 {
-			return sde.Scenario{}, fmt.Errorf("-failures is only supported with line topologies")
-		}
-		return sde.GridCollectScenario(sde.GridCollectOptions{
-			Dim: size, Algorithm: algo, Packets: packets, DropNodes: sel,
-		})
-	case app == "collect" && kind == "line":
-		if drops == "route" {
-			nodes := make([]int, size)
-			for i := range nodes {
-				nodes[i] = i
-			}
-			extra.DropFirst = toSet(nodes)
-		}
-		return sde.LineCollectScenario(sde.LineCollectOptions{
-			K: size, Algorithm: algo, Packets: packets, Failures: extra,
-		})
-	case app == "flood" && kind == "mesh":
-		return sde.FloodScenario(sde.FloodOptions{
-			K: size, Algorithm: algo, Packets: packets, DropAll: drops != "none",
-		})
-	case app == "runicast" && kind == "line":
-		return sde.RunicastScenario(sde.RunicastOptions{
-			K: size, Algorithm: algo, Packets: packets, Failures: extra,
-		})
-	case app == "threshold" && kind == "line":
-		return sde.ThresholdScenario(sde.ThresholdOptions{
-			K: size, Algorithm: algo,
-		})
-	case app == "discovery":
-		var topo sde.Topology
-		switch kind {
-		case "grid":
-			topo = sde.Grid(size, size)
-		case "line":
-			topo = sde.Line(size)
-		case "mesh":
-			topo = sde.FullMesh(size)
-		default:
-			return sde.Scenario{}, fmt.Errorf("unknown topology kind %q", kind)
-		}
-		return sde.DiscoveryScenario(sde.DiscoveryOptions{
-			Topology: topo, Algorithm: algo, Rounds: packets, DropAll: drops != "none",
-		})
-	default:
-		return sde.Scenario{}, fmt.Errorf("unsupported combination app=%q topo=%q", app, kind)
-	}
-}
-
-func parseFailures(s string) (sde.FailurePlan, error) {
-	var plan sde.FailurePlan
-	if s == "" {
-		return plan, nil
-	}
-	for _, part := range strings.Split(s, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
-		if len(kv) != 2 {
-			return plan, fmt.Errorf("failure %q: want kind:node", part)
-		}
-		node, err := strconv.Atoi(kv[1])
-		if err != nil {
-			return plan, fmt.Errorf("failure %q: bad node id", part)
-		}
-		switch kv[0] {
-		case "drop":
-			plan.DropFirst = addTo(plan.DropFirst, node)
-		case "dup":
-			plan.DuplicateFirst = addTo(plan.DuplicateFirst, node)
-		case "reboot":
-			plan.RebootOnFirst = addTo(plan.RebootOnFirst, node)
-		default:
-			return plan, fmt.Errorf("unknown failure kind %q", kv[0])
-		}
-	}
-	return plan, nil
-}
-
-func addTo(set map[int]bool, node int) map[int]bool {
-	if set == nil {
-		set = make(map[int]bool)
-	}
-	set[node] = true
-	return set
-}
-
-func toSet(nodes []int) map[int]bool {
-	set := make(map[int]bool, len(nodes))
-	for _, n := range nodes {
-		set[n] = true
-	}
-	return set
 }

@@ -7,101 +7,16 @@ import (
 	"sde"
 )
 
-func TestParseAlgo(t *testing.T) {
-	tests := []struct {
-		in   string
-		want sde.Algorithm
-		ok   bool
-	}{
-		{"cob", sde.COB, true},
-		{"COW", sde.COW, true},
-		{"Sds", sde.SDS, true},
-		{"klee", 0, false},
-		{"", 0, false},
-	}
-	for _, tt := range tests {
-		got, err := parseAlgo(tt.in)
-		if (err == nil) != tt.ok {
-			t.Errorf("parseAlgo(%q) err = %v", tt.in, err)
-			continue
-		}
-		if tt.ok && got != tt.want {
-			t.Errorf("parseAlgo(%q) = %v, want %v", tt.in, got, tt.want)
-		}
-	}
-}
+// The flag-to-scenario translation now lives in sde.ScenarioSpec (tested
+// in the root package); here we cover what remains local: flag validation
+// and the spec assembled from CLI defaults actually running.
 
-func TestParseTopo(t *testing.T) {
-	kind, size, err := parseTopo("grid:5")
-	if err != nil || kind != "grid" || size != 5 {
-		t.Errorf("parseTopo(grid:5) = %q, %d, %v", kind, size, err)
+func TestSpecFromFlagsRuns(t *testing.T) {
+	spec := sde.ScenarioSpec{
+		Workload: "collect", Topology: "line:3", Algorithm: "sds", Packets: 2,
+		Drops: "route",
 	}
-	for _, bad := range []string{"grid", "grid:", "grid:x", "grid:1", ":5"} {
-		if _, _, err := parseTopo(bad); err == nil {
-			t.Errorf("parseTopo(%q) accepted", bad)
-		}
-	}
-}
-
-func TestParseFailures(t *testing.T) {
-	plan, err := parseFailures("dup:0,reboot:3,drop:1,drop:2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !plan.DuplicateFirst[0] || !plan.RebootOnFirst[3] || !plan.DropFirst[1] || !plan.DropFirst[2] {
-		t.Errorf("plan = %+v", plan)
-	}
-	if plan2, err := parseFailures(""); err != nil || plan2.DropFirst != nil {
-		t.Errorf("empty spec: %+v, %v", plan2, err)
-	}
-	for _, bad := range []string{"dup", "dup:x", "explode:1"} {
-		if _, err := parseFailures(bad); err == nil {
-			t.Errorf("parseFailures(%q) accepted", bad)
-		}
-	}
-}
-
-func TestBuildScenarioCombos(t *testing.T) {
-	good := []struct {
-		topo, app, drops, failures string
-	}{
-		{"grid:4", "collect", "route", ""},
-		{"grid:4", "collect", "route+neighbors", ""},
-		{"grid:4", "collect", "none", ""},
-		{"line:3", "collect", "route", "dup:0"},
-		{"mesh:4", "flood", "route", ""},
-		{"grid:3", "discovery", "route", ""},
-		{"line:3", "discovery", "none", ""},
-		{"mesh:3", "discovery", "route", ""},
-	}
-	for _, tt := range good {
-		s, err := buildScenario(tt.topo, tt.app, sde.SDS, 2, tt.drops, tt.failures)
-		if err != nil {
-			t.Errorf("buildScenario(%+v): %v", tt, err)
-			continue
-		}
-		if s.Description() == "" {
-			t.Errorf("buildScenario(%+v): empty description", tt)
-		}
-	}
-	bad := []struct {
-		topo, app, drops, failures string
-	}{
-		{"mesh:4", "collect", "route", ""},      // unsupported combo
-		{"grid:4", "flood", "route", ""},        // unsupported combo
-		{"grid:4", "collect", "banana", ""},     // bad drop selection
-		{"grid:4", "collect", "route", "dup:0"}, // grid rejects extra failures
-		{"ring:4", "discovery", "route", ""},    // unknown topology kind
-	}
-	for _, tt := range bad {
-		if _, err := buildScenario(tt.topo, tt.app, sde.SDS, 2, tt.drops, tt.failures); err == nil {
-			t.Errorf("buildScenario(%+v) accepted", tt)
-		}
-	}
-}
-
-func TestBuildScenarioRuns(t *testing.T) {
-	s, err := buildScenario("line:3", "collect", sde.SDS, 2, "route", "")
+	s, err := spec.Scenario()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,120 @@
+// Command sde-worker is one member of an exploration-service fleet: it
+// connects to an sde-serve coordinator, leases shard work items, executes
+// them with durable checkpoints, and streams each finished leaf's
+// snapshot back.
+//
+// Usage:
+//
+//	sde-worker -connect 127.0.0.1:7117 -workdir /var/tmp/sde-w0
+//
+// The worker is stateless apart from its work directory: killing it
+// mid-lease loses nothing (the coordinator requeues the lease, and a
+// worker restarted with the same -workdir resumes from its own
+// checkpoints). -retry makes it reconnect after coordinator restarts.
+//
+// -crash-after-checkpoints N is a chaos hook for recovery testing: the
+// process exits abruptly (code 3, no protocol goodbye) once the active
+// lease's checkpoint file has been observed N times.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sde/internal/dist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		if errors.Is(err, dist.ErrCrashed) {
+			fmt.Fprintln(os.Stderr, "sde-worker:", err)
+			os.Exit(3)
+		}
+		fmt.Fprintln(os.Stderr, "sde-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	connect := flag.String("connect", "", "coordinator address (host:port), required")
+	name := flag.String("name", "", "worker name (default host-pid)")
+	workdir := flag.String("workdir", "", "checkpoint work directory, required")
+	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval while executing a lease")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint interval in events (0 = engine default)")
+	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline")
+	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative pipeline (0 = one per CPU)")
+	splitStates := flag.Int("split-states", 0, "self-split a lease above this many live states when the queue is starved (0 = never)")
+	splitAfter := flag.Duration("split-after", 2*time.Second, "minimum lease runtime before self-splitting")
+	crashAfter := flag.Int("crash-after-checkpoints", 0, "chaos hook: crash abruptly after observing the lease checkpoint N times")
+	retry := flag.Duration("retry", 0, "reconnect after connection loss, waiting this long (0 = exit)")
+	quiet := flag.Bool("quiet", false, "suppress per-lease logging")
+	flag.Parse()
+
+	if *connect == "" {
+		return fmt.Errorf("-connect is required")
+	}
+	if *workdir == "" {
+		return fmt.Errorf("-workdir is required")
+	}
+	if *specWorkers < 0 {
+		return fmt.Errorf("-spec-workers must be >= 0 (got %d)", *specWorkers)
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if err := os.MkdirAll(*workdir, 0o755); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "sde-worker[%s]: %s\n", *name, fmt.Sprintf(format, args...))
+	}
+	if *quiet {
+		logf = nil
+	}
+	opts := dist.WorkerOptions{
+		Name:                  *name,
+		WorkDir:               *workdir,
+		HeartbeatEvery:        *heartbeat,
+		CheckpointEvery:       *checkpointEvery,
+		DisableSpeculation:    !*speculate,
+		SpecWorkers:           *specWorkers,
+		SplitStates:           *splitStates,
+		SplitAfter:            *splitAfter,
+		CrashAfterCheckpoints: *crashAfter,
+		Logf:                  logf,
+	}
+
+	for {
+		err := dist.RunWorker(ctx, *connect, opts)
+		switch {
+		case err == nil:
+			return nil // clean shutdown on signal
+		case errors.Is(err, dist.ErrCrashed):
+			return err
+		case *retry <= 0:
+			return err
+		}
+		if logf != nil {
+			logf("connection lost (%v), retrying in %v", err, *retry)
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*retry):
+		}
+	}
+}

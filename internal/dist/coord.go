@@ -1,0 +1,685 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"sde"
+	"sde/internal/metrics"
+	"sde/internal/snap"
+)
+
+// Job states.
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Options configures a Coordinator. The zero value works.
+type Options struct {
+	// Name identifies the coordinator in the handshake.
+	Name string
+	// LeaseTTL expires leases whose worker stopped heartbeating
+	// (default 15s). The item is requeued; determinism makes the
+	// re-issued lease produce the identical leaf.
+	LeaseTTL time.Duration
+	// RetryMillis is the idle-worker backoff sent in NoWork
+	// (default 200).
+	RetryMillis int
+	// Registry receives service metrics (created if nil).
+	Registry *metrics.PromRegistry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator owns the shard queues of submitted jobs and leases work to
+// connected workers. Work-stealing across jobs is inherent: any idle
+// worker serves whichever job has queued items, round-robin.
+type Coordinator struct {
+	opts Options
+	reg  *metrics.PromRegistry
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // job ids, submission order
+	rr        int      // round-robin cursor into order
+	nextJobID int
+	nextLease uint64
+	leases    map[uint64]*lease
+	closed    bool
+	stop      chan struct{}
+	listeners []net.Listener
+	conns     map[net.Conn]bool
+}
+
+type job struct {
+	id          string
+	spec        sde.ScenarioSpec
+	shardBits   int
+	testCases   int
+	scenario    sde.Scenario
+	state       string
+	queue       []sde.ShardItem
+	outstanding map[uint64]bool
+	leaves      []sde.ShardLeaf
+	report      *sde.ShardedReport
+	digest      string
+	errMsg      string
+	done        chan struct{}
+}
+
+type lease struct {
+	id       uint64
+	jobID    string
+	item     sde.ShardItem
+	worker   string
+	holder   *workerConn
+	lastBeat time.Time
+}
+
+type workerConn struct {
+	name string
+	conn net.Conn
+}
+
+// JobStatus is a point-in-time snapshot of one job, JSON-ready for the
+// job API.
+type JobStatus struct {
+	ID          string           `json:"id"`
+	State       string           `json:"state"`
+	Spec        sde.ScenarioSpec `json:"spec"`
+	ShardBits   int              `json:"shard_bits"`
+	Queued      int              `json:"queued"`
+	Outstanding int              `json:"outstanding"`
+	Completed   int              `json:"completed"`
+	States      int              `json:"states,omitempty"`
+	DScenarios  string           `json:"dscenarios,omitempty"`
+	Digest      string           `json:"digest,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// NewCoordinator builds a coordinator and starts its lease-expiry
+// sweeper. Close stops it.
+func NewCoordinator(opts Options) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.RetryMillis <= 0 {
+		opts.RetryMillis = 200
+	}
+	if opts.Name == "" {
+		opts.Name = "sde-serve"
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewPromRegistry()
+	}
+	reg.Declare("sde_workers_connected", "currently connected workers", metrics.PromGauge)
+	reg.Declare("sde_jobs_submitted_total", "jobs accepted by the job API", metrics.PromCounter)
+	reg.Declare("sde_jobs_active", "jobs not yet done, failed, or cancelled", metrics.PromGauge)
+	reg.Declare("sde_leases_issued_total", "work leases granted to workers", metrics.PromCounter)
+	reg.Declare("sde_lease_requeues_total", "leases returned to the queue, by reason", metrics.PromCounter)
+	reg.Declare("sde_lease_splits_total", "straggler leases re-partitioned into child sub-spaces", metrics.PromCounter)
+	reg.Declare("sde_results_total", "shard-leaf results received from workers", metrics.PromCounter)
+	reg.Declare("sde_heartbeats_total", "worker heartbeats received", metrics.PromCounter)
+	reg.Declare("sde_worker_leases_active", "leases currently held, per worker", metrics.PromGauge)
+	c := &Coordinator{
+		opts:   opts,
+		reg:    reg,
+		jobs:   make(map[string]*job),
+		leases: make(map[uint64]*lease),
+		stop:   make(chan struct{}),
+		conns:  make(map[net.Conn]bool),
+	}
+	go c.sweepLoop()
+	return c
+}
+
+// Registry exposes the coordinator's metrics registry (for /metrics).
+func (c *Coordinator) Registry() *metrics.PromRegistry { return c.reg }
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Close stops the sweeper, closes all listeners and worker connections.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.stop)
+	listeners := c.listeners
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
+	c.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
+	}
+	return nil
+}
+
+// Serve accepts worker connections until the listener closes.
+func (c *Coordinator) Serve(l net.Listener) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("dist: coordinator closed")
+	}
+	c.listeners = append(c.listeners, l)
+	c.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-c.stop:
+				return nil
+			default:
+				return err
+			}
+		}
+		go c.handleConn(conn)
+	}
+}
+
+// AddJob accepts a job: the spec is materialised (validating it), the
+// initial shard queue is enumerated at shardBits (clamped to the
+// scenario's MaxShardBits), and workers start leasing immediately.
+func (c *Coordinator) AddJob(spec sde.ScenarioSpec, shardBits, testCases int) (string, error) {
+	scenario, err := spec.Scenario()
+	if err != nil {
+		return "", err
+	}
+	if shardBits < 0 {
+		return "", fmt.Errorf("dist: shard bits must be >= 0 (got %d)", shardBits)
+	}
+	if max := scenario.MaxShardBits(); shardBits > max {
+		shardBits = max
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", fmt.Errorf("dist: coordinator closed")
+	}
+	c.nextJobID++
+	j := &job{
+		id:          fmt.Sprintf("job-%d", c.nextJobID),
+		spec:        spec,
+		shardBits:   shardBits,
+		testCases:   testCases,
+		scenario:    scenario,
+		state:       JobRunning,
+		outstanding: make(map[uint64]bool),
+		done:        make(chan struct{}),
+	}
+	for bits := uint64(0); bits < 1<<uint(shardBits); bits++ {
+		j.queue = append(j.queue, sde.ShardItem{Depth: shardBits, Bits: bits})
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.reg.Add("sde_jobs_submitted_total", nil, 1)
+	c.reg.Set("sde_jobs_active", nil, float64(c.activeJobsLocked()))
+	c.logf("job %s submitted: %s, %d initial shards", j.id, spec, len(j.queue))
+	return j.id, nil
+}
+
+// CancelJob marks a job cancelled: its queue is dropped and running
+// leases are told to stop on their next heartbeat.
+func (c *Coordinator) CancelJob(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return fmt.Errorf("dist: no job %s", id)
+	}
+	if j.state != JobRunning {
+		return nil
+	}
+	j.state = JobCancelled
+	j.queue = nil
+	close(j.done)
+	c.reg.Set("sde_jobs_active", nil, float64(c.activeJobsLocked()))
+	c.logf("job %s cancelled", id)
+	return nil
+}
+
+// JobStatus snapshots one job.
+func (c *Coordinator) JobStatus(id string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return c.statusLocked(j), true
+}
+
+// Jobs snapshots every job in submission order.
+func (c *Coordinator) Jobs() []JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]JobStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.statusLocked(c.jobs[id]))
+	}
+	return out
+}
+
+func (c *Coordinator) statusLocked(j *job) JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Spec:        j.spec,
+		ShardBits:   j.shardBits,
+		Queued:      len(j.queue),
+		Outstanding: len(j.outstanding),
+		Completed:   len(j.leaves),
+		Digest:      j.digest,
+		Error:       j.errMsg,
+	}
+	if j.report != nil {
+		st.States = j.report.States()
+		st.DScenarios = j.report.DScenarios().String()
+	}
+	return st
+}
+
+// WaitJob returns a channel closed when the job reaches a terminal
+// state (nil for unknown jobs).
+func (c *Coordinator) WaitJob(id string) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[id]; ok {
+		return j.done
+	}
+	return nil
+}
+
+// JobReport returns a finished job's assembled report, its digest, and
+// the test-case budget the digest was computed with.
+func (c *Coordinator) JobReport(id string) (*sde.ShardedReport, string, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, "", 0, fmt.Errorf("dist: no job %s", id)
+	}
+	switch j.state {
+	case JobDone:
+		return j.report, j.digest, j.testCases, nil
+	case JobFailed:
+		return nil, "", 0, fmt.Errorf("dist: job %s failed: %s", id, j.errMsg)
+	case JobCancelled:
+		return nil, "", 0, fmt.Errorf("dist: job %s was cancelled", id)
+	default:
+		return nil, "", 0, fmt.Errorf("dist: job %s still %s", id, j.state)
+	}
+}
+
+func (c *Coordinator) activeJobsLocked() int {
+	n := 0
+	for _, j := range c.jobs {
+		if j.state == JobRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// handleConn speaks the worker protocol on one connection.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	defer conn.Close()
+	typ, payload, err := snap.ReadFrame(conn)
+	if err != nil || typ != MsgHello {
+		c.logf("conn %s: bad handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	hello, err := decode[Hello](payload)
+	if err != nil {
+		return
+	}
+	if hello.Wire != snap.WireVersion {
+		writeMsg(conn, MsgError, ErrorMsg{Msg: fmt.Sprintf(
+			"wire version %d not supported (coordinator speaks %d)",
+			hello.Wire, snap.WireVersion)})
+		c.logf("worker %s rejected: wire version %d != %d",
+			hello.Name, hello.Wire, snap.WireVersion)
+		return
+	}
+	if err := writeMsg(conn, MsgWelcome, Welcome{Name: c.opts.Name, Wire: snap.WireVersion}); err != nil {
+		return
+	}
+	w := &workerConn{name: hello.Name, conn: conn}
+	workerLabel := map[string]string{"worker": w.name}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.conns[conn] = true
+	c.mu.Unlock()
+	c.reg.AddGauge("sde_workers_connected", nil, 1)
+	c.reg.Set("sde_worker_leases_active", workerLabel, 0)
+	c.logf("worker %s connected from %s", w.name, conn.RemoteAddr())
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, conn)
+		var held []*lease
+		for _, l := range c.leases {
+			if l.holder == w {
+				held = append(held, l)
+			}
+		}
+		for _, l := range held {
+			c.requeueLocked(l, "disconnect")
+		}
+		c.mu.Unlock()
+		c.reg.AddGauge("sde_workers_connected", nil, -1)
+		c.reg.DeleteSeries("sde_worker_leases_active", workerLabel)
+		c.logf("worker %s disconnected (%d leases requeued)", w.name, len(held))
+	}()
+
+	for {
+		typ, payload, err := snap.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case MsgReady:
+			if err := c.grantLease(w); err != nil {
+				return
+			}
+		case MsgHeartbeat:
+			hb, err := decode[Heartbeat](payload)
+			if err != nil {
+				return
+			}
+			if err := writeMsg(conn, MsgHeartbeatAck, c.beat(w, hb)); err != nil {
+				return
+			}
+		case MsgSplit:
+			sp, err := decode[Split](payload)
+			if err != nil {
+				return
+			}
+			c.split(w, sp.Lease)
+		case MsgResult:
+			hdr, snapshot, err := parseResult(payload)
+			if err != nil {
+				c.logf("worker %s: bad result: %v", w.name, err)
+				return
+			}
+			c.completeLease(w, hdr, snapshot)
+		case MsgError:
+			em, err := decode[ErrorMsg](payload)
+			if err != nil {
+				return
+			}
+			c.failLease(w, em)
+		default:
+			c.logf("worker %s: unexpected message type %d", w.name, typ)
+			return
+		}
+	}
+}
+
+// grantLease answers a Ready: pop a work item round-robin across running
+// jobs, or tell the worker to retry.
+func (c *Coordinator) grantLease(w *workerConn) error {
+	c.mu.Lock()
+	var (
+		j    *job
+		item sde.ShardItem
+	)
+	for off := 0; off < len(c.order); off++ {
+		cand := c.jobs[c.order[(c.rr+off)%len(c.order)]]
+		if cand.state == JobRunning && len(cand.queue) > 0 {
+			j = cand
+			item = cand.queue[0]
+			cand.queue = cand.queue[1:]
+			c.rr = (c.rr + off + 1) % len(c.order)
+			break
+		}
+	}
+	if j == nil {
+		retry := c.opts.RetryMillis
+		c.mu.Unlock()
+		return writeMsg(w.conn, MsgNoWork, NoWork{RetryMillis: retry})
+	}
+	c.nextLease++
+	l := &lease{
+		id:       c.nextLease,
+		jobID:    j.id,
+		item:     item,
+		worker:   w.name,
+		holder:   w,
+		lastBeat: time.Now(),
+	}
+	c.leases[l.id] = l
+	j.outstanding[l.id] = true
+	msg := Lease{
+		ID:            l.id,
+		Job:           j.id,
+		Spec:          j.spec,
+		Item:          item,
+		MaxSplitDepth: j.scenario.MaxShardBits(),
+	}
+	c.mu.Unlock()
+	c.reg.Add("sde_leases_issued_total", map[string]string{"worker": w.name}, 1)
+	c.reg.AddGauge("sde_worker_leases_active", map[string]string{"worker": w.name}, 1)
+	c.logf("lease %d: shard %s of %s -> %s", l.id, item.Label(), j.id, w.name)
+	return writeMsg(w.conn, MsgLease, msg)
+}
+
+// beat refreshes a lease and answers with cancel/starvation flags.
+func (c *Coordinator) beat(w *workerConn, hb Heartbeat) HeartbeatAck {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg.Add("sde_heartbeats_total", map[string]string{"worker": w.name}, 1)
+	ack := HeartbeatAck{Lease: hb.Lease}
+	l, ok := c.leases[hb.Lease]
+	if !ok || l.holder != w {
+		// Expired and re-issued elsewhere, or the job is gone: the
+		// worker's effort is wasted — stop it.
+		ack.Cancel = true
+		return ack
+	}
+	l.lastBeat = time.Now()
+	j := c.jobs[l.jobID]
+	if j == nil || j.state != JobRunning {
+		ack.Cancel = true
+		return ack
+	}
+	queued := 0
+	for _, id := range c.order {
+		queued += len(c.jobs[id].queue)
+	}
+	ack.Starved = queued == 0
+	return ack
+}
+
+// split abandons a straggling lease and queues its two child sub-spaces.
+func (c *Coordinator) split(w *workerConn, leaseID uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[leaseID]
+	if !ok || l.holder != w {
+		return
+	}
+	c.dropLeaseLocked(l)
+	j := c.jobs[l.jobID]
+	if j == nil || j.state != JobRunning {
+		return
+	}
+	it := l.item
+	if it.Depth >= j.scenario.MaxShardBits() {
+		// Cannot split further; run it whole on the next worker.
+		j.queue = append(j.queue, it)
+		c.reg.Add("sde_lease_requeues_total", map[string]string{"reason": "unsplittable"}, 1)
+		return
+	}
+	j.queue = append(j.queue,
+		sde.ShardItem{Depth: it.Depth + 1, Bits: it.Bits},
+		sde.ShardItem{Depth: it.Depth + 1, Bits: it.Bits | 1<<uint(it.Depth)})
+	c.reg.Add("sde_lease_splits_total", nil, 1)
+	c.logf("lease %d: shard %s of %s split", leaseID, it.Label(), l.jobID)
+}
+
+// completeLease records a finished leaf and finalises the job when it
+// was the last one.
+func (c *Coordinator) completeLease(w *workerConn, hdr ResultHeader, snapshot []byte) {
+	c.mu.Lock()
+	l, ok := c.leases[hdr.Lease]
+	if !ok || l.holder != w {
+		c.mu.Unlock()
+		c.logf("worker %s: result for unknown lease %d dropped", w.name, hdr.Lease)
+		return
+	}
+	c.dropLeaseLocked(l)
+	j := c.jobs[l.jobID]
+	if j == nil || j.state != JobRunning {
+		c.mu.Unlock()
+		return
+	}
+	if hdr.Stopped {
+		// The worker honoured a cancellation that has since been
+		// rescinded, or stopped for its own reasons: requeue.
+		c.requeueItemLocked(j, l.item, "stopped")
+		c.mu.Unlock()
+		return
+	}
+	j.leaves = append(j.leaves, sde.ShardLeaf{Item: l.item, Snapshot: snapshot})
+	c.reg.Add("sde_results_total", map[string]string{"worker": w.name}, 1)
+	finished := len(j.queue) == 0 && len(j.outstanding) == 0
+	c.mu.Unlock()
+	c.logf("lease %d: shard %s of %s complete (%d bytes)",
+		hdr.Lease, l.item.Label(), l.jobID, len(snapshot))
+	if finished {
+		c.finalizeJob(j)
+	}
+}
+
+// failLease requeues a lease whose execution errored worker-side.
+func (c *Coordinator) failLease(w *workerConn, em ErrorMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[em.Lease]
+	if !ok || l.holder != w {
+		return
+	}
+	c.logf("lease %d: worker %s failed: %s", em.Lease, w.name, em.Msg)
+	c.requeueLocked(l, "error")
+}
+
+// dropLeaseLocked removes a lease from the books without requeueing.
+func (c *Coordinator) dropLeaseLocked(l *lease) {
+	delete(c.leases, l.id)
+	if j := c.jobs[l.jobID]; j != nil {
+		delete(j.outstanding, l.id)
+	}
+	c.reg.AddGauge("sde_worker_leases_active", map[string]string{"worker": l.worker}, -1)
+}
+
+// requeueLocked returns a lease's item to its job's queue.
+func (c *Coordinator) requeueLocked(l *lease, reason string) {
+	c.dropLeaseLocked(l)
+	j := c.jobs[l.jobID]
+	if j == nil || j.state != JobRunning {
+		return
+	}
+	c.requeueItemLocked(j, l.item, reason)
+	c.logf("lease %d: shard %s of %s requeued (%s)", l.id, l.item.Label(), l.jobID, reason)
+}
+
+func (c *Coordinator) requeueItemLocked(j *job, item sde.ShardItem, reason string) {
+	// Front of the queue: a recovered item is the oldest work we have.
+	j.queue = append([]sde.ShardItem{item}, j.queue...)
+	c.reg.Add("sde_lease_requeues_total", map[string]string{"reason": reason}, 1)
+}
+
+// finalizeJob assembles the leaves into the job's report. Runs outside
+// the coordinator lock: assembly resumes every leaf snapshot.
+func (c *Coordinator) finalizeJob(j *job) {
+	c.mu.Lock()
+	if j.state != JobRunning {
+		c.mu.Unlock()
+		return
+	}
+	leaves := j.leaves
+	scenario := j.scenario
+	testCases := j.testCases
+	c.mu.Unlock()
+
+	report, err := sde.AssembleSharded(scenario, leaves)
+	var digest string
+	if err == nil {
+		digest, err = report.Digest(testCases)
+	}
+
+	c.mu.Lock()
+	if j.state != JobRunning {
+		c.mu.Unlock()
+		return
+	}
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+		j.report = report
+		j.digest = digest
+	}
+	close(j.done)
+	c.reg.Set("sde_jobs_active", nil, float64(c.activeJobsLocked()))
+	c.mu.Unlock()
+	if err != nil {
+		c.logf("job %s failed: %v", j.id, err)
+	} else {
+		c.logf("job %s done: %d shards, digest %s", j.id, len(leaves), digest)
+	}
+}
+
+// sweepLoop expires leases whose worker stopped heartbeating.
+func (c *Coordinator) sweepLoop() {
+	interval := c.opts.LeaseTTL / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			var expired []*lease
+			for _, l := range c.leases {
+				if time.Since(l.lastBeat) > c.opts.LeaseTTL {
+					expired = append(expired, l)
+				}
+			}
+			sort.Slice(expired, func(i, k int) bool { return expired[i].id < expired[k].id })
+			for _, l := range expired {
+				c.requeueLocked(l, "expired")
+			}
+			c.mu.Unlock()
+		}
+	}
+}

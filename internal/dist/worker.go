@@ -1,0 +1,302 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sde"
+	"sde/internal/snap"
+)
+
+// ErrCrashed reports that the worker's injected crash hook fired: the
+// connection was dropped abruptly mid-lease, exactly like a SIGKILL.
+var ErrCrashed = errors.New("dist: worker crashed (injected)")
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Name identifies the worker to the coordinator (and in per-worker
+	// metrics). Required.
+	Name string
+	// WorkDir holds per-lease checkpoint directories
+	// (WorkDir/<job>/<item dir>). Required. A worker restarted with the
+	// same WorkDir resumes re-issued leases from its own checkpoints.
+	WorkDir string
+	// HeartbeatEvery is the progress/liveness reporting interval while
+	// executing a lease (default 500ms). It must be well under the
+	// coordinator's lease TTL.
+	HeartbeatEvery time.Duration
+	// DialTimeout bounds the initial connection (default 5s).
+	DialTimeout time.Duration
+	// CheckpointEvery, DisableSpeculation, and SpecWorkers default the
+	// per-lease execution knobs when the lease does not set them.
+	CheckpointEvery    int
+	DisableSpeculation bool
+	SpecWorkers        int
+	// SplitStates, when > 0, arms straggler self-splitting: a lease
+	// whose live state count exceeds it after SplitAfter, while the
+	// coordinator reports a starved queue, is abandoned with a Split so
+	// the coordinator re-issues its two child sub-spaces.
+	SplitStates int
+	SplitAfter  time.Duration
+	// CrashAfterCheckpoints, when > 0, injects a crash: once the active
+	// lease's checkpoint file has been observed that many times, the
+	// worker abruptly closes its connection and RunWorker returns
+	// ErrCrashed. The service end-to-end tests use this to kill a worker
+	// mid-lease at a moment when recovery provably has a checkpoint.
+	CrashAfterCheckpoints int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+type inMsg struct {
+	typ     byte
+	payload []byte
+}
+
+// RunWorker connects to a coordinator and executes leases until the
+// context is cancelled (returns nil) or the connection fails (returns the
+// error). Each lease runs through sde.RunShardLease with a progress hook
+// that streams heartbeats and honours cancellation, splitting, and the
+// injected crash.
+func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
+	if opts.Name == "" {
+		return fmt.Errorf("dist: worker needs a name")
+	}
+	if opts.WorkDir == "" {
+		return fmt.Errorf("dist: worker needs a work directory")
+	}
+	if opts.HeartbeatEvery <= 0 {
+		opts.HeartbeatEvery = 500 * time.Millisecond
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("dist: dialing coordinator: %w", err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, MsgHello, Hello{Name: opts.Name, Wire: snap.WireVersion}); err != nil {
+		return err
+	}
+	typ, payload, err := snap.ReadFrame(conn)
+	if err != nil {
+		return fmt.Errorf("dist: handshake: %w", err)
+	}
+	if typ == MsgError {
+		if em, derr := decode[ErrorMsg](payload); derr == nil {
+			return fmt.Errorf("dist: coordinator rejected us: %s", em.Msg)
+		}
+	}
+	if typ != MsgWelcome {
+		return fmt.Errorf("dist: handshake: unexpected message type %d", typ)
+	}
+	welcome, err := decode[Welcome](payload)
+	if err != nil {
+		return err
+	}
+	logf("connected to %s (wire v%d)", welcome.Name, welcome.Wire)
+
+	// The reader splits the inbound stream: heartbeat acks flow to the
+	// progress hook through a buffered channel; everything else is the
+	// main loop's request/response traffic.
+	msgs := make(chan inMsg)
+	acks := make(chan HeartbeatAck, 16)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		defer close(msgs)
+		for {
+			typ, payload, err := snap.ReadFrame(conn)
+			if err != nil {
+				return
+			}
+			if typ == MsgHeartbeatAck {
+				if ack, err := decode[HeartbeatAck](payload); err == nil {
+					select {
+					case acks <- ack:
+					default: // the hook is behind; drop the oldest signal
+					}
+				}
+				continue
+			}
+			select {
+			case msgs <- inMsg{typ, payload}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	// Unblock the reader when the context dies mid-wait.
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-readerDone:
+		}
+	}()
+
+	crashed := false
+	for {
+		if err := writeMsg(conn, MsgReady, struct{}{}); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		var m inMsg
+		var ok bool
+		select {
+		case <-ctx.Done():
+			return nil
+		case m, ok = <-msgs:
+			if !ok {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("dist: coordinator connection lost")
+			}
+		}
+		switch m.typ {
+		case MsgNoWork:
+			nw, err := decode[NoWork](m.payload)
+			if err != nil {
+				return err
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(time.Duration(nw.RetryMillis) * time.Millisecond):
+			}
+		case MsgLease:
+			lease, err := decode[Lease](m.payload)
+			if err != nil {
+				return err
+			}
+			if err := executeLease(ctx, conn, acks, lease, opts, logf, &crashed); err != nil {
+				if ctx.Err() != nil && !crashed {
+					return nil
+				}
+				return err
+			}
+		case MsgError:
+			em, _ := decode[ErrorMsg](m.payload)
+			return fmt.Errorf("dist: coordinator error: %s", em.Msg)
+		default:
+			return fmt.Errorf("dist: unexpected message type %d", m.typ)
+		}
+	}
+}
+
+// executeLease runs one lease and reports its outcome (result, split, or
+// error) back to the coordinator.
+func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
+	lease Lease, opts WorkerOptions, logf func(string, ...any), crashed *bool) error {
+	scenario, err := lease.Spec.Scenario()
+	if err != nil {
+		return writeMsg(conn, MsgError, ErrorMsg{Lease: lease.ID, Msg: err.Error()})
+	}
+	dir := filepath.Join(opts.WorkDir, lease.Job, lease.Item.Dir())
+	ckptPath := filepath.Join(dir, snap.CheckpointFile)
+	logf("lease %d: shard %s of %s -> %s", lease.ID, lease.Item.Label(), lease.Job, dir)
+
+	every := lease.CheckpointEvery
+	if every == 0 {
+		every = opts.CheckpointEvery
+	}
+	specWorkers := lease.SpecWorkers
+	if specWorkers == 0 {
+		specWorkers = opts.SpecWorkers
+	}
+
+	var (
+		ckptSeen  int
+		cancelled bool
+		starved   bool
+		wantSplit bool
+		lastBeat  = time.Now()
+		started   = time.Now()
+	)
+	progress := func(states int, elapsed time.Duration) bool {
+		if opts.CrashAfterCheckpoints > 0 {
+			if _, err := os.Stat(ckptPath); err == nil {
+				ckptSeen++
+				if ckptSeen >= opts.CrashAfterCheckpoints {
+					*crashed = true
+					conn.Close() // abrupt: no goodbye frame, like a SIGKILL
+					return true
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			cancelled = true
+			return true
+		}
+		if time.Since(lastBeat) >= opts.HeartbeatEvery {
+			lastBeat = time.Now()
+			hb := Heartbeat{Lease: lease.ID, States: states, ElapsedMillis: elapsed.Milliseconds()}
+			if err := writeMsg(conn, MsgHeartbeat, hb); err != nil {
+				cancelled = true // dead connection: further work is wasted
+				return true
+			}
+		}
+	drain:
+		for {
+			select {
+			case ack := <-acks:
+				if ack.Lease == lease.ID {
+					if ack.Cancel {
+						cancelled = true
+					}
+					starved = ack.Starved
+				}
+			default:
+				break drain
+			}
+		}
+		if cancelled {
+			return true
+		}
+		if opts.SplitStates > 0 && states > opts.SplitStates &&
+			time.Since(started) >= opts.SplitAfter &&
+			starved && lease.Item.Depth < lease.MaxSplitDepth {
+			wantSplit = true
+			return true
+		}
+		return false
+	}
+
+	out, err := sde.RunShardLease(scenario, lease.Item, sde.LeaseOptions{
+		CheckpointDir:      dir,
+		CheckpointEvery:    every,
+		DisableSpeculation: lease.DisableSpeculation || opts.DisableSpeculation,
+		SpecWorkers:        specWorkers,
+		Progress:           progress,
+	})
+	switch {
+	case *crashed:
+		return ErrCrashed
+	case err != nil:
+		logf("lease %d: failed: %v", lease.ID, err)
+		return writeMsg(conn, MsgError, ErrorMsg{Lease: lease.ID, Msg: err.Error()})
+	case wantSplit:
+		logf("lease %d: splitting straggler %s", lease.ID, lease.Item.Label())
+		return writeMsg(conn, MsgSplit, Split{Lease: lease.ID})
+	case out.Stopped:
+		logf("lease %d: stopped", lease.ID)
+		return writeResult(conn, ResultHeader{Lease: lease.ID, Stopped: true}, nil)
+	default:
+		logf("lease %d: done, %d snapshot bytes", lease.ID, len(out.Snapshot))
+		return writeResult(conn, ResultHeader{Lease: lease.ID}, out.Snapshot)
+	}
+}

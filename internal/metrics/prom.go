@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus-style text exposition for the exploration service: a tiny
+// dependency-free registry of counters and gauges with labels, rendered
+// deterministically (families sorted by name, series sorted by label
+// string) so /metrics output is stable under test and diffable in
+// incident forensics. Only the subset of the exposition format the
+// service needs is implemented: HELP/TYPE headers, label escaping, and
+// float64 values.
+
+// PromKind distinguishes the two metric families the service exports.
+type PromKind int
+
+// Metric kinds.
+const (
+	PromCounter PromKind = iota
+	PromGauge
+)
+
+func (k PromKind) String() string {
+	if k == PromCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+type promFamily struct {
+	help   string
+	kind   PromKind
+	series map[string]float64 // rendered label string -> value
+}
+
+// PromRegistry accumulates metric families. The zero value is not ready;
+// use NewPromRegistry.
+type PromRegistry struct {
+	mu       sync.Mutex
+	families map[string]*promFamily
+}
+
+// NewPromRegistry returns an empty registry.
+func NewPromRegistry() *PromRegistry {
+	return &PromRegistry{families: make(map[string]*promFamily)}
+}
+
+// Declare registers a family's help text and kind. Declaring twice keeps
+// the first help text; the kind must not change.
+func (r *PromRegistry) Declare(name, help string, kind PromKind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s redeclared as %v (was %v)", name, kind, f.kind))
+		}
+		return
+	}
+	r.families[name] = &promFamily{help: help, kind: kind, series: make(map[string]float64)}
+}
+
+// Add increments a counter series by delta (creating it at delta).
+func (r *PromRegistry) Add(name string, labels map[string]string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, PromCounter)
+	f.series[renderLabels(labels)] += delta
+}
+
+// AddGauge adjusts a gauge series by delta (creating it at delta) —
+// atomically, unlike a read-modify-write through Value and Set.
+func (r *PromRegistry) AddGauge(name string, labels map[string]string, delta float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, PromGauge)
+	f.series[renderLabels(labels)] += delta
+}
+
+// Set sets a gauge series to v.
+func (r *PromRegistry) Set(name string, labels map[string]string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, PromGauge)
+	f.series[renderLabels(labels)] = v
+}
+
+// DeleteSeries drops one series (e.g. a disconnected worker's gauges) so
+// stale per-worker values do not linger in the export forever.
+func (r *PromRegistry) DeleteSeries(name string, labels map[string]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		delete(f.series, renderLabels(labels))
+	}
+}
+
+// Value reads one series back (0 when absent) — for tests and the job
+// API's status snapshots.
+func (r *PromRegistry) Value(name string, labels map[string]string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return 0
+	}
+	return f.series[renderLabels(labels)]
+}
+
+// family returns the named family, auto-declaring it (no help) on first use.
+func (r *PromRegistry) family(name string, kind PromKind) *promFamily {
+	f, ok := r.families[name]
+	if !ok {
+		f = &promFamily{kind: kind, series: make(map[string]float64)}
+		r.families[name] = f
+	}
+	return f
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format.
+// Output is deterministic: families in name order, series in label order.
+func (r *PromRegistry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	for _, name := range names {
+		f := r.families[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", name, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s%s %s\n", name, k,
+				strconv.FormatFloat(f.series[k], 'g', -1, 64))
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// renderLabels produces the canonical `{k="v",...}` form, empty for no
+// labels, with label names sorted and values escaped per the exposition
+// format (backslash, double quote, newline).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(labels[k]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPromRegistryRendering(t *testing.T) {
+	r := NewPromRegistry()
+	r.Declare("sde_leases_total", "work leases issued", PromCounter)
+	r.Declare("sde_workers_connected", "currently connected workers", PromGauge)
+	r.Add("sde_leases_total", map[string]string{"worker": "w1"}, 2)
+	r.Add("sde_leases_total", map[string]string{"worker": "w1"}, 1)
+	r.Add("sde_leases_total", map[string]string{"worker": "w0"}, 5)
+	r.Set("sde_workers_connected", nil, 2)
+	r.Add("sde_undeclared_total", nil, 1) // auto-declared, no HELP line
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP sde_leases_total work leases issued
+# TYPE sde_leases_total counter
+sde_leases_total{worker="w0"} 5
+sde_leases_total{worker="w1"} 3
+# TYPE sde_undeclared_total counter
+sde_undeclared_total 1
+# HELP sde_workers_connected currently connected workers
+# TYPE sde_workers_connected gauge
+sde_workers_connected 2
+`
+	if got != want {
+		t.Errorf("rendering mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Determinism: a second render is byte-identical.
+	var sb2 strings.Builder
+	if _, err := r.WriteTo(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Error("second render differs from the first")
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewPromRegistry()
+	r.Set("g", map[string]string{"job": "a\"b\\c\nd"}, 1)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{job="a\"b\\c\nd"} 1` + "\n# TYPE g gauge\n"
+	if !strings.Contains(sb.String(), `g{job="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaped output missing, got:\n%s\nwant fragment:\n%s", sb.String(), want)
+	}
+}
+
+func TestPromDeleteAndValue(t *testing.T) {
+	r := NewPromRegistry()
+	lbl := map[string]string{"worker": "w3"}
+	r.Set("sde_worker_heartbeat_age_seconds", lbl, 1.5)
+	if v := r.Value("sde_worker_heartbeat_age_seconds", lbl); v != 1.5 {
+		t.Fatalf("Value = %v, want 1.5", v)
+	}
+	r.DeleteSeries("sde_worker_heartbeat_age_seconds", lbl)
+	if v := r.Value("sde_worker_heartbeat_age_seconds", lbl); v != 0 {
+		t.Fatalf("Value after delete = %v, want 0", v)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "w3") {
+		t.Errorf("deleted series still rendered:\n%s", sb.String())
+	}
+}
+
+func TestPromConcurrentAccess(t *testing.T) {
+	r := NewPromRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Add("c", nil, 1)
+				r.Set("g", nil, float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Value("c", nil); v != 800 {
+		t.Fatalf("counter = %v, want 800", v)
+	}
+}

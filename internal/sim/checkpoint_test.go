@@ -71,6 +71,9 @@ func testCaseStrings(t *testing.T, res *sim.Result) []string {
 }
 
 func TestKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery sweep; CI runs it in a dedicated race step")
+	}
 	for _, algo := range allAlgorithms {
 		algo := algo
 		t.Run(algo.String(), func(t *testing.T) {

@@ -49,6 +49,9 @@ func thresholdConfig(t *testing.T, algo core.Algorithm) sim.Config {
 // TestSpeculationOnOffEquivalence: the pipeline (on by default) must not
 // change any observable run output versus synchronous solving.
 func TestSpeculationOnOffEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-run differential; CI runs it in a dedicated -count=10 step")
+	}
 	for _, algo := range allAlgorithms {
 		algo := algo
 		t.Run(algo.String(), func(t *testing.T) {
@@ -72,6 +75,9 @@ func TestSpeculationOnOffEquivalence(t *testing.T) {
 // between barriers, so it also proves checkpoints only happen with the
 // pipeline quiescent.
 func TestSpeculationKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-recovery sweep; CI runs it in a dedicated -count=10 step")
+	}
 	ref := runQoptCfg(t, withoutSpeculation(thresholdConfig(t, core.SDSAlgorithm)))
 
 	dir := t.TempDir()

@@ -210,32 +210,19 @@ type shardSched struct {
 	busy    []time.Duration
 }
 
+// exported converts the scheduler-internal work item to its public form
+// (the one the exploration service leases over the wire).
+func (it workItem) exported() ShardItem { return ShardItem{Depth: it.depth, Bits: it.bits} }
+
 func (sc *shardSched) pinFor(item workItem) map[string]uint64 {
-	pin := make(map[string]uint64, item.depth)
-	for bit := 0; bit < item.depth; bit++ {
-		name := fmt.Sprintf("drop_n%d_r0", sc.armed[bit])
-		pin[name] = (item.bits >> uint(bit)) & 1
-	}
-	return pin
+	return sc.scenario.shardPin(item.exported())
 }
 
-func bitLabel(item workItem) string {
-	if item.depth == 0 {
-		return "root"
-	}
-	return fmt.Sprintf("%0*b/%d", item.depth, item.bits, item.depth)
-}
+func bitLabel(item workItem) string { return item.exported().Label() }
 
-// shardDirName names a work item's checkpoint subdirectory. The (depth,
-// bits) pair identifies the sub-space, so a rerun's identical pre-split
-// finds each shard's own snapshot; items never collide because completed
-// items form a prefix-free cover.
-func shardDirName(item workItem) string {
-	if item.depth == 0 {
-		return "root"
-	}
-	return fmt.Sprintf("d%d-%0*b", item.depth, item.depth, item.bits)
-}
+// shardDirName names a work item's checkpoint subdirectory; see
+// ShardItem.Dir.
+func shardDirName(item workItem) string { return item.exported().Dir() }
 
 // progressHook decides whether a running shard should stop and split: it
 // must look like a straggler (states or wall time over threshold) while
@@ -283,10 +270,7 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 	// through this report must not be stopped by the (now stale)
 	// scheduler hook, write into the shared cache, or overwrite the
 	// shard's checkpoint.
-	report.scenario.cfg.Progress = nil
-	report.scenario.cfg.SharedSolverCache = nil
-	report.scenario.cfg.CheckpointDir = ""
-	report.scenario.cfg.CheckpointEvery = 0
+	scrubRunHooks(report)
 	return report, pin, nil
 }
 
@@ -427,11 +411,32 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		return nil, fmt.Errorf("sde: sharded run: %w", errors.Join(sc.errs...))
 	}
 
+	sched := SchedStats{
+		Workers:    cfg.Workers,
+		Steals:     sc.steals,
+		Splits:     sc.splits,
+		Resumed:    sc.resumed,
+		WorkerBusy: sc.busy,
+		Elapsed:    time.Since(start),
+	}
+	if sc.cache != nil {
+		st := sc.cache.Stats()
+		sched.SharedLookups = st.Lookups
+		sched.SharedHits = st.Hits
+	}
+	return finalizeSharded(s, sc.leaves, sched), nil
+}
+
+// finalizeSharded orders completed leaves and aggregates their telemetry
+// into the final report. It is shared between the in-process scheduler
+// and AssembleSharded, so a distributed run's report is assembled exactly
+// like a local one.
+func finalizeSharded(s Scenario, leaves []leafResult, sched SchedStats) *ShardedReport {
 	// Order the leaves deterministically — lexicographically by pinned
 	// bit string, LSB (first shardable decision) first — so shard
 	// indices are stable across scheduling interleavings.
-	sort.Slice(sc.leaves, func(i, j int) bool {
-		a, b := sc.leaves[i].item, sc.leaves[j].item
+	sort.Slice(leaves, func(i, j int) bool {
+		a, b := leaves[i].item, leaves[j].item
 		n := a.depth
 		if b.depth < n {
 			n = b.depth
@@ -445,28 +450,14 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		}
 		return a.depth < b.depth
 	})
-	shards := make([]ShardReport, len(sc.leaves))
-	for i, leaf := range sc.leaves {
+	shards := make([]ShardReport, len(leaves))
+	for i, leaf := range leaves {
 		leaf.report.scenario.desc = fmt.Sprintf("%s [shard %d/%d]",
-			s.desc, i, len(sc.leaves))
+			s.desc, i, len(leaves))
 		shards[i] = ShardReport{Shard: i, Pin: leaf.pin, Report: leaf.report}
 	}
-
-	sched := SchedStats{
-		Workers:    cfg.Workers,
-		Shards:     len(shards),
-		Steals:     sc.steals,
-		Splits:     sc.splits,
-		Resumed:    sc.resumed,
-		WorkerBusy: sc.busy,
-		Elapsed:    time.Since(start),
-	}
-	if sc.cache != nil {
-		st := sc.cache.Stats()
-		sched.SharedLookups = st.Lookups
-		sched.SharedHits = st.Hits
-	}
-	for _, leaf := range sc.leaves {
+	sched.Shards = len(shards)
+	for _, leaf := range leaves {
 		st := leaf.report.res.SolverStats
 		sched.IncrementalSolves += st.IncSolves
 		sched.SubsumptionHits += st.SubsumptionHits
@@ -479,7 +470,7 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		sched.SpecElided += sp.Elided
 		sched.SpecRewinds += sp.Rewinds
 	}
-	return &ShardedReport{Shards: shards, Sched: sched}, nil
+	return &ShardedReport{Shards: shards, Sched: sched}
 }
 
 // RunScenarioSharded runs the scenario split into 2^shardBits static

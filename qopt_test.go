@@ -16,6 +16,9 @@ import (
 // generated inputs depend only on the constraints — which the optimizer
 // must never change observably.
 func TestOptimizerSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-run differential; CI runs it in a dedicated -count=20 step")
+	}
 	for _, algo := range []sde.Algorithm{sde.COB, sde.COW, sde.SDS} {
 		algo := algo
 		t.Run(algo.String(), func(t *testing.T) {

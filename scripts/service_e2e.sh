@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# End-to-end gauntlet for the exploration service: boot a coordinator and
+# two real worker processes, submit a job over the HTTP API, SIGKILL one
+# worker mid-run, and require the final report digest to be bit-identical
+# to an in-process sharded run of the same spec.
+#
+# Usage: scripts/service_e2e.sh [logdir]
+# Exit 0 on success. Logs land in $logdir (default ./e2e-logs).
+set -u -o pipefail
+
+LOGDIR="${1:-e2e-logs}"
+mkdir -p "$LOGDIR"
+BIN="$LOGDIR/bin"
+WORK="$LOGDIR/work"
+mkdir -p "$BIN" "$WORK"
+
+SPEC='{"workload":"collect","topology":"grid:3","packets":2,"drops":"route+neighbors"}'
+SHARD_BITS=2
+TEST_CASES=8
+COORD_ADDR=127.0.0.1:7117
+HTTP_ADDR=127.0.0.1:8117
+API="http://$HTTP_ADDR/api/v1"
+
+say()  { echo "service-e2e: $*"; }
+fail() { echo "service-e2e: FAIL: $*" >&2; exit 1; }
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+say "building binaries"
+go build -o "$BIN/sde-serve" ./cmd/sde-serve || fail "building sde-serve"
+go build -o "$BIN/sde-worker" ./cmd/sde-worker || fail "building sde-worker"
+
+say "computing in-process oracle digest"
+ORACLE=$("$BIN/sde-serve" -oracle "$SPEC" -oracle-bits $SHARD_BITS -oracle-testcases $TEST_CASES) \
+  || fail "oracle run"
+say "oracle digest: $ORACLE"
+
+say "booting coordinator"
+"$BIN/sde-serve" -listen "$COORD_ADDR" -http "$HTTP_ADDR" -lease-ttl 5s \
+  >"$LOGDIR/coordinator.log" 2>&1 &
+PIDS+=($!)
+
+# Wait for the job API to come up.
+for _ in $(seq 1 50); do
+  curl -sf "http://$HTTP_ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$HTTP_ADDR/healthz" >/dev/null || fail "coordinator did not come up"
+
+say "booting two workers (w0 will be SIGKILLed mid-run)"
+# w0 checkpoints every event so killing it mid-lease provably interrupts
+# in-progress work; -crash-after-checkpoints makes the timing
+# deterministic: the process dies abruptly right after its lease's third
+# durable checkpoint, exactly like a SIGKILL at the worst moment.
+"$BIN/sde-worker" -connect "$COORD_ADDR" -name w0 -workdir "$WORK/w0" \
+  -checkpoint-every 1 -crash-after-checkpoints 3 -heartbeat 50ms \
+  >"$LOGDIR/worker-w0.log" 2>&1 &
+W0=$!
+PIDS+=($W0)
+"$BIN/sde-worker" -connect "$COORD_ADDR" -name w1 -workdir "$WORK/w1" \
+  -heartbeat 50ms -retry 200ms \
+  >"$LOGDIR/worker-w1.log" 2>&1 &
+PIDS+=($!)
+
+say "submitting job"
+SUBMIT=$(curl -sf -X POST "$API/jobs" \
+  -d "{\"spec\":$SPEC,\"shard_bits\":$SHARD_BITS,\"test_cases\":$TEST_CASES}") \
+  || fail "job submission"
+JOB=$(echo "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || fail "no job id in response: $SUBMIT"
+say "job id: $JOB"
+
+say "waiting for w0 to crash (exit code 3)"
+CRASHED=0
+for _ in $(seq 1 100); do
+  if ! kill -0 "$W0" 2>/dev/null; then CRASHED=1; break; fi
+  sleep 0.1
+done
+if [ "$CRASHED" = 1 ]; then
+  wait "$W0"
+  RC=$?
+  say "w0 exited with code $RC"
+  [ "$RC" = 3 ] || fail "w0 exited with $RC, want 3 (injected crash)"
+  # Belt and braces: make absolutely sure nothing of w0 lingers.
+  kill -9 "$W0" 2>/dev/null || true
+else
+  fail "w0 never crashed; job too small or crash hook broken"
+fi
+
+say "waiting for the job to finish on the surviving worker"
+STATE=""
+for _ in $(seq 1 300); do
+  STATUS=$(curl -sf "$API/jobs/$JOB") || fail "status poll"
+  STATE=$(echo "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+  case "$STATE" in
+    done|failed|cancelled) break ;;
+  esac
+  sleep 0.2
+done
+[ "$STATE" = done ] || fail "job ended in state '$STATE': $STATUS"
+
+DIGEST=$(echo "$STATUS" | sed -n 's/.*"digest": *"\([^"]*\)".*/\1/p')
+say "distributed digest: $DIGEST"
+[ -n "$DIGEST" ] || fail "no digest in status: $STATUS"
+[ "$DIGEST" = "$ORACLE" ] || fail "digest mismatch: distributed $DIGEST != in-process $ORACLE"
+
+say "checking the report endpoint agrees"
+REPORT_DIGEST=$(curl -sf "$API/jobs/$JOB/report" | sed -n 's/.*"digest": *"\([^"]*\)".*/\1/p' | head -1)
+[ "$REPORT_DIGEST" = "$ORACLE" ] || fail "report digest $REPORT_DIGEST != oracle $ORACLE"
+
+say "checking metrics recorded the crash recovery"
+METRICS=$(curl -sf "http://$HTTP_ADDR/metrics") || fail "metrics fetch"
+echo "$METRICS" > "$LOGDIR/metrics.txt"
+REQUEUES=$(echo "$METRICS" | sed -n 's/^sde_lease_requeues_total{reason="disconnect"} *//p')
+[ -n "$REQUEUES" ] && [ "$REQUEUES" -ge 1 ] 2>/dev/null \
+  || fail "expected >= 1 disconnect requeue, got '$REQUEUES'"
+echo "$METRICS" | grep -q '^sde_results_total' || fail "no results recorded in metrics"
+
+say "PASS: report survived a worker SIGKILL bit-identical (digest $DIGEST, $REQUEUES requeue(s))"

@@ -1,0 +1,334 @@
+package sde
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sde/internal/sim"
+	"sde/internal/snap"
+)
+
+// Lease-granular execution: the building blocks of the multi-process
+// exploration service (cmd/sde-serve, cmd/sde-worker, internal/dist).
+// The unit of distribution is the same unit the in-process shard
+// scheduler uses — a (depth, bits) sub-space of the dscenario partition —
+// and the wire payload of a finished lease is the shard's final durable
+// checkpoint, so crash recovery and result shipping both fall out of the
+// existing snapshot + resume machinery:
+//
+//   - a worker executes a lease with RunShardLease, checkpointing into a
+//     directory; if it crashes, the re-issued lease resumes from that
+//     directory (or, without shared storage, re-runs the deterministic
+//     shard from scratch) — either way the leaf is bit-identical;
+//   - the coordinator collects the leaf checkpoints and rebuilds a full
+//     ShardedReport with AssembleSharded, which resumes each finished
+//     snapshot in-process (replaying zero events);
+//   - Digest canonicalises the observable outputs so "bit-identical to an
+//     in-process run" is a string comparison.
+
+// ShardItem identifies one sub-space of the dscenario partition: bit i of
+// Bits is the pinned value of the i-th shardable drop decision, Depth
+// says how many decisions are pinned. It is the exported form of the
+// shard scheduler's work item, and what a work lease carries on the wire.
+type ShardItem struct {
+	Depth int
+	Bits  uint64
+}
+
+// Label renders the item for logs: "root" or "bits/depth".
+func (it ShardItem) Label() string {
+	if it.Depth == 0 {
+		return "root"
+	}
+	return fmt.Sprintf("%0*b/%d", it.Depth, it.Bits, it.Depth)
+}
+
+// Dir names the item's checkpoint subdirectory. The (depth, bits) pair
+// identifies the sub-space, so a re-issued lease finds the crashed
+// worker's snapshot; completed items form a prefix-free cover, so
+// directories never collide.
+func (it ShardItem) Dir() string {
+	if it.Depth == 0 {
+		return "root"
+	}
+	return fmt.Sprintf("d%d-%0*b", it.Depth, it.Depth, it.Bits)
+}
+
+// validate checks the item against the scenario's shardable set.
+func (it ShardItem) validate(s Scenario) error {
+	if it.Depth < 0 || it.Depth > s.MaxShardBits() {
+		return fmt.Errorf("sde: shard item depth %d outside [0, %d]", it.Depth, s.MaxShardBits())
+	}
+	if it.Depth < 64 && it.Bits >= 1<<uint(it.Depth) {
+		return fmt.Errorf("sde: shard item bits %b wider than depth %d", it.Bits, it.Depth)
+	}
+	return nil
+}
+
+// shardPin maps the item's pinned bits onto the scenario's shardable drop
+// decisions (sorted by node id, LSB first).
+func (s Scenario) shardPin(it ShardItem) map[string]uint64 {
+	armed := sortedShardable(s)
+	pin := make(map[string]uint64, it.Depth)
+	for bit := 0; bit < it.Depth; bit++ {
+		name := fmt.Sprintf("drop_n%d_r0", armed[bit])
+		pin[name] = (it.Bits >> uint(bit)) & 1
+	}
+	return pin
+}
+
+// LeaseOptions parameterises RunShardLease.
+type LeaseOptions struct {
+	// CheckpointDir is where the shard checkpoints and where its final
+	// snapshot — the lease's wire payload — is read from. Required.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint interval in processed events
+	// (0 = the engine default).
+	CheckpointEvery int
+	// DisableSpeculation and SpecWorkers tune the per-lease speculative
+	// solver pipeline (see ShardConfig).
+	DisableSpeculation bool
+	SpecWorkers        int
+	// Progress, when non-nil, is polled during the run with the live
+	// state count and elapsed wall time; returning true stops the run
+	// (LeaseOutcome.Stopped) — how a worker honours a straggler re-split
+	// or a job cancellation.
+	Progress func(states int, elapsed time.Duration) (stop bool)
+}
+
+// LeaseOutcome is the result of one executed work lease.
+type LeaseOutcome struct {
+	// Stopped: the Progress hook cut the run short; the partial results
+	// are not a sound cover of the sub-space and Snapshot is nil.
+	Stopped bool
+	// Report is the shard's report (partial when Stopped).
+	Report *Report
+	// Snapshot is the shard's final durable checkpoint — the bytes a
+	// worker streams back to the coordinator.
+	Snapshot []byte
+}
+
+// RunShardLease executes one work lease: the scenario restricted to the
+// item's sub-space, checkpointing into opts.CheckpointDir. A directory
+// that already holds a checkpoint — a crashed worker's, or a finished
+// run's — is resumed, replaying only what the snapshot does not cover;
+// resuming a finished leaf replays nothing. This is the worker half of
+// the exploration service.
+func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, error) {
+	if err := it.validate(s); err != nil {
+		return nil, err
+	}
+	if opts.CheckpointDir == "" {
+		return nil, fmt.Errorf("sde: RunShardLease needs a checkpoint directory")
+	}
+	if opts.SpecWorkers < 0 {
+		return nil, fmt.Errorf("sde: SpecWorkers must be >= 0 (got %d)", opts.SpecWorkers)
+	}
+	shard := s
+	cfg := s.cfg
+	cfg.Pin = s.shardPin(it)
+	cfg.Progress = opts.Progress
+	cfg.CheckpointEvery = opts.CheckpointEvery
+	cfg.DisableSpeculation = opts.DisableSpeculation
+	cfg.SpecWorkers = opts.SpecWorkers
+	shard.cfg = cfg
+	shard.desc = fmt.Sprintf("%s [shard %s]", s.desc, it.Label())
+	report, err := runOrResume(shard, opts.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	scrubRunHooks(report)
+	if report.Stopped() {
+		return &LeaseOutcome{Stopped: true, Report: report}, nil
+	}
+	data, err := snap.LoadBytes(opts.CheckpointDir)
+	if err != nil {
+		return nil, fmt.Errorf("sde: reading leaf checkpoint: %w", err)
+	}
+	return &LeaseOutcome{Report: report, Snapshot: data}, nil
+}
+
+// scrubRunHooks removes run-time hooks from a report's stored scenario: a
+// replay through the report must not be stopped by a stale progress hook,
+// write into a shared cache, or overwrite the shard's checkpoint.
+func scrubRunHooks(r *Report) {
+	r.scenario.cfg.Progress = nil
+	r.scenario.cfg.SharedSolverCache = nil
+	r.scenario.cfg.CheckpointDir = ""
+	r.scenario.cfg.CheckpointEvery = 0
+}
+
+// ShardLeaf is one completed leaf of a distributed run: the item and its
+// final checkpoint as shipped over the wire.
+type ShardLeaf struct {
+	Item     ShardItem
+	Snapshot []byte
+}
+
+// AssembleSharded rebuilds a full ShardedReport from shipped shard-leaf
+// checkpoints: each snapshot is resumed in-process (replaying zero
+// events, since leaves are finished runs) and the reports are ordered and
+// aggregated exactly as RunScenarioShardedWith orders an in-process run —
+// so a distributed run's report is bit-identical to a local one. The
+// leaves must form a prefix-free cover of the shard space (the set of
+// completed items of any run does); gaps and overlaps are rejected rather
+// than silently under- or double-counted.
+func AssembleSharded(s Scenario, leaves []ShardLeaf) (*ShardedReport, error) {
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("sde: no shard leaves to assemble")
+	}
+	items := make([]ShardItem, len(leaves))
+	for i, leaf := range leaves {
+		if err := leaf.Item.validate(s); err != nil {
+			return nil, err
+		}
+		items[i] = leaf.Item
+	}
+	if err := verifyCover(items); err != nil {
+		return nil, err
+	}
+	results := make([]leafResult, 0, len(leaves))
+	for _, leaf := range leaves {
+		pin := s.shardPin(leaf.Item)
+		shard := s
+		cfg := s.cfg
+		cfg.Pin = pin
+		shard.cfg = cfg
+		eng, err := sim.ResumeEngine(shard.cfg, leaf.Snapshot)
+		if err != nil {
+			return nil, fmt.Errorf("sde: shard %s: %w", leaf.Item.Label(), err)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			return nil, fmt.Errorf("sde: shard %s: %w", leaf.Item.Label(), err)
+		}
+		results = append(results, leafResult{
+			item:   workItem{depth: leaf.Item.Depth, bits: leaf.Item.Bits},
+			pin:    pin,
+			report: &Report{res: res, scenario: shard},
+		})
+	}
+	return finalizeSharded(s, results, SchedStats{Resumed: len(results)}), nil
+}
+
+// verifyCover checks that the items are a prefix-free, exact cover of the
+// shard space: merging sibling sub-spaces bottom-up must telescope to the
+// root exactly once.
+func verifyCover(items []ShardItem) error {
+	maxDepth := 0
+	set := make(map[ShardItem]bool, len(items))
+	for _, it := range items {
+		if it.Depth > 62 {
+			return fmt.Errorf("sde: shard item depth %d too deep to verify", it.Depth)
+		}
+		if set[it] {
+			return fmt.Errorf("sde: shard %s appears twice", it.Label())
+		}
+		set[it] = true
+		if it.Depth > maxDepth {
+			maxDepth = it.Depth
+		}
+	}
+	for depth := maxDepth; depth > 0; depth-- {
+		for it := range set {
+			if it.Depth != depth {
+				continue
+			}
+			sibling := ShardItem{Depth: depth, Bits: it.Bits ^ 1<<uint(depth-1)}
+			if !set[sibling] {
+				return fmt.Errorf("sde: shard cover is missing the sibling of %s", it.Label())
+			}
+			delete(set, it)
+			delete(set, sibling)
+			parent := ShardItem{Depth: depth - 1, Bits: it.Bits &^ (1 << uint(depth-1))}
+			if set[parent] {
+				return fmt.Errorf("sde: shard %s overlaps its covering prefix %s",
+					it.Label(), parent.Label())
+			}
+			set[parent] = true
+		}
+	}
+	if !set[ShardItem{}] || len(set) != 1 {
+		return fmt.Errorf("sde: shard leaves do not cover the space")
+	}
+	return nil
+}
+
+// Digest canonicalises the report's observable outputs — per-shard pins,
+// state counts, dscenario counts and fingerprints, violations, and up to
+// testCases concrete test cases per shard — into a SHA-256 hex string.
+// Two runs of the same scenario agree on the digest iff they agree on
+// every one of those outputs, so "the distributed run is bit-identical to
+// the in-process run" is a string comparison. Both sides must use the
+// same testCases limit. Scheduling telemetry, wall times, and
+// descriptions are deliberately excluded: they may legitimately differ.
+func (r *ShardedReport) Digest(testCases int) (string, error) {
+	h := sha256.New()
+	for i, sh := range r.Shards {
+		fmt.Fprintf(h, "shard %d\n", i)
+		writeSortedPin(h, sh.Pin)
+		rep := sh.Report
+		fmt.Fprintf(h, "states %d\n", rep.States())
+		fmt.Fprintf(h, "groups %d\n", rep.Groups())
+		fmt.Fprintf(h, "dscenarios %s\n", rep.DScenarios().String())
+		writeDScenarioFingerprints(h, rep)
+		for _, v := range rep.Violations() {
+			fmt.Fprintf(h, "violation node=%d t=%d msg=%q\n", v.Node, v.Time, v.Msg)
+			writeSortedPin(h, v.Model)
+		}
+		if testCases != 0 {
+			tcs, err := rep.TestCases(testCases)
+			if err != nil {
+				return "", fmt.Errorf("sde: digest: %w", err)
+			}
+			for _, tc := range tcs {
+				fmt.Fprintf(h, "testcase %d\n", tc.Index)
+				for _, name := range tc.Vars() {
+					fmt.Fprintf(h, "  %s=%d\n", name, tc.Inputs[name])
+				}
+			}
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+func writeSortedPin(w io.Writer, m map[string]uint64) {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %s=%d\n", name, m[name])
+	}
+}
+
+// writeDScenarioFingerprints hashes each represented dscenario — the
+// FNV-1a of its per-node state fingerprints — in sorted order, the same
+// canonicalisation the sharded-equivalence tests use.
+func writeDScenarioFingerprints(w io.Writer, rep *Report) {
+	fps := make([]uint64, 0, 64)
+	for _, sc := range rep.res.Mapper.Explode(0) {
+		fp := uint64(14695981039346656037)
+		for _, s := range sc {
+			fp ^= s.Fingerprint()
+			fp *= 1099511628211
+		}
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		fmt.Fprintf(w, "fp %016x\n", fp)
+	}
+}
+
+// sortedShardable returns the scenario's shardable nodes in pinning
+// order (ascending node id).
+func sortedShardable(s Scenario) []int {
+	armed := append([]int(nil), s.shardable...)
+	sort.Ints(armed)
+	return armed
+}

@@ -1,0 +1,293 @@
+package sde_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"sde"
+)
+
+func TestShardItemLabelAndDir(t *testing.T) {
+	cases := []struct {
+		item  sde.ShardItem
+		label string
+		dir   string
+	}{
+		{sde.ShardItem{}, "root", "root"},
+		{sde.ShardItem{Depth: 1, Bits: 0}, "0/1", "d1-0"},
+		{sde.ShardItem{Depth: 1, Bits: 1}, "1/1", "d1-1"},
+		{sde.ShardItem{Depth: 3, Bits: 5}, "101/3", "d3-101"},
+	}
+	for _, c := range cases {
+		if got := c.item.Label(); got != c.label {
+			t.Errorf("%+v Label = %q, want %q", c.item, got, c.label)
+		}
+		if got := c.item.Dir(); got != c.dir {
+			t.Errorf("%+v Dir = %q, want %q", c.item, got, c.dir)
+		}
+	}
+}
+
+// leaseAll executes every leaf of a prefix-free cover through
+// RunShardLease, returning the leaves AssembleSharded consumes.
+func leaseAll(t *testing.T, s sde.Scenario, items []sde.ShardItem, root string) []sde.ShardLeaf {
+	t.Helper()
+	leaves := make([]sde.ShardLeaf, 0, len(items))
+	for _, it := range items {
+		out, err := sde.RunShardLease(s, it, sde.LeaseOptions{
+			CheckpointDir: filepath.Join(root, it.Dir()),
+		})
+		if err != nil {
+			t.Fatalf("lease %s: %v", it.Label(), err)
+		}
+		if out.Stopped {
+			t.Fatalf("lease %s stopped without a progress hook", it.Label())
+		}
+		if len(out.Snapshot) == 0 {
+			t.Fatalf("lease %s returned an empty snapshot", it.Label())
+		}
+		leaves = append(leaves, sde.ShardLeaf{Item: it, Snapshot: out.Snapshot})
+	}
+	return leaves
+}
+
+// TestAssembleShardedBitIdentical is the service's core soundness
+// property: executing every leaf as an isolated lease (the worker path)
+// and reassembling the shipped checkpoints must reproduce the in-process
+// sharded report bit-for-bit, as witnessed by the canonical digest.
+func TestAssembleShardedBitIdentical(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	ref, err := sde.RunScenarioSharded(scenario, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest, err := ref.Digest(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	items := []sde.ShardItem{
+		{Depth: 2, Bits: 0b00},
+		{Depth: 2, Bits: 0b10},
+		{Depth: 2, Bits: 0b01},
+		{Depth: 2, Bits: 0b11},
+	}
+	leaves := leaseAll(t, scenario, items, t.TempDir())
+	got, err := sde.AssembleSharded(scenario, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDigest, err := got.Digest(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != refDigest {
+		t.Errorf("assembled digest %s != in-process digest %s", gotDigest, refDigest)
+	}
+	if got.States() != ref.States() || got.DScenarios().Cmp(ref.DScenarios()) != 0 {
+		t.Errorf("assembled states/dscenarios %d/%v != %d/%v",
+			got.States(), got.DScenarios(), ref.States(), ref.DScenarios())
+	}
+	if got.Sched.Shards != len(items) {
+		t.Errorf("Sched.Shards = %d, want %d", got.Sched.Shards, len(items))
+	}
+}
+
+// TestAssembleShardedMixedDepths covers the uneven partition a straggler
+// re-split produces: one half explored whole, the other as two quarters.
+func TestAssembleShardedMixedDepths(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	ref, err := sde.RunScenario(scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := []sde.ShardItem{
+		{Depth: 1, Bits: 0b0},
+		{Depth: 2, Bits: 0b01},
+		{Depth: 2, Bits: 0b11},
+	}
+	leaves := leaseAll(t, scenario, items, t.TempDir())
+	got, err := sde.AssembleSharded(scenario, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DScenarios().Cmp(ref.DScenarios()) != 0 {
+		t.Errorf("dscenarios = %v, want %v", got.DScenarios(), ref.DScenarios())
+	}
+	gotSet := map[uint64]bool{}
+	for _, sh := range got.Shards {
+		for fp := range explodeFingerprints(sh.Report) {
+			gotSet[fp] = true
+		}
+	}
+	refSet := explodeFingerprints(ref)
+	if len(gotSet) != len(refSet) {
+		t.Fatalf("fingerprint sets differ: %d vs %d", len(gotSet), len(refSet))
+	}
+	for fp := range refSet {
+		if !gotSet[fp] {
+			t.Errorf("fingerprint %016x missing from assembled run", fp)
+		}
+	}
+}
+
+// TestLeaseCrashRecovery simulates the coordinator's crash story: a lease
+// is cut short mid-run (the worker "crashed" after checkpointing), then
+// re-issued against the same directory, resuming rather than restarting —
+// and the assembled result is still bit-identical.
+func TestLeaseCrashRecovery(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	ref, err := sde.RunScenarioSharded(scenario, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refDigest, err := ref.Digest(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := t.TempDir()
+	crashed := sde.ShardItem{Depth: 1, Bits: 0}
+	crashDir := filepath.Join(root, crashed.Dir())
+	calls := 0
+	out, err := sde.RunShardLease(scenario, crashed, sde.LeaseOptions{
+		CheckpointDir:   crashDir,
+		CheckpointEvery: 1,
+		Progress: func(states int, elapsed time.Duration) bool {
+			calls++
+			return calls > 2 // stop shortly after the first checkpoints land
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Stopped {
+		t.Fatal("progress hook did not stop the lease; lower the threshold")
+	}
+	if out.Snapshot != nil {
+		t.Fatal("stopped lease must not ship a snapshot")
+	}
+
+	// Re-issue the lease: it must resume from the crashed worker's
+	// checkpoint, not restart.
+	retry, err := sde.RunShardLease(scenario, crashed, sde.LeaseOptions{CheckpointDir: crashDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.Stopped {
+		t.Fatal("re-issued lease stopped")
+	}
+	if !retry.Report.Resumed() {
+		t.Error("re-issued lease did not resume from the checkpoint")
+	}
+
+	other := sde.ShardItem{Depth: 1, Bits: 1}
+	rest := leaseAll(t, scenario, []sde.ShardItem{other}, root)
+	leaves := append(rest, sde.ShardLeaf{Item: crashed, Snapshot: retry.Snapshot})
+	got, err := sde.AssembleSharded(scenario, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotDigest, err := got.Digest(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDigest != refDigest {
+		t.Errorf("post-crash digest %s != reference %s", gotDigest, refDigest)
+	}
+}
+
+func TestRunShardLeaseValidation(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	if _, err := sde.RunShardLease(scenario, sde.ShardItem{}, sde.LeaseOptions{}); err == nil {
+		t.Error("missing checkpoint dir not rejected")
+	}
+	bad := sde.ShardItem{Depth: scenario.MaxShardBits() + 1}
+	if _, err := sde.RunShardLease(scenario, bad, sde.LeaseOptions{CheckpointDir: t.TempDir()}); err == nil {
+		t.Error("over-deep item not rejected")
+	}
+	wide := sde.ShardItem{Depth: 1, Bits: 2}
+	if _, err := sde.RunShardLease(scenario, wide, sde.LeaseOptions{CheckpointDir: t.TempDir()}); err == nil {
+		t.Error("bits wider than depth not rejected")
+	}
+}
+
+func TestAssembleShardedRejectsBadCovers(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	whole := leaseAll(t, scenario, []sde.ShardItem{{}}, t.TempDir())
+
+	cases := []struct {
+		name  string
+		items []sde.ShardItem
+		want  string
+	}{
+		{"empty", nil, "no shard leaves"},
+		{"duplicate", []sde.ShardItem{{}, {}}, "twice"},
+		{"gap", []sde.ShardItem{{Depth: 1, Bits: 0}}, "missing the sibling"},
+		{"overlap", []sde.ShardItem{{}, {Depth: 1, Bits: 0}, {Depth: 1, Bits: 1}}, "overlaps"},
+		{"nested overlap", []sde.ShardItem{
+			{Depth: 1, Bits: 0},
+			{Depth: 2, Bits: 0b00}, {Depth: 2, Bits: 0b10},
+			{Depth: 1, Bits: 1},
+		}, "overlaps"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			// Reuse the whole-space snapshot for every item: cover
+			// validation happens before any resume, so the payload
+			// bytes never matter here.
+			leaves := make([]sde.ShardLeaf, len(c.items))
+			for i, it := range c.items {
+				leaves[i] = sde.ShardLeaf{Item: it, Snapshot: whole[0].Snapshot}
+			}
+			_, err := sde.AssembleSharded(scenario, leaves)
+			if err == nil {
+				t.Fatalf("bad cover %v accepted", c.items)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestDigestSensitivity checks the digest moves when observable outputs
+// move, and ignores the test-case budget only when it is equal.
+func TestDigestSensitivity(t *testing.T) {
+	scenario := shardScenario(t, sde.SDS)
+	a, err := sde.RunScenarioSharded(scenario, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := a.Digest(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1again, err := a.Digest(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d1again {
+		t.Error("digest is not deterministic")
+	}
+
+	smaller, err := sde.GridCollectScenario(sde.GridCollectOptions{
+		Dim: 3, Algorithm: sde.SDS, Packets: 1, DropNodes: sde.DropRouteAndNeighbors,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sde.RunScenarioSharded(smaller, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := b.Digest(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Error("digests of different workloads collide")
+	}
+}

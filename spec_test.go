@@ -67,6 +67,9 @@ func diffReports(t *testing.T, on, off *sde.Report, onCases, offCases []string) 
 // Resolution barriers drain verdicts in creation order, so speculation
 // must never change any observable output.
 func TestSpeculationSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-run differential; CI runs it in a dedicated -count=10 step")
+	}
 	for _, algo := range []sde.Algorithm{sde.COB, sde.COW, sde.SDS} {
 		algo := algo
 		t.Run(algo.String(), func(t *testing.T) {
@@ -122,6 +125,9 @@ func TestNegativeWorkerRejection(t *testing.T) {
 // the pipeline and barriers rewind speculative executions — the
 // worst-case path for a determinism bug.
 func TestSpeculationWorkloadSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-run differential; CI runs it in a dedicated -count=10 step")
+	}
 	build := func() sde.Scenario {
 		s, err := sde.SpeculationWorkloadScenario(sde.SpeculationWorkloadOptions{
 			Algorithm:   sde.SDS,
