@@ -28,9 +28,12 @@
 //	sde-bench -json -out results.json -depth 32 -reps 5
 //
 // -json also benchmarks the query-optimization pipeline (-qopt-out,
-// default BENCH_qopt.json) and the speculative-fork solver pipeline
+// default BENCH_qopt.json), the speculative-fork solver pipeline
 // (-spec-out, default BENCH_spec.json; synchronous vs 1/2/4 async
-// solver workers on the entangled assume-chain workload). -spec-workers
+// solver workers on the entangled assume-chain workload), and the
+// compiled basic-block fast path (-vm-out, default BENCH_vm.json;
+// compiled vs interpreted on a concrete-heavy collect run, with
+// optional per-mode CPU profiles via -vm-profile-dir). -spec-workers
 // sizes the speculation pool for the table sweeps, and
 // -cpuprofile/-memprofile write pprof profiles for any mode.
 //
@@ -77,6 +80,8 @@ func run() (err error) {
 	jsonOut := flag.String("out", "BENCH_solver.json", "output path for -json")
 	qoptOut := flag.String("qopt-out", "BENCH_qopt.json", "output path for the -json query-optimizer results")
 	specOut := flag.String("spec-out", "BENCH_spec.json", "output path for the -json speculative-pipeline results")
+	vmOut := flag.String("vm-out", "BENCH_vm.json", "output path for the -json compiled-fast-path results")
+	vmProfileDir := flag.String("vm-profile-dir", "", "also write per-mode CPU profiles of the compiled-fast-path bench into this directory")
 	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
 	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory: make runs durable and resume interrupted ones")
@@ -110,7 +115,10 @@ func run() (err error) {
 		if err := runQoptBench(*qoptOut, *jsonReps); err != nil {
 			return err
 		}
-		return runSpecBench(*specOut, *jsonReps)
+		if err := runSpecBench(*specOut, *jsonReps); err != nil {
+			return err
+		}
+		return runVMBench(*vmOut, *vmProfileDir, *jsonReps)
 	}
 	if *worstCase {
 		return runWorstCase()

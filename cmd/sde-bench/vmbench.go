@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sde"
+	"sde/internal/prof"
+)
+
+// vmBenchResult is one mode (compiled fast path on or off) of one
+// workload in BENCH_vm.json.
+type vmBenchResult struct {
+	Name    string `json:"name"`
+	Compile bool   `json:"compile"`
+	NsPerOp int64  `json:"ns_per_op"` // one full scenario run (best of reps)
+
+	Instructions uint64 `json:"instructions"`
+	FastBlocks   uint64 `json:"fast_blocks"`
+	SlowBlocks   uint64 `json:"slow_blocks"`
+	FoldedInstrs uint64 `json:"folded_instrs"`
+}
+
+// vmBenchWorkload is one workload's compiled-vs-interpreted comparison.
+type vmBenchWorkload struct {
+	Name    string          `json:"name"`
+	Desc    string          `json:"desc"`
+	Modes   []vmBenchResult `json:"modes"`
+	Speedup float64         `json:"speedup"` // interpreted wall / compiled wall
+}
+
+// vmBenchReport is the BENCH_vm.json document: the compiled basic-block
+// fast path versus pure interpretation on concrete-heavy workloads —
+// runs whose drop decisions (and all other inputs) are fixed concrete,
+// so virtually every executed block is straight-line concrete code, the
+// hot-loop case the load-time compiler targets.
+type vmBenchReport struct {
+	Benchmark string    `json:"benchmark"`
+	Generated time.Time `json:"generated"`
+	Reps      int       `json:"reps"`
+
+	Workloads []vmBenchWorkload `json:"workloads"`
+
+	// Speedup is the hotloop workload's interpreted wall time over its
+	// compiled wall time — the headline the issue's acceptance
+	// criterion tracks (>= 2x).
+	Speedup float64 `json:"speedup"`
+}
+
+// vmHotLoopScenario builds the headline workload: four nodes each
+// running a xorshift-style mixing loop on every timer tick — pure
+// concrete straight-line arithmetic, the per-instruction interpreter's
+// worst case (every ALU result becomes a hash-consed expression) and
+// the fast path's best (one raw uint64 loop, expressions only at block
+// exit).
+func vmHotLoopScenario(nodes, ticks, iters int) (sde.Scenario, error) {
+	b := sde.NewProgramBuilder()
+	boot := b.Func("boot")
+	boot.MovI(sde.R1, 1)
+	boot.Timer("tick", sde.R1, sde.R0)
+	boot.Ret()
+
+	tick := b.Func("tick")
+	tick.NodeID(sde.R2)
+	tick.AddI(sde.R2, sde.R2, 0x9e37)
+	tick.MovI(sde.R3, uint32(iters))
+	tick.Label("loop")
+	tick.ShlI(sde.R4, sde.R2, 13)
+	tick.Xor(sde.R2, sde.R2, sde.R4)
+	tick.LShrI(sde.R4, sde.R2, 17)
+	tick.Xor(sde.R2, sde.R2, sde.R4)
+	tick.ShlI(sde.R4, sde.R2, 5)
+	tick.Xor(sde.R2, sde.R2, sde.R4)
+	tick.SubI(sde.R3, sde.R3, 1)
+	tick.BrNZ(sde.R3, "loop")
+	tick.MovI(sde.R5, 0)
+	tick.Store(sde.R5, 0x40, sde.R2)
+	tick.Load(sde.R6, sde.R5, 0x44)
+	tick.AddI(sde.R6, sde.R6, 1)
+	tick.Store(sde.R5, 0x44, sde.R6)
+	tick.UltI(sde.R7, sde.R6, uint32(ticks))
+	tick.BrZ(sde.R7, "stop")
+	tick.MovI(sde.R1, 1)
+	tick.Timer("tick", sde.R1, sde.R0)
+	tick.Label("stop")
+	tick.Ret()
+
+	prog, err := b.Build()
+	if err != nil {
+		return sde.Scenario{}, err
+	}
+	return sde.CustomScenario("vm hot loop", sde.CustomConfig{
+		Topology:     sde.Line(nodes),
+		Program:      prog,
+		Algorithm:    sde.SDS,
+		HorizonTicks: uint64(ticks) + 10,
+	})
+}
+
+// runVMBench measures the compiled-IR fast path against the
+// per-instruction interpreter on two all-concrete workloads — the
+// compute-bound hot loop (headline) and the paper's grid-collect run
+// with drops fixed concrete — and writes the results as JSON. When
+// profileDir is non-empty it also captures one sequential CPU profile
+// per hotloop mode (vm_interp.pprof / vm_compiled.pprof) — the
+// before/after pair CI uploads next to the numbers.
+func runVMBench(out, profileDir string, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", reps)
+	}
+	rep := vmBenchReport{
+		Benchmark: "CompiledFastPath",
+		Generated: time.Now().UTC(),
+		Reps:      reps,
+	}
+	if profileDir != "" {
+		if err := os.MkdirAll(profileDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	measure := func(name string, build func() (sde.Scenario, error), compile bool, profile string) (vmBenchResult, error) {
+		var best time.Duration
+		var res vmBenchResult
+		for r := 0; r < reps; r++ {
+			scenario, err := build()
+			if err != nil {
+				return vmBenchResult{}, err
+			}
+			if !compile {
+				scenario = scenario.WithoutCompiledIR()
+			}
+			start := time.Now()
+			report, err := sde.RunScenario(scenario)
+			if err != nil {
+				return vmBenchResult{}, fmt.Errorf("%s: %w", name, err)
+			}
+			elapsed := time.Since(start)
+			if r == 0 || elapsed < best {
+				best = elapsed
+				vs := report.VMStats()
+				res = vmBenchResult{
+					Name:         name,
+					Compile:      compile,
+					NsPerOp:      best.Nanoseconds(),
+					Instructions: report.Instructions(),
+					FastBlocks:   vs.FastBlocks,
+					SlowBlocks:   vs.SlowBlocks,
+					FoldedInstrs: vs.FoldedInstrs,
+				}
+			}
+		}
+		if profile != "" {
+			// One extra profiled rep, run sequentially so the two
+			// profiles never overlap (pprof allows one CPU profile at a
+			// time per process).
+			scenario, err := build()
+			if err != nil {
+				return vmBenchResult{}, err
+			}
+			if !compile {
+				scenario = scenario.WithoutCompiledIR()
+			}
+			stopProf, err := prof.Start(profile, "")
+			if err != nil {
+				return vmBenchResult{}, err
+			}
+			_, runErr := sde.RunScenario(scenario)
+			if err := stopProf(); err != nil {
+				return vmBenchResult{}, err
+			}
+			if runErr != nil {
+				return vmBenchResult{}, fmt.Errorf("%s (profiled): %w", name, runErr)
+			}
+		}
+		return res, nil
+	}
+
+	workloads := []struct {
+		name, desc string
+		build      func() (sde.Scenario, error)
+		profiled   bool
+	}{
+		{
+			name:     "hotloop",
+			desc:     "4-node line, 50 ticks x 2000-iteration concrete mixing loop per node",
+			profiled: true,
+			build: func() (sde.Scenario, error) {
+				return vmHotLoopScenario(4, 50, 2000)
+			},
+		},
+		{
+			name: "collect",
+			desc: "7x7 grid collect, 10 packets, drops fixed concrete",
+			build: func() (sde.Scenario, error) {
+				return sde.GridCollectScenario(sde.GridCollectOptions{
+					Dim:       7,
+					Algorithm: sde.SDS,
+					Packets:   10,
+					DropNodes: sde.DropNone,
+				})
+			},
+		},
+	}
+
+	for _, w := range workloads {
+		wl := vmBenchWorkload{Name: w.name, Desc: w.desc}
+		var interpNs, compiledNs int64
+		for _, mode := range []struct {
+			name    string
+			compile bool
+		}{
+			{"interp", false},
+			{"compiled", true},
+		} {
+			profile := ""
+			if w.profiled && profileDir != "" {
+				profile = filepath.Join(profileDir, "vm_"+mode.name+".pprof")
+			}
+			res, err := measure(w.name+"/"+mode.name, w.build, mode.compile, profile)
+			if err != nil {
+				return err
+			}
+			wl.Modes = append(wl.Modes, res)
+			if mode.compile {
+				compiledNs = res.NsPerOp
+			} else {
+				interpNs = res.NsPerOp
+			}
+		}
+		if compiledNs > 0 {
+			wl.Speedup = float64(interpNs) / float64(compiledNs)
+		}
+		if w.profiled {
+			rep.Speedup = wl.Speedup
+		}
+		rep.Workloads = append(rep.Workloads, wl)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("Compiled fast-path bench (best of %d):\n", reps)
+	for _, wl := range rep.Workloads {
+		fmt.Printf("  %s (%s):\n", wl.Name, wl.Desc)
+		for _, m := range wl.Modes {
+			fmt.Printf("    %-9s %12s  instrs=%-9d fast=%-8d slow=%-6d folded=%d\n",
+				m.Name, time.Duration(m.NsPerOp), m.Instructions,
+				m.FastBlocks, m.SlowBlocks, m.FoldedInstrs)
+		}
+		fmt.Printf("    speedup: %.2fx\n", wl.Speedup)
+	}
+	fmt.Printf("  headline (hotloop) speedup: %.2fx  → %s\n", rep.Speedup, out)
+	return nil
+}

@@ -47,6 +47,7 @@ func run() error {
 	workdir := flag.String("workdir", "", "checkpoint work directory, required")
 	heartbeat := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat interval while executing a lease")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint interval in events (0 = engine default)")
+	compile := flag.Bool("compile", true, "basic-block compiled fast path; -compile=false is the first soundness-triage step")
 	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline")
 	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative pipeline (0 = one per CPU)")
 	splitStates := flag.Int("split-states", 0, "self-split a lease above this many live states when the queue is starved (0 = never)")
@@ -92,6 +93,7 @@ func run() error {
 		CheckpointEvery:       *checkpointEvery,
 		DisableSpeculation:    !*speculate,
 		SpecWorkers:           *specWorkers,
+		DisableCompiledIR:     !*compile,
 		SplitStates:           *splitStates,
 		SplitAfter:            *splitAfter,
 		CrashAfterCheckpoints: *crashAfter,

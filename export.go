@@ -28,6 +28,9 @@ type ReportJSON struct {
 	DScenarios   string          `json:"dscenarios"`
 	MemBytes     int64           `json:"mem_bytes"`
 	PeakMemBytes int64           `json:"peak_mem_bytes"`
+	FastBlocks   uint64          `json:"fast_blocks,omitempty"`
+	SlowBlocks   uint64          `json:"slow_blocks,omitempty"`
+	FoldedInstrs uint64          `json:"folded_instrs,omitempty"`
 	Violations   []ViolationJSON `json:"violations,omitempty"`
 	TestCases    []TestCaseJSON  `json:"test_cases,omitempty"`
 }
@@ -63,6 +66,9 @@ func (r *Report) JSON(maxTestCases int) (*ReportJSON, error) {
 		DScenarios:   r.res.DScenarios.String(),
 		MemBytes:     r.res.FinalMem,
 		PeakMemBytes: r.res.PeakMem,
+		FastBlocks:   r.res.VM.FastBlocks,
+		SlowBlocks:   r.res.VM.SlowBlocks,
+		FoldedInstrs: r.res.VM.FoldedInstrs,
 	}
 	for _, v := range r.res.Violations {
 		out.Violations = append(out.Violations, ViolationJSON{
@@ -101,15 +107,16 @@ func (r *Report) WriteJSON(w io.Writer, maxTestCases int) error {
 // errors instead of silently truncated series.
 func (r *Report) WriteCSV(w io.Writer) error {
 	if _, err := io.WriteString(w,
-		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided\n"); err != nil {
+		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs\n"); err != nil {
 		return err
 	}
 	for _, sm := range r.res.Series.Samples() {
-		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes,
 			sm.Instructions, sm.SolverQueries, sm.QueriesSliced,
-			sm.GatesElided); err != nil {
+			sm.GatesElided, sm.FastBlocks, sm.SlowBlocks,
+			sm.FoldedInstrs); err != nil {
 			return err
 		}
 	}

@@ -114,7 +114,8 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 		t.Fatalf("parse emitted CSV: %v", err)
 	}
 	wantHeader := []string{"wall_ms", "virtual_time", "states", "groups", "mem_bytes",
-		"instructions", "solver_queries", "queries_sliced", "gates_elided"}
+		"instructions", "solver_queries", "queries_sliced", "gates_elided",
+		"fast_blocks", "slow_blocks", "folded_instrs"}
 	if len(rows) == 0 {
 		t.Fatal("no rows emitted")
 	}
@@ -133,10 +134,13 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 			t.Fatalf("row %d has %d columns, want %d", i, len(row), len(wantHeader))
 		}
 		for col, want := range map[int]int64{
-			2: int64(sm.States),
-			6: sm.SolverQueries,
-			7: sm.QueriesSliced,
-			8: sm.GatesElided,
+			2:  int64(sm.States),
+			6:  sm.SolverQueries,
+			7:  sm.QueriesSliced,
+			8:  sm.GatesElided,
+			9:  int64(sm.FastBlocks),
+			10: int64(sm.SlowBlocks),
+			11: int64(sm.FoldedInstrs),
 		} {
 			got, err := strconv.ParseInt(row[col], 10, 64)
 			if err != nil {

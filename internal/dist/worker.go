@@ -32,11 +32,13 @@ type WorkerOptions struct {
 	HeartbeatEvery time.Duration
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
-	// CheckpointEvery, DisableSpeculation, and SpecWorkers default the
-	// per-lease execution knobs when the lease does not set them.
+	// CheckpointEvery, DisableSpeculation, SpecWorkers, and
+	// DisableCompiledIR default the per-lease execution knobs when the
+	// lease does not set them.
 	CheckpointEvery    int
 	DisableSpeculation bool
 	SpecWorkers        int
+	DisableCompiledIR  bool
 	// SplitStates, when > 0, arms straggler self-splitting: a lease
 	// whose live state count exceeds it after SplitAfter, while the
 	// coordinator reports a starved queue, is abandoned with a Split so
@@ -281,6 +283,7 @@ func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
 		CheckpointEvery:    every,
 		DisableSpeculation: lease.DisableSpeculation || opts.DisableSpeculation,
 		SpecWorkers:        specWorkers,
+		DisableCompiledIR:  lease.DisableCompiledIR || opts.DisableCompiledIR,
 		Progress:           progress,
 	})
 	switch {

@@ -120,6 +120,14 @@ func TestParseAsmErrors(t *testing.T) {
 		{"undefined call", "func f\n  call missing\n  ret"},
 		{"unquoted string", "func f\n  assert r1, message\n  ret"},
 		{"fallthrough", "func f\n  nop"},
+		{"duplicate label", "func f\nl:\n  nop\nl:\n  ret"},
+		{"register where immediate-or-register op wants one", "func f\n  add 5, r1, r2\n  ret"},
+		{"binary op missing second source", "func f\n  add r1, r2\n  ret"},
+		{"sym width zero", "func f\n  sym r1, \"x\", 0\n  ret"},
+		{"sym width too wide", "func f\n  sym r1, \"x\", 65\n  ret"},
+		{"sym empty name", "func f\n  sym r1, \"\", 8\n  ret"},
+		{"empty function", "func f\nfunc g\n  ret"},
+		{"empty program", "; nothing but a comment"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

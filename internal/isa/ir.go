@@ -1,0 +1,314 @@
+package isa
+
+// Basic-block IR over validated programs — the CREATE phase of the
+// two-phase load-time compiler (the BUILD phase lives in compile.go,
+// patterned on the CREATE/BUILD split of golang.org/x/tools' SSA
+// builder). The IR partitions every function's instruction stream into
+// basic blocks, links them into a control-flow graph, and precomputes
+// the per-block metadata the vm's concrete fast path and the static
+// analyses (shardable-site detection, handler read-set liveness) need.
+//
+// The IR is derived: it is computed once per Program, lazily, and never
+// serialized — a resumed run recompiles it from the program image, so
+// the snapshot format is unaffected.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// WordBits is the machine word size in bits. It lives here, next to the
+// ISA definition, because the load-time constant folder and the vm's
+// symbolic ALU must agree on it exactly.
+const WordBits = 32
+
+// wordMask keeps concrete values inside the machine word.
+const wordMask = 1<<WordBits - 1
+
+// RegSet is a bitmask over the 16 general-purpose registers.
+type RegSet uint16
+
+// Has reports whether r is in the set.
+func (rs RegSet) Has(r Reg) bool { return rs&(1<<r) != 0 }
+
+// Add inserts r into the set.
+func (rs *RegSet) Add(r Reg) { *rs |= 1 << r }
+
+// Empty reports whether the set has no members.
+func (rs RegSet) Empty() bool { return rs == 0 }
+
+// Count returns the number of registers in the set.
+func (rs RegSet) Count() int {
+	n := 0
+	for v := rs; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// String renders the set as {r0,r5,...} for diagnostics.
+func (rs RegSet) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for r := Reg(0); r < NumRegs; r++ {
+		if rs.Has(r) {
+			if sb.Len() > 1 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "r%d", r)
+		}
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// FoldedVal is the load-time constant folder's verdict for one
+// instruction: when Known, the instruction's destination register always
+// holds Val (a MovI-fed chain), so an executor may skip computing it.
+type FoldedVal struct {
+	Known bool
+	Val   uint64
+}
+
+// Block is one basic block: a maximal straight-line instruction run
+// [Start, End) that control enters only at Start and leaves only at the
+// last instruction (or by falling through to the next leader).
+type Block struct {
+	Start, End int
+
+	// Succs lists the indices of possible intra-procedural successor
+	// blocks: branch targets, fall-throughs, and the return site after a
+	// call. Ret and Halt blocks have no successors.
+	Succs []int
+
+	// Use holds the registers the block may read before writing them
+	// (its live-in set); Def holds the registers it writes. Blocks are
+	// straight-line, so Def is exact: every instruction executes.
+	Use, Def RegSet
+
+	// Effect summary, precomputed so executors and analyses don't rescan
+	// the instruction stream.
+	TouchesMem bool // contains Load, Store, or Send (payload reads)
+	Sends      bool // contains Send
+	MayFork    bool // contains a conditional branch, Assume, or Assert
+	HasSym     bool // contains Sym (introduces a fresh symbolic value)
+
+	// Fast marks the block concretizable: no Sym, no instruction with
+	// effects outside registers+memory, every opcode simulable on raw
+	// uint64s. A fast block executes on the vm's straight-line fast path
+	// whenever its Use registers all hold concrete values at entry.
+	Fast bool
+
+	// Folded, when non-nil, has one entry per instruction in the block
+	// with the constant folder's verdicts (see FoldedVal). Nil when the
+	// folder proved nothing.
+	Folded []FoldedVal
+}
+
+// Len returns the number of instructions in the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// FuncIR is the compiled form of one function.
+type FuncIR struct {
+	Blocks []Block
+
+	// LiveIn is the set of registers the function may read before
+	// writing, including transitively through calls — the registers an
+	// event dispatcher must initialise before entering the function.
+	LiveIn RegSet
+
+	// blockAt maps an instruction index to its block index when the
+	// index is a leader, -1 otherwise.
+	blockAt []int32
+
+	// chainTo/chainHops collapse Jmp-only chains: a control transfer to
+	// instruction t actually lands at chainTo[t] after executing
+	// chainHops[t] intermediate Jmp instructions. Identity (chainTo[t]=t,
+	// hops 0) for non-Jmp targets and for cyclic chains.
+	chainTo   []int32
+	chainHops []int32
+}
+
+// BlockIndex returns the index of the block led by instruction pc, or -1
+// when pc is not a block leader.
+func (fi *FuncIR) BlockIndex(pc int) int {
+	if pc < 0 || pc >= len(fi.blockAt) {
+		return -1
+	}
+	return int(fi.blockAt[pc])
+}
+
+// BlockOf returns the block containing instruction pc (every in-range pc
+// is in exactly one block), or nil when pc is out of range.
+func (fi *FuncIR) BlockOf(pc int) *Block {
+	if pc < 0 || pc >= len(fi.blockAt) {
+		return nil
+	}
+	for bi := range fi.Blocks {
+		b := &fi.Blocks[bi]
+		if pc >= b.Start && pc < b.End {
+			return b
+		}
+	}
+	return nil
+}
+
+// ResolveJmp collapses the Jmp-only chain starting at target: it returns
+// where a transfer to target finally lands and how many intermediate Jmp
+// instructions the chain executes on the way. Identity for targets that
+// are not Jmp instructions (and for cycles, which cannot be collapsed).
+func (fi *FuncIR) ResolveJmp(target int) (final, hops int) {
+	if target < 0 || target >= len(fi.chainTo) {
+		return target, 0
+	}
+	return int(fi.chainTo[target]), int(fi.chainHops[target])
+}
+
+// ProgIR is the compiled form of a whole program: one FuncIR per
+// function, index-aligned with Program.Func.
+type ProgIR struct {
+	Funcs []FuncIR
+}
+
+// ir caches the lazily compiled ProgIR on the Program. Programs are
+// immutable after Build/ParseAsm and only ever constructed by pointer,
+// so a sync.Once per program is safe and the IR is shared by every
+// context executing it.
+type irCache struct {
+	once sync.Once
+	ir   *ProgIR
+}
+
+// IR returns the program's basic-block IR, compiling it on first use.
+// The result is immutable and shared.
+func (p *Program) IR() *ProgIR {
+	p.irc.once.Do(func() { p.irc.ir = compileProgram(p) })
+	return p.irc.ir
+}
+
+// createBlocks runs the CREATE phase for one function: find the leaders,
+// cut the instruction stream into blocks, and link successors.
+//
+// Leaders are: instruction 0; every Jmp/BrNZ/BrZ target; and the
+// instruction after any control transfer (branch, jump, call, return,
+// halt) — the fall-through / return-site entry points. Build-validated
+// programs always have in-range targets; out-of-range targets from
+// hand-assembled programs are tolerated (the vm kills such states at
+// runtime) and simply don't create leaders.
+func createBlocks(f *Func) FuncIR {
+	n := len(f.Instrs)
+	fi := FuncIR{blockAt: make([]int32, n)}
+	if n == 0 {
+		return fi
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range f.Instrs {
+		in := &f.Instrs[i]
+		switch in.Op {
+		case OpJmp, OpBrNZ, OpBrZ:
+			if in.Target >= 0 && in.Target < n {
+				leader[in.Target] = true
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case OpCall, OpRet, OpHalt:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	for i := range fi.blockAt {
+		fi.blockAt[i] = -1
+	}
+	for start := 0; start < n; {
+		end := start + 1
+		for end < n && !leader[end] {
+			end++
+		}
+		fi.blockAt[start] = int32(len(fi.Blocks))
+		fi.Blocks = append(fi.Blocks, Block{Start: start, End: end})
+		start = end
+	}
+
+	blockIdx := func(pc int) (int, bool) {
+		if pc < 0 || pc >= n || fi.blockAt[pc] < 0 {
+			return 0, false
+		}
+		return int(fi.blockAt[pc]), true
+	}
+	for bi := range fi.Blocks {
+		b := &fi.Blocks[bi]
+		last := &f.Instrs[b.End-1]
+		addSucc := func(pc int) {
+			if s, ok := blockIdx(pc); ok {
+				b.Succs = append(b.Succs, s)
+			}
+		}
+		switch last.Op {
+		case OpJmp:
+			addSucc(last.Target)
+		case OpBrNZ, OpBrZ:
+			addSucc(last.Target)
+			addSucc(b.End)
+		case OpRet, OpHalt:
+			// no intra-procedural successors
+		default:
+			// Call return site, or a plain fall-through into the next
+			// leader.
+			addSucc(b.End)
+		}
+	}
+
+	fi.chainTo = make([]int32, n)
+	fi.chainHops = make([]int32, n)
+	resolveJmpChains(f, &fi)
+	return fi
+}
+
+// resolveJmpChains fills chainTo/chainHops: transfers into a run of
+// unconditional Jmp instructions are collapsed to the run's final
+// destination, with the number of skipped Jmp steps recorded so the fast
+// path can keep instruction accounting identical to the interpreter.
+// Cycles (jmp-to-self loops) resolve to identity.
+func resolveJmpChains(f *Func, fi *FuncIR) {
+	n := len(f.Instrs)
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make([]uint8, n)
+	var resolve func(pc int) (int32, int32)
+	resolve = func(pc int) (int32, int32) {
+		if f.Instrs[pc].Op != OpJmp {
+			return int32(pc), 0
+		}
+		switch state[pc] {
+		case visiting: // cycle: leave unresolved
+			return int32(pc), 0
+		case done:
+			return fi.chainTo[pc], fi.chainHops[pc]
+		}
+		state[pc] = visiting
+		t := f.Instrs[pc].Target
+		if t < 0 || t >= n {
+			state[pc] = done
+			fi.chainTo[pc], fi.chainHops[pc] = int32(pc), 0
+			return int32(pc), 0
+		}
+		to, hops := resolve(t)
+		// A cycle deeper in the chain leaves that suffix unresolved; the
+		// prefix still collapses onto it.
+		state[pc] = done
+		fi.chainTo[pc], fi.chainHops[pc] = to, hops+1
+		return to, hops + 1
+	}
+	for pc := 0; pc < n; pc++ {
+		to, hops := resolve(pc)
+		fi.chainTo[pc], fi.chainHops[pc] = to, hops
+	}
+}

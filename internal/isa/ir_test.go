@@ -1,0 +1,448 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := ParseAsm(src)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v", err)
+	}
+	return prog
+}
+
+func TestCreateBlocksLeadersAndSuccs(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  movi r1, 10
+  movi r2, 0
+loop:
+  add r2, r2, r1
+  sub r1, r1, 1
+  brnz r1, loop
+  ret
+`)
+	fir := &prog.IR().Funcs[0]
+	// Expected blocks: [0,2) entry, [2,5) loop body ending in brnz, [5,6) ret.
+	if len(fir.Blocks) != 3 {
+		t.Fatalf("blocks = %d (%+v), want 3", len(fir.Blocks), fir.Blocks)
+	}
+	wantBounds := [][2]int{{0, 2}, {2, 5}, {5, 6}}
+	for i, w := range wantBounds {
+		b := &fir.Blocks[i]
+		if b.Start != w[0] || b.End != w[1] {
+			t.Errorf("block %d = [%d,%d), want [%d,%d)", i, b.Start, b.End, w[0], w[1])
+		}
+	}
+	if !reflect.DeepEqual(fir.Blocks[0].Succs, []int{1}) {
+		t.Errorf("entry succs = %v, want [1]", fir.Blocks[0].Succs)
+	}
+	// brnz: taken edge back to the loop, fall-through to ret.
+	if !reflect.DeepEqual(fir.Blocks[1].Succs, []int{1, 2}) {
+		t.Errorf("loop succs = %v, want [1 2]", fir.Blocks[1].Succs)
+	}
+	if len(fir.Blocks[2].Succs) != 0 {
+		t.Errorf("ret succs = %v, want none", fir.Blocks[2].Succs)
+	}
+
+	// BlockIndex answers leaders only; BlockOf covers every pc.
+	for _, tc := range []struct{ pc, want int }{
+		{0, 0}, {2, 1}, {5, 2}, {1, -1}, {3, -1}, {-1, -1}, {6, -1},
+	} {
+		if got := fir.BlockIndex(tc.pc); got != tc.want {
+			t.Errorf("BlockIndex(%d) = %d, want %d", tc.pc, got, tc.want)
+		}
+	}
+	if b := fir.BlockOf(3); b == nil || b.Start != 2 {
+		t.Errorf("BlockOf(3) = %+v, want the loop block", b)
+	}
+	if b := fir.BlockOf(9); b != nil {
+		t.Errorf("BlockOf(9) = %+v, want nil", b)
+	}
+}
+
+func TestBlockUseDefAndEffects(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  add r3, r1, r2
+  movi r1, 7
+  add r4, r1, r3
+  store r0, 4, r4
+  ret
+`)
+	b := &prog.IR().Funcs[0].Blocks[0]
+	// r1 and r2 are read before any write; the r1 read at pc 2 is covered
+	// by the MovI def. r0 is read by the store address.
+	var wantUse, wantDef RegSet
+	wantUse.Add(R0)
+	wantUse.Add(R1)
+	wantUse.Add(R2)
+	wantDef.Add(R1)
+	wantDef.Add(R3)
+	wantDef.Add(R4)
+	if b.Use != wantUse {
+		t.Errorf("Use = %v, want %v", b.Use, wantUse)
+	}
+	if b.Def != wantDef {
+		t.Errorf("Def = %v, want %v", b.Def, wantDef)
+	}
+	if !b.TouchesMem || b.Sends || b.MayFork || b.HasSym {
+		t.Errorf("effects = mem:%v sends:%v fork:%v sym:%v, want mem only",
+			b.TouchesMem, b.Sends, b.MayFork, b.HasSym)
+	}
+	if !b.Fast {
+		t.Error("all-ALU block with store should be fast")
+	}
+}
+
+func TestBlockEffectFlags(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  sym r1, "x", 8
+  send r1, r2, 4
+  brnz r1, out
+out:
+  ret
+`)
+	fir := &prog.IR().Funcs[0]
+	b := &fir.Blocks[0]
+	if !b.HasSym || !b.Sends || !b.TouchesMem || !b.MayFork {
+		t.Errorf("flags = sym:%v sends:%v mem:%v fork:%v, want all true",
+			b.HasSym, b.Sends, b.TouchesMem, b.MayFork)
+	}
+	if b.Fast {
+		t.Error("block with sym+send must not be fast")
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  movi r1, 6
+  movi r2, 7
+  mul r3, r1, r2
+  add r4, r3, 58
+  mov r5, r4
+  not r6, r5
+  add r7, r6, r0
+  ret
+`)
+	b := &prog.IR().Funcs[0].Blocks[0]
+	if b.Folded == nil {
+		t.Fatal("no folded verdicts on a MovI-fed chain")
+	}
+	want := map[int]uint64{
+		2: 42,                         // 6*7
+		3: 100,                        // 42+58
+		4: 100,                        // mov copies the known value
+		5: ^uint64(100) & (1<<32 - 1), // not
+	}
+	for idx, val := range want {
+		fv := b.Folded[idx-b.Start]
+		if !fv.Known || fv.Val != val {
+			t.Errorf("folded[%d] = %+v, want known %d", idx, fv, val)
+		}
+	}
+	// add r7, r6, r0 reads r0 (unknown at load time): not folded.
+	if b.Folded[6].Known {
+		t.Errorf("folded[6] = %+v, want unknown (depends on r0)", b.Folded[6])
+	}
+}
+
+func TestResolveJmpChains(t *testing.T) {
+	// jmp chain a -> b -> c -> ret; a transfer to 1 should land at 4
+	// having executed 3 intermediate jmps... build it directly so the
+	// chain shape is explicit:
+	//   0: brz r0, l1   (so instructions 1..3 are reachable targets)
+	//   1: jmp l2
+	//   2: jmp l3
+	//   3: jmp l4
+	//   4: ret
+	prog := mustParse(t, `
+func main
+  brz r0, l1
+l1:
+  jmp l2
+l2:
+  jmp l3
+l3:
+  jmp l4
+l4:
+  ret
+`)
+	fir := &prog.IR().Funcs[0]
+	for _, tc := range []struct{ target, final, hops int }{
+		{1, 4, 3},
+		{2, 4, 2},
+		{3, 4, 1},
+		{4, 4, 0}, // not a jmp: identity
+		{0, 0, 0}, // brz: identity
+		{-1, -1, 0},
+		{99, 99, 0},
+	} {
+		final, hops := fir.ResolveJmp(tc.target)
+		if final != tc.final || hops != tc.hops {
+			t.Errorf("ResolveJmp(%d) = (%d,%d), want (%d,%d)",
+				tc.target, final, hops, tc.final, tc.hops)
+		}
+	}
+}
+
+func TestResolveJmpSelfLoop(t *testing.T) {
+	// A jmp-to-self cycle must resolve to identity, not hang.
+	prog := mustParse(t, `
+func main
+  brz r0, spin
+  ret
+spin:
+  jmp spin
+`)
+	fir := &prog.IR().Funcs[0]
+	// One hop lands back on the same jmp: the chain "collapses" to the
+	// instruction itself with exact accounting, and resolution
+	// terminates instead of spinning.
+	final, hops := fir.ResolveJmp(2)
+	if final != 2 || hops != 1 {
+		t.Errorf("self-loop ResolveJmp = (%d,%d), want (2,1)", final, hops)
+	}
+}
+
+func TestResolveJmpChainIntoCycle(t *testing.T) {
+	// A chain whose suffix is a 2-cycle: the prefix collapses onto the
+	// cycle head; the cycle itself stays identity.
+	//   0: jmp l1
+	//   1: jmp l2   (l1)
+	//   2: jmp l1   (l2) -- 1 and 2 form a cycle
+	prog := mustParse(t, `
+func main
+  jmp l1
+l1:
+  jmp l2
+l2:
+  jmp l1
+`)
+	fir := &prog.IR().Funcs[0]
+	// Instruction 0's chain enters the cycle; wherever it lands, the
+	// hop count must equal the number of jmp instructions actually
+	// executed to get there, and resolution must terminate.
+	final, hops := fir.ResolveJmp(0)
+	if hops < 0 || final < 0 || final > 2 {
+		t.Errorf("cycle-entering ResolveJmp = (%d,%d)", final, hops)
+	}
+	// Walk the real jmp chain hops steps from 0 and confirm we land on
+	// final — the accounting invariant the fast path relies on.
+	pc := 0
+	for i := 0; i < hops; i++ {
+		pc = prog.Func(0).Instrs[pc].Target
+	}
+	if pc != final {
+		t.Errorf("after %d real hops from 0: pc=%d, ResolveJmp says %d", hops, pc, final)
+	}
+}
+
+func TestBackwardJumpAndJumpToLast(t *testing.T) {
+	// Backward jmp as function terminator (an infinite loop is
+	// build-valid) and a branch targeting the last instruction.
+	prog := mustParse(t, `
+func main
+  movi r1, 1
+  brnz r1, last
+top:
+  jmp top
+last:
+  ret
+`)
+	fir := &prog.IR().Funcs[0]
+	// Leaders: 0 (entry), 2 (jmp target + post-branch), 3 (branch
+	// target = last instruction).
+	if len(fir.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(fir.Blocks))
+	}
+	// The backward jmp block's successor is itself.
+	jb := fir.Blocks[fir.BlockIndex(2)]
+	if !reflect.DeepEqual(jb.Succs, []int{fir.BlockIndex(2)}) {
+		t.Errorf("self-loop jmp succs = %v", jb.Succs)
+	}
+	// The branch to the last instruction produced a leader there, and
+	// its single-instruction block terminates the CFG.
+	li := fir.BlockIndex(3)
+	if li < 0 {
+		t.Fatal("jump-to-last-instruction target is not a leader")
+	}
+	lb := &fir.Blocks[li]
+	if lb.Len() != 1 || len(lb.Succs) != 0 {
+		t.Errorf("last block = %+v, want single ret with no succs", lb)
+	}
+}
+
+func TestLivenessInterprocedural(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  movi r1, 5
+  call helper
+  ret
+
+func helper
+  add r0, r1, r2
+  ret
+`)
+	ir := prog.IR()
+	// helper reads r1 and r2 before writing.
+	var wantHelper RegSet
+	wantHelper.Add(R1)
+	wantHelper.Add(R2)
+	if ir.Funcs[1].LiveIn != wantHelper {
+		t.Errorf("helper LiveIn = %v, want %v", ir.Funcs[1].LiveIn, wantHelper)
+	}
+	// main defines r1 before the call, so only r2 is live-in
+	// transitively.
+	var wantMain RegSet
+	wantMain.Add(R2)
+	if ir.Funcs[0].LiveIn != wantMain {
+		t.Errorf("main LiveIn = %v, want %v", ir.Funcs[0].LiveIn, wantMain)
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	prog := mustParse(t, `
+func main
+loop:
+  add r2, r2, r1
+  sub r1, r1, 1
+  brnz r1, loop
+  ret
+`)
+	fir := &prog.IR().Funcs[0]
+	var want RegSet
+	want.Add(R1)
+	want.Add(R2)
+	if fir.LiveIn != want {
+		t.Errorf("LiveIn = %v, want %v", fir.LiveIn, want)
+	}
+}
+
+func TestShardableSitesDirect(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  sym r1, "flip", 1
+  movi r2, 3
+  brnz r2, concrete
+concrete:
+  brnz r1, tainted
+tainted:
+  ret
+`)
+	sites := prog.ShardableSites()
+	if len(sites) != 1 {
+		t.Fatalf("sites = %v, want exactly the r1 branch", sites)
+	}
+	s := sites[0]
+	if s.Fn != 0 || s.FnName != "main" || s.PC != 3 {
+		t.Errorf("site = %+v, want main@3", s)
+	}
+	if !reflect.DeepEqual(s.Syms, []string{"flip"}) {
+		t.Errorf("syms = %v, want [flip]", s.Syms)
+	}
+}
+
+func TestShardableSitesThroughMemoryAndCalls(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  sym r1, "a", 8
+  store r0, 4, r1
+  call check
+  ret
+
+func check
+  load r3, r0, 4
+  brnz r3, yes
+yes:
+  sym r4, "b", 8
+  mov r5, r4
+  add r6, r5, 1
+  brnz r6, also
+also:
+  ret
+`)
+	sites := prog.ShardableSites()
+	if len(sites) != 2 {
+		t.Fatalf("sites = %v, want 2 (load-tainted and derived)", sites)
+	}
+	// (fn=1, pc=1): branch on a value loaded from tainted memory.
+	if sites[0].Fn != 1 || sites[0].PC != 1 || !reflect.DeepEqual(sites[0].Syms, []string{"a"}) {
+		t.Errorf("site 0 = %+v", sites[0])
+	}
+	// (fn=1, pc=5): branch on arithmetic derived from sym "b".
+	if sites[1].Fn != 1 || sites[1].PC != 5 || !reflect.DeepEqual(sites[1].Syms, []string{"b"}) {
+		t.Errorf("site 1 = %+v", sites[1])
+	}
+}
+
+func TestShardableSitesNoneOnConcreteProgram(t *testing.T) {
+	prog := mustParse(t, `
+func main
+  movi r1, 10
+loop:
+  sub r1, r1, 1
+  brnz r1, loop
+  ret
+`)
+	if sites := prog.ShardableSites(); len(sites) != 0 {
+		t.Errorf("concrete program reported sites %v", sites)
+	}
+}
+
+func TestRegSetBasics(t *testing.T) {
+	var rs RegSet
+	if !rs.Empty() || rs.Count() != 0 {
+		t.Error("zero set not empty")
+	}
+	rs.Add(R0)
+	rs.Add(R5)
+	rs.Add(R15)
+	if rs.Empty() || rs.Count() != 3 || !rs.Has(R5) || rs.Has(R6) {
+		t.Errorf("set = %v", rs)
+	}
+	if got := rs.String(); got != "{r0,r5,r15}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestIRSharedAcrossCalls(t *testing.T) {
+	prog := mustParse(t, "func main\n  ret\n")
+	if prog.IR() != prog.IR() {
+		t.Error("IR() not cached")
+	}
+}
+
+func TestEvalALUEdgeCases(t *testing.T) {
+	const mask = 1<<32 - 1
+	for _, tc := range []struct {
+		op      Op
+		a, b, w uint64
+	}{
+		{OpUDiv, 7, 0, mask}, // div by zero: all-ones
+		{OpURem, 7, 0, 7},    // rem by zero: dividend
+		{OpShl, 1, 32, 0},    // oversized shift
+		{OpShl, 1, 31, 1 << 31},
+		{OpLShr, mask, 33, 0},
+		{OpAShr, 0x80000000, 4, 0xf8000000}, // sign-fill
+		{OpAShr, 0x80000000, 40, mask},      // oversized: all sign bits
+		{OpAShr, 0x40000000, 40, 0},
+		{OpAdd, mask, 1, 0}, // wraparound
+		{OpSub, 0, 1, mask},
+		{OpMul, 1 << 20, 1 << 20, 0}, // high bits dropped
+		{OpSlt, 0xffffffff, 0, 1},    // -1 < 0 signed
+		{OpUlt, 0xffffffff, 0, 0},
+		{OpSle, 0x80000000, 0x7fffffff, 1},
+		{OpEq, 5, 5, 1},
+		{OpNe, 5, 5, 0},
+	} {
+		if got := EvalALU(tc.op, tc.a, tc.b); got != tc.w {
+			t.Errorf("EvalALU(%v, %#x, %#x) = %#x, want %#x", tc.op, tc.a, tc.b, got, tc.w)
+		}
+	}
+}

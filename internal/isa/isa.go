@@ -212,6 +212,11 @@ type Func struct {
 type Program struct {
 	funcs  []Func
 	byName map[string]int
+
+	// irc caches the lazily compiled basic-block IR (see ir.go).
+	// Programs are only constructed by pointer, so the sync.Once inside
+	// is never copied.
+	irc irCache
 }
 
 // Func returns the function at index i.

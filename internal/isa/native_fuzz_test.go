@@ -44,6 +44,11 @@ func FuzzParseAsm(f *testing.F) {
 	f.Add(WriteAsm(genProgram(f, 1)))
 	f.Add("")
 	f.Add("func :\n")
+	// Branch-target edge cases the block compiler cares about: backward
+	// jumps, a branch to the last instruction, and a jmp-to-self loop.
+	f.Add("func f\n  movi r1, 3\nloop:\n  sub r1, r1, 1\n  brnz r1, loop\n  ret\n")
+	f.Add("func f\n  brz r0, last\n  nop\nlast:\n  ret\n")
+	f.Add("func f\n  brnz r1, out\nspin:\n  jmp spin\nout:\n  ret\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := ParseAsm(src)
 		if err != nil {

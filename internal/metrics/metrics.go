@@ -23,6 +23,14 @@ type Sample struct {
 	SolverQueries int64         // constraint-solver queries issued so far
 	QueriesSliced int64         // queries shrunk by constraint independence slicing
 	GatesElided   int64         // encoding work avoided by the query optimizer (DAG nodes)
+
+	// Compiled-IR fast-path counters (see VMStats). Derived state: these
+	// columns are not part of the snapshot format, so a resumed run's
+	// series counts from zero again — like the IR itself, they are
+	// recomputed, never serialized.
+	FastBlocks   uint64 // block executions taken by the concrete fast path
+	SlowBlocks   uint64 // block entries interpreted instruction by instruction
+	FoldedInstrs uint64 // fast-path instructions answered by load-time folding
 }
 
 // Series accumulates samples in order.
@@ -93,12 +101,13 @@ func (s *Series) Downsample(n int) []Sample {
 // CSV renders the series with a header row, one sample per line.
 func (s *Series) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided\n")
+	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs\n")
 	for _, sm := range s.samples {
-		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions,
-			sm.SolverQueries, sm.QueriesSliced, sm.GatesElided)
+			sm.SolverQueries, sm.QueriesSliced, sm.GatesElided,
+			sm.FastBlocks, sm.SlowBlocks, sm.FoldedInstrs)
 	}
 	return sb.String()
 }
@@ -135,6 +144,36 @@ func (s SpecStats) String() string {
 		s.Rewinds, s.SpecKills, time.Duration(s.BarrierWaitNs).Round(time.Microsecond))
 }
 
+// VMStats summarises one run's compiled-IR fast-path activity: how many
+// basic-block executions ran on the concrete straight-line fast path
+// versus falling back to the per-instruction interpreter, and how many
+// fast-path instructions were answered by load-time constant folding.
+// All zero when compiled execution is disabled.
+type VMStats struct {
+	FastBlocks   uint64 // block executions taken by the concrete fast path
+	SlowBlocks   uint64 // block entries that fell back to the interpreter
+	FoldedInstrs uint64 // fast-path instructions answered by load-time folding
+}
+
+// FastRate returns the fraction of block entries executed on the fast
+// path (0 when compiled execution was off or the program never ran).
+func (v VMStats) FastRate() float64 {
+	total := v.FastBlocks + v.SlowBlocks
+	if total == 0 {
+		return 0
+	}
+	return float64(v.FastBlocks) / float64(total)
+}
+
+// String renders a one-line compiled-execution summary.
+func (v VMStats) String() string {
+	if v.FastBlocks == 0 && v.SlowBlocks == 0 {
+		return "compile: off"
+	}
+	return fmt.Sprintf("compile: fast-blocks=%d slow-blocks=%d (%.0f%% fast) folded=%d",
+		v.FastBlocks, v.SlowBlocks, 100*v.FastRate(), v.FoldedInstrs)
+}
+
 // SchedStats summarises one parallel scheduler run: how the adaptive
 // work-stealing shard scheduler spent its worker pool. It is the
 // scheduling counterpart of the per-run Sample series — per-worker
@@ -163,6 +202,12 @@ type SchedStats struct {
 	SpecSolves    int64 // feasibility queries issued by speculation workers
 	SpecElided    int64 // false-side verdicts answered by complement elision
 	SpecRewinds   int64 // speculative executions rewound onto the false side
+
+	// Per-shard compiled-IR fast-path activity, summed over the leaf
+	// shards (see VMStats).
+	FastBlocks   uint64 // block executions taken by the concrete fast path
+	SlowBlocks   uint64 // block entries that fell back to the interpreter
+	FoldedInstrs uint64 // fast-path instructions answered by load-time folding
 
 	WorkerBusy []time.Duration // per-worker time spent running shards
 	Elapsed    time.Duration   // scheduler wall time (the makespan)

@@ -149,6 +149,16 @@ type Config struct {
 	// SpecWorkers is the solver worker count of the speculation pipeline:
 	// 0 picks one worker per available CPU; negative values are rejected.
 	SpecWorkers int
+
+	// DisableCompiledIR turns the basic-block compiled fast path off:
+	// every instruction then goes through the per-instruction symbolic
+	// interpreter. Compiled execution preserves fingerprints, forks,
+	// sends, and violations bit-for-bit, so disabling it is the FIRST
+	// triage step when a run looks wrong — before DisableSpeculation and
+	// the query-optimizer switch. The IR is derived at load time and
+	// never serialized, so this flag may differ between a checkpointed
+	// run and its resumption without affecting the outcome.
+	DisableCompiledIR bool
 }
 
 // Result summarises a finished (or aborted) run.
@@ -187,6 +197,10 @@ type Result struct {
 	// Spec summarises the speculative-fork solver pipeline's activity
 	// (zero when speculation was disabled).
 	Spec metrics.SpecStats
+
+	// VM summarises the compiled-IR fast path's activity (zero when
+	// compiled execution was disabled).
+	VM metrics.VMStats
 
 	// Mapper and Ctx expose the final symbolic state population for
 	// post-processing: dscenario explosion, test-case generation.
@@ -318,6 +332,13 @@ func newEngineShell(cfg Config) (*Engine, error) {
 	}
 	ctx := vm.NewContextWithSolver(sopts)
 	ctx.Replay = cfg.Replay
+	if cfg.DisableCompiledIR {
+		ctx.SetCompiledIR(false)
+	} else {
+		// Compile eagerly so the (one-off) CREATE/BUILD cost is paid at
+		// load time, not on the first event of the first state.
+		cfg.Prog.IR()
+	}
 	e := &Engine{
 		cfg:      cfg,
 		ctx:      ctx,
@@ -521,6 +542,11 @@ func (e *Engine) Finish() *Result {
 			Barriers:      e.specBarriers,
 			BarrierWaitNs: e.specBarrierWait.Nanoseconds(),
 		}
+	}
+	res.VM = metrics.VMStats{
+		FastBlocks:   e.ctx.FastBlocks(),
+		SlowBlocks:   e.ctx.SlowBlocks(),
+		FoldedInstrs: e.ctx.FoldedInstrs(),
 	}
 	if res.PeakMem < mem {
 		res.PeakMem = mem
@@ -835,6 +861,9 @@ func (e *Engine) sample() {
 		SolverQueries: st.Queries,
 		QueriesSliced: st.SlicedQueries,
 		GatesElided:   st.GatesElided,
+		FastBlocks:    e.ctx.FastBlocks(),
+		SlowBlocks:    e.ctx.SlowBlocks(),
+		FoldedInstrs:  e.ctx.FoldedInstrs(),
 	})
 	if c := e.cfg.Caps.MaxMemBytes; c > 0 && mem > c {
 		e.abort(fmt.Sprintf("memory cap exceeded (%s > %s)",

@@ -17,11 +17,10 @@ func benchProgram(b *testing.B, f func(pb *isa.Builder)) *isa.Program {
 	return prog
 }
 
-// BenchmarkInterpreterLoop measures raw concrete execution throughput: a
-// tight arithmetic loop, reported as ns per instruction.
-func BenchmarkInterpreterLoop(b *testing.B) {
-	const iters = 1000
-	prog := benchProgram(b, func(pb *isa.Builder) {
+// benchLoop builds the tight arithmetic loop both execution-throughput
+// benchmarks share.
+func benchLoop(b *testing.B, iters uint32) *isa.Program {
+	return benchProgram(b, func(pb *isa.Builder) {
 		f := pb.Func("main")
 		f.MovI(isa.R1, iters)
 		f.MovI(isa.R2, 0)
@@ -32,7 +31,13 @@ func BenchmarkInterpreterLoop(b *testing.B) {
 		f.BrNZ(isa.R1, "loop")
 		f.Ret()
 	})
+}
+
+func runLoopBench(b *testing.B, compile bool) {
+	const iters = 1000
+	prog := benchLoop(b, iters)
 	ctx := NewContext()
+	ctx.SetCompiledIR(compile)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := NewState(ctx, prog, 0)
@@ -45,6 +50,15 @@ func BenchmarkInterpreterLoop(b *testing.B) {
 	perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / (4 * iters)
 	b.ReportMetric(perOp, "ns/instr")
 }
+
+// BenchmarkInterpreterLoop measures raw concrete execution throughput of
+// the per-instruction interpreter: a tight arithmetic loop with the
+// compiled fast path disabled, reported as ns per instruction.
+func BenchmarkInterpreterLoop(b *testing.B) { runLoopBench(b, false) }
+
+// BenchmarkCompiledLoop is the same loop through the basic-block compiled
+// fast path — the before/after pair for the load-time compiler.
+func BenchmarkCompiledLoop(b *testing.B) { runLoopBench(b, true) }
 
 // BenchmarkFork measures state duplication cost — the operation the state
 // mapping algorithms amplify.

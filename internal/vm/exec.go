@@ -68,9 +68,22 @@ func (s *State) BeginEvent(rxBufAddr uint32) *Event {
 	s.pc = 0
 	s.frames = s.frames[:0]
 	s.status = StatusRunning
-	zero := s.ctx.Exprs.Const(0, WordBits)
+	// Zero only the registers the handler may read before writing — the
+	// compiled IR's interprocedural read-set (isa.FuncIR.LiveIn) — using
+	// the context's cached zero word instead of taking the builder lock
+	// per event. A register outside the read-set is unobservable to the
+	// handler, so skipping its rewrite cannot change execution; the stale
+	// value it keeps is a deterministic function of the state's own
+	// history, so fingerprints stay stable and comparable across runs.
+	// This is independent of the fast-path on/off switch (the IR is
+	// always built), so compiled and interpreted runs see identical
+	// register files.
+	live := s.prog.IR().Funcs[ev.Fn].LiveIn
+	zero := s.ctx.zeroWord
 	for i := range s.regs {
-		s.regs[i] = zero
+		if live.Has(isa.Reg(i)) {
+			s.regs[i] = zero
+		}
 	}
 	switch ev.Kind {
 	case EventTimer:
@@ -96,7 +109,7 @@ func (s *State) StartCall(fn int, args ...*expr.Expr) {
 	s.pc = 0
 	s.frames = s.frames[:0]
 	s.status = StatusRunning
-	zero := s.ctx.Exprs.Const(0, WordBits)
+	zero := s.ctx.zeroWord
 	for i := range s.regs {
 		s.regs[i] = zero
 	}
@@ -117,6 +130,10 @@ func (s *State) Run(now uint64, budget int, h Hooks) error {
 		budget = DefaultStepBudget
 	}
 	eb := s.ctx.Exprs
+	var code *isa.ProgIR
+	if s.ctx.compile {
+		code = s.prog.IR()
+	}
 	for i := 0; i < budget; i++ {
 		if s.status != StatusRunning {
 			return nil
@@ -125,6 +142,20 @@ func (s *State) Run(now uint64, budget int, h Hooks) error {
 		if s.pc >= len(f.Instrs) {
 			s.Kill(fmt.Errorf("vm: pc %d out of range in %s", s.pc, f.Name))
 			return s.runErr
+		}
+		// Compiled-IR fast path: at a concretizable block's leader with
+		// all live-in registers concrete, execute the whole block on raw
+		// uint64s (see fastpath.go) and skip the per-instruction loop.
+		if code != nil {
+			fir := &code.Funcs[s.fn]
+			if bi := fir.BlockIndex(s.pc); bi >= 0 {
+				if n := s.runFastBlock(f, fir, bi, budget-i, now); n > 0 {
+					s.ctx.fastBlocks.Add(1)
+					i += n - 1
+					continue
+				}
+				s.ctx.slowBlocks.Add(1)
+			}
 		}
 		in := &f.Instrs[s.pc]
 		// Resolution barrier: an instruction whose effects escape the state

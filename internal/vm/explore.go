@@ -32,6 +32,10 @@ type ExploreOptions struct {
 	// StepBudget bounds instructions per activation; zero selects
 	// DefaultStepBudget.
 	StepBudget int
+	// DisableCompiledIR turns the basic-block compiled fast path off for
+	// this exploration (see Context.SetCompiledIR). Compiled and
+	// interpreted explorations produce identical paths and test cases.
+	DisableCompiledIR bool
 }
 
 // Explore symbolically executes a single program from the given entry
@@ -42,6 +46,9 @@ func Explore(ctx *Context, prog *isa.Program, entry string, opts ExploreOptions)
 	fnIdx := prog.FuncIndex(entry)
 	if fnIdx < 0 {
 		return nil, fmt.Errorf("%w: %q", ErrNoBoot, entry)
+	}
+	if opts.DisableCompiledIR {
+		ctx.SetCompiledIR(false)
 	}
 	report := &ExploreReport{}
 	collector := &exploreHooks{report: report}

@@ -1,0 +1,279 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sde/internal/expr"
+	"sde/internal/isa"
+)
+
+// genDiffProgram builds a deterministic pseudo-random terminating program
+// for the compiled-vs-interpreted differential: concrete ALU chains,
+// bounded loops, memory traffic, a helper call, symbolic inputs feeding
+// branches and asserts, and sends. Register discipline keeps it
+// terminating: R15 is reserved for loop counters and R10 for the memory
+// base, so random ops never clobber control state.
+func genDiffProgram(tb testing.TB, seed int64) *isa.Program {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder()
+
+	helper := b.Func("helper")
+	helper.Add(isa.R3, isa.R1, isa.R2)
+	helper.MulI(isa.R3, isa.R3, 2654435761)
+	helper.XorI(isa.R1, isa.R3, 0x5bd1)
+	helper.Ret()
+
+	f := b.Func("main")
+	f.MovI(isa.R10, 0x1000) // memory base
+	gp := []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7}
+	reg := func() isa.Reg { return gp[rng.Intn(len(gp))] }
+	seen := 0 // labels minted so far
+	label := func(prefix string) string {
+		seen++
+		return fmt.Sprintf("%s%d", prefix, seen)
+	}
+
+	emitALU := func() {
+		rd, ra, rb := reg(), reg(), reg()
+		switch rng.Intn(12) {
+		case 0:
+			f.MovI(rd, rng.Uint32())
+		case 1:
+			f.Add(rd, ra, rb)
+		case 2:
+			f.Sub(rd, ra, rb)
+		case 3:
+			f.Mul(rd, ra, rb)
+		case 4:
+			f.UDiv(rd, ra, rb) // division by zero is defined (all-ones)
+		case 5:
+			f.URem(rd, ra, rb)
+		case 6:
+			f.Xor(rd, ra, rb)
+		case 7:
+			f.ShlI(rd, ra, rng.Uint32()%40) // oversized shifts included
+		case 8:
+			f.LShrI(rd, ra, rng.Uint32()%40)
+		case 9:
+			f.Not(rd, ra)
+		case 10:
+			f.Slt(rd, ra, rb)
+		case 11:
+			f.Ult(rd, ra, rb)
+		}
+	}
+
+	syms := 0
+	for seg := 0; seg < 4+rng.Intn(4); seg++ {
+		switch rng.Intn(7) {
+		case 0: // straight-line ALU burst
+			for i := 0; i < 2+rng.Intn(5); i++ {
+				emitALU()
+			}
+		case 1: // bounded concrete loop
+			l := label("loop")
+			f.MovI(isa.R15, uint32(1+rng.Intn(6)))
+			f.Label(l)
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				emitALU()
+			}
+			f.SubI(isa.R15, isa.R15, 1)
+			f.BrNZ(isa.R15, l)
+		case 2: // memory round-trip
+			f.Store(isa.R10, rng.Uint32()%16, reg())
+			f.Load(reg(), isa.R10, rng.Uint32()%16)
+		case 3: // symbolic input + branch (forks both modes identically)
+			if syms < 2 {
+				name := fmt.Sprintf("s%d", syms)
+				syms++
+				skip := label("skip")
+				f.Sym(isa.R8, name, uint32(1+rng.Intn(3)))
+				f.UltI(isa.R9, isa.R8, uint32(1+rng.Intn(4)))
+				f.BrZ(isa.R9, skip)
+				emitALU()
+				f.Label(skip)
+				f.Nop()
+			} else {
+				emitALU()
+			}
+		case 4: // assert, sometimes on symbolic data
+			if syms > 0 && rng.Intn(2) == 0 {
+				f.NeI(isa.R9, isa.R8, rng.Uint32()%4)
+			} else {
+				f.EqI(isa.R9, reg(), rng.Uint32())
+			}
+			f.Assert(isa.R9, label("a"))
+		case 5: // send a two-word payload to a concrete peer
+			f.MovI(isa.R11, uint32(1+rng.Intn(3)))
+			f.Send(isa.R11, isa.R10, 2)
+		case 6:
+			f.Call("helper")
+		}
+	}
+	f.Ret()
+
+	prog, err := b.Build()
+	if err != nil {
+		tb.Fatalf("seed %d: Build: %v", seed, err)
+	}
+	return prog
+}
+
+// diffHooks records every observable side effect of an exploration in a
+// comparable form.
+type diffHooks struct {
+	pending    []*State
+	sends      []uint64
+	violations []string
+}
+
+func (h *diffHooks) OnFork(_, sibling *State) { h.pending = append(h.pending, sibling) }
+
+func (h *diffHooks) OnSend(_ *State, dst uint32, payload []*expr.Expr) {
+	v := uint64(dst)
+	for _, p := range payload {
+		v = v*1099511628211 ^ p.Hash()
+	}
+	h.sends = append(h.sends, v)
+}
+
+func (h *diffHooks) OnViolation(_ *State, v *Violation) {
+	h.violations = append(h.violations,
+		fmt.Sprintf("n%d@%d %s %v", v.Node, v.Time, v.Msg, v.Model))
+}
+
+// diffResult is everything a mode's exploration produced. The two modes
+// must agree on all of it bit-for-bit.
+type diffResult struct {
+	Fingerprints []uint64
+	Steps        []uint64
+	Statuses     []Status
+	Errs         []string
+	Sends        []uint64
+	Violations   []string
+	Instructions uint64
+	Forks        uint64
+}
+
+// diffExplore is a miniature DFS exploration (the shape of Explore) that
+// keeps sends and violations for comparison.
+func diffExplore(tb testing.TB, prog *isa.Program, compile bool) diffResult {
+	tb.Helper()
+	ctx := NewContext()
+	ctx.SetCompiledIR(compile)
+	h := &diffHooks{}
+	root := NewState(ctx, prog, 1)
+	root.StartCall(prog.FuncIndex("main"))
+	stack := []*State{root}
+	var res diffResult
+	for len(stack) > 0 && len(res.Fingerprints) < 128 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		h.pending = h.pending[:0]
+		err := s.Run(0, 1<<16, h)
+		stack = append(stack, h.pending...)
+		res.Fingerprints = append(res.Fingerprints, s.Fingerprint())
+		res.Steps = append(res.Steps, s.Steps())
+		res.Statuses = append(res.Statuses, s.Status())
+		if err != nil {
+			res.Errs = append(res.Errs, err.Error())
+		}
+	}
+	res.Sends = h.sends
+	res.Violations = h.violations
+	res.Instructions = ctx.Instructions()
+	res.Forks = ctx.Forks()
+	if compile {
+		if ctx.SlowBlocks() == 0 && ctx.FastBlocks() == 0 {
+			tb.Errorf("compiled run recorded no block executions at all")
+		}
+	} else if ctx.FastBlocks() != 0 || ctx.SlowBlocks() != 0 || ctx.FoldedInstrs() != 0 {
+		tb.Errorf("compile-off run recorded block counters: fast=%d slow=%d folded=%d",
+			ctx.FastBlocks(), ctx.SlowBlocks(), ctx.FoldedInstrs())
+	}
+	return res
+}
+
+func checkDiff(tb testing.TB, seed int64) {
+	tb.Helper()
+	prog := genDiffProgram(tb, seed)
+	compiled := diffExplore(tb, prog, true)
+	interp := diffExplore(tb, prog, false)
+	if !reflect.DeepEqual(compiled, interp) {
+		tb.Errorf("seed %d: compiled and interpreted runs diverge\ncompiled:    %+v\ninterpreted: %+v\nprogram:\n%s",
+			seed, compiled, interp, isa.WriteAsm(prog))
+	}
+}
+
+// TestCompiledDiffRandomPrograms is the differential oracle for the
+// basic-block fast path: over a corpus of random programs, a compiled
+// exploration must produce exactly the interpreted exploration —
+// fingerprints, per-path step counts, statuses, forks, sends, violation
+// witnesses, and total instruction count.
+func TestCompiledDiffRandomPrograms(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < n; seed++ {
+		checkDiff(t, seed)
+	}
+}
+
+// FuzzCompiledDiff is the coverage-guided companion of
+// TestCompiledDiffRandomPrograms.
+func FuzzCompiledDiff(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		checkDiff(t, seed)
+	})
+}
+
+// TestEvalALUMatchesExprBuilder pins the fast path's native ALU to the
+// expression builder's constant-folding semantics for every binary opcode
+// over edge-case and random operands — the agreement the whole fast path
+// rests on.
+func TestEvalALUMatchesExprBuilder(t *testing.T) {
+	prog := build(t, func(b *isa.Builder) {
+		b.Func("main").Ret()
+	})
+	ctx := NewContext()
+	s := NewState(ctx, prog, 0)
+	eb := ctx.Exprs
+
+	ops := []isa.Op{
+		isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpUDiv, isa.OpURem,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpLShr, isa.OpAShr,
+		isa.OpEq, isa.OpNe, isa.OpUlt, isa.OpUle, isa.OpSlt, isa.OpSle,
+	}
+	edges := []uint64{0, 1, 2, 7, 31, 32, 33, 40, 0x7fffffff, 0x80000000, 0xfffffffe, 0xffffffff}
+	var pairs [][2]uint64
+	for _, a := range edges {
+		for _, b := range edges {
+			pairs = append(pairs, [2]uint64{a, b})
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		pairs = append(pairs, [2]uint64{uint64(rng.Uint32()), uint64(rng.Uint32())})
+	}
+
+	for _, op := range ops {
+		for _, p := range pairs {
+			ref := s.alu(op, eb.Const(p[0], WordBits), eb.Const(p[1], WordBits))
+			if !ref.IsConst() {
+				t.Fatalf("%v(%#x, %#x): builder result not constant", op, p[0], p[1])
+			}
+			if got := isa.EvalALU(op, p[0], p[1]); got != ref.ConstVal() {
+				t.Errorf("EvalALU(%v, %#x, %#x) = %#x, builder says %#x",
+					op, p[0], p[1], got, ref.ConstVal())
+			}
+		}
+	}
+}

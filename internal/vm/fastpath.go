@@ -1,0 +1,203 @@
+package vm
+
+// The compiled-IR concrete fast path. When execution reaches the leader
+// of a basic block the load-time compiler marked concretizable
+// (isa.Block.Fast) and every register in the block's use set holds a
+// concrete constant, the whole block runs here on raw uint64s — no
+// expression-DAG consultation, no builder lock, no per-instruction
+// dispatch through the symbolic machinery. Expressions are materialized
+// only at block exit, for the block's def set and its buffered stores.
+//
+// The execution is transactional: nothing on the state is mutated until
+// the block completes. If a load hits a symbolic (or non-word) memory
+// value mid-block, the whole attempt is abandoned with the state
+// untouched and the per-instruction interpreter re-executes the block
+// from its leader. Because the expression builder hash-conses, the
+// constants materialized at exit are pointer-identical to what the
+// interpreter would have produced, so fingerprints, forks, sends, and
+// violations are bit-for-bit unchanged — enforced by the differential
+// fuzzer in fastdiff_test.go and the on/off equivalence suite in
+// internal/sim.
+
+import (
+	"sde/internal/isa"
+)
+
+const fastWordMask = 1<<WordBits - 1
+
+// fastStore is one buffered memory write of a fast-block transaction.
+type fastStore struct {
+	addr uint32
+	val  uint64
+}
+
+// runFastBlock attempts to execute the basic block bi of function f
+// entirely on concrete values. It returns the number of instructions
+// executed (with state committed), or 0 if the attempt was abandoned
+// with the state untouched. remaining is the caller's instruction
+// budget; blocks that would overrun it are left to the interpreter so
+// budget-kill behaviour stays identical.
+func (s *State) runFastBlock(f *isa.Func, fir *isa.FuncIR, bi, remaining int, now uint64) int {
+	blk := &fir.Blocks[bi]
+	if !blk.Fast || blk.Len() > remaining {
+		return 0
+	}
+
+	// Live-in check: every register the block reads must be concrete.
+	var vals [isa.NumRegs]uint64
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if blk.Use.Has(r) {
+			e := s.regs[r]
+			if e == nil || !e.IsConst() {
+				return 0
+			}
+			vals[r] = e.ConstVal()
+		}
+	}
+
+	var storeArr [8]fastStore
+	stores := storeArr[:0]
+	folded := 0
+	consumed := 0
+
+	// Terminator disposition, applied at commit.
+	nextPC := blk.End
+	endActivation := false
+	popFrame := false
+
+	for idx := blk.Start; idx < blk.End; idx++ {
+		in := &f.Instrs[idx]
+		consumed++
+		if blk.Folded != nil && blk.Folded[idx-blk.Start].Known {
+			// Load-time constant folding already computed this result.
+			vals[in.Rd] = blk.Folded[idx-blk.Start].Val
+			folded++
+			continue
+		}
+		switch in.Op {
+		case isa.OpNop:
+
+		case isa.OpMovI:
+			vals[in.Rd] = uint64(in.Imm)
+
+		case isa.OpMov:
+			vals[in.Rd] = vals[in.Ra]
+
+		case isa.OpNot:
+			vals[in.Rd] = ^vals[in.Ra] & fastWordMask
+
+		case isa.OpLoad:
+			addr := uint32(vals[in.Ra]) + in.Imm
+			v, ok := s.fastLoad(stores, addr)
+			if !ok {
+				return 0 // symbolic word: abort, nothing committed
+			}
+			vals[in.Rd] = v
+
+		case isa.OpStore:
+			stores = append(stores, fastStore{
+				addr: uint32(vals[in.Ra]) + in.Imm,
+				val:  vals[in.Rb],
+			})
+
+		case isa.OpNodeID:
+			vals[in.Rd] = uint64(s.node) & fastWordMask
+
+		case isa.OpTime:
+			vals[in.Rd] = now & 0xffffffff
+
+		case isa.OpJmp:
+			nextPC = in.Target
+
+		case isa.OpBrNZ, isa.OpBrZ:
+			taken := vals[in.Ra] != 0
+			if in.Op == isa.OpBrZ {
+				taken = !taken
+			}
+			if taken {
+				nextPC = in.Target
+			} else {
+				nextPC = idx + 1
+			}
+
+		case isa.OpRet:
+			if len(s.frames) == 0 {
+				endActivation = true
+			} else {
+				popFrame = true
+			}
+
+		default:
+			if !in.Op.IsBinary() {
+				return 0 // not fast-eligible; compiler bug guard
+			}
+			b := uint64(in.Imm)
+			if !in.BImm {
+				b = vals[in.Rb]
+			}
+			vals[in.Rd] = isa.EvalALU(in.Op, vals[in.Ra], b)
+		}
+	}
+
+	// Collapse a Jmp-only chain at the landing point when the budget
+	// covers the (still counted) intermediate Jmp steps.
+	if !endActivation && !popFrame {
+		if to, hops := fir.ResolveJmp(nextPC); hops > 0 && consumed+hops <= remaining {
+			nextPC = to
+			consumed += hops
+		}
+	}
+
+	// Commit: materialize live-out registers and buffered stores. The
+	// builder hash-conses, so these are the same *expr.Expr pointers the
+	// interpreter would have written.
+	eb := s.ctx.Exprs
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if blk.Def.Has(r) {
+			s.regs[r] = eb.Const(vals[r], WordBits)
+		}
+	}
+	for _, st := range stores {
+		s.mem.store(st.addr, eb.Const(st.val, WordBits))
+	}
+	s.steps += uint64(consumed)
+	s.ctx.instrCount.Add(uint64(consumed))
+	if folded > 0 {
+		s.ctx.foldedInstrs.Add(uint64(folded))
+	}
+	switch {
+	case endActivation:
+		s.status = StatusIdle
+		s.fn = -1
+		// The interpreter leaves pc at the Ret instruction (always the
+		// block's last instruction); match it so idle-state fingerprints
+		// are identical.
+		s.pc = blk.End - 1
+	case popFrame:
+		top := s.frames[len(s.frames)-1]
+		s.frames = s.frames[:len(s.frames)-1]
+		s.fn, s.pc = top.fn, top.pc
+	default:
+		s.pc = nextPC
+	}
+	return consumed
+}
+
+// fastLoad reads a word for the fast path: the transaction's own store
+// buffer first (newest wins), then the state's memory. ok is false when
+// the word is symbolic or not word-sized — the abort signal.
+func (s *State) fastLoad(stores []fastStore, addr uint32) (uint64, bool) {
+	for j := len(stores) - 1; j >= 0; j-- {
+		if stores[j].addr == addr {
+			return stores[j].val, true
+		}
+	}
+	w := s.mem.load(addr)
+	if w == nil {
+		return 0, true // untouched memory reads as concrete zero
+	}
+	if !w.IsConst() || w.Width() != WordBits {
+		return 0, false
+	}
+	return w.ConstVal(), true
+}

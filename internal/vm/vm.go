@@ -17,8 +17,10 @@ import (
 	"sde/internal/solver"
 )
 
-// WordBits is the machine word size in bits.
-const WordBits = 32
+// WordBits is the machine word size in bits. It is defined by the ISA:
+// the load-time constant folder (isa.EvalALU) and the symbolic ALU here
+// must agree on it exactly.
+const WordBits = isa.WordBits
 
 // Context holds the machinery shared by all states of one SDE run: the
 // expression builder, the constraint solver, and the state id allocator.
@@ -47,9 +49,29 @@ type Context struct {
 	// continues on the true side until a resolution barrier (see spec.go).
 	spec SpecHooks
 
+	// compile gates the compiled-IR concrete fast path (see fastpath.go).
+	// The IR itself is always built — the event dispatcher's register
+	// read-set optimisation uses it unconditionally — but with compile
+	// off every instruction runs through the per-instruction
+	// interpreter, which is the soundness-triage configuration.
+	compile bool
+
+	// zeroWord caches the concrete-zero word expression so the event
+	// dispatcher does not take the builder lock for every register of
+	// every event.
+	zeroWord *expr.Expr
+
 	nextStateID atomic.Uint64
 	instrCount  atomic.Uint64
 	forkCount   atomic.Uint64
+
+	// Fast-path telemetry: block executions taken by the concrete
+	// straight-line path, block entries that fell back to the
+	// interpreter, and instructions answered from load-time constant
+	// folding.
+	fastBlocks   atomic.Uint64
+	slowBlocks   atomic.Uint64
+	foldedInstrs atomic.Uint64
 }
 
 // NewContext returns a fresh context with its own expression builder and
@@ -69,8 +91,33 @@ func NewContextWithSolver(opts solver.Options) *Context {
 		Solver:     solver.NewWithOptions(opts),
 		qo:         opts.Optimizer,
 		concretize: !opts.DisableConcretization,
+		compile:    true,
+		zeroWord:   eb.Const(0, WordBits),
 	}
 }
+
+// SetCompiledIR enables or disables the compiled-IR concrete fast path
+// (on by default). Disabling it forces every instruction through the
+// per-instruction interpreter — the first soundness-triage step when a
+// run looks wrong, since the fast path preserves fingerprints, forks,
+// and test cases bit-for-bit.
+func (c *Context) SetCompiledIR(on bool) { c.compile = on }
+
+// CompiledIR reports whether the concrete fast path is enabled.
+func (c *Context) CompiledIR() bool { return c.compile }
+
+// FastBlocks returns how many basic-block executions ran on the
+// concrete straight-line fast path.
+func (c *Context) FastBlocks() uint64 { return c.fastBlocks.Load() }
+
+// SlowBlocks returns how many basic-block entries fell back to the
+// per-instruction interpreter (non-concretizable block, symbolic
+// live-in register, or a symbolic word loaded mid-block).
+func (c *Context) SlowBlocks() uint64 { return c.slowBlocks.Load() }
+
+// FoldedInstrs returns how many fast-path instructions were answered
+// from load-time constant folding instead of being computed.
+func (c *Context) FoldedInstrs() uint64 { return c.foldedInstrs.Load() }
 
 // Instructions returns the total number of instructions executed by all
 // states of this context.

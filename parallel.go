@@ -94,6 +94,10 @@ type ShardConfig struct {
 	// to 1 or 2 avoids oversubscription on small machines. Negative values
 	// are rejected.
 	SpecWorkers int
+
+	// DisableCompiledIR turns the basic-block compiled fast path off in
+	// every shard (see Scenario.WithoutCompiledIR).
+	DisableCompiledIR bool
 }
 
 const (
@@ -253,6 +257,7 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 	cfg.CheckpointEvery = sc.cfg.CheckpointEvery
 	cfg.DisableSpeculation = sc.cfg.DisableSpeculation
 	cfg.SpecWorkers = sc.cfg.SpecWorkers
+	cfg.DisableCompiledIR = cfg.DisableCompiledIR || sc.cfg.DisableCompiledIR
 	shard := sc.scenario
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
@@ -469,6 +474,10 @@ func finalizeSharded(s Scenario, leaves []leafResult, sched SchedStats) *Sharded
 		sched.SpecSolves += sp.Solves
 		sched.SpecElided += sp.Elided
 		sched.SpecRewinds += sp.Rewinds
+		vmst := leaf.report.res.VM
+		sched.FastBlocks += vmst.FastBlocks
+		sched.SlowBlocks += vmst.SlowBlocks
+		sched.FoldedInstrs += vmst.FoldedInstrs
 	}
 	return &ShardedReport{Shards: shards, Sched: sched}
 }

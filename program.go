@@ -9,6 +9,11 @@ import (
 // node executes. Build one with NewProgramBuilder.
 type Program = isa.Program
 
+// ShardSite is a branch the load-time compiler's static taint pass found
+// to be data-dependent on symbolic input — a candidate shard point.
+// See Program.ShardableSites.
+type ShardSite = isa.ShardSite
+
 // ProgramBuilder assembles Programs function by function; see the isa
 // package documentation for the instruction set.
 type ProgramBuilder = isa.Builder

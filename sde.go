@@ -99,6 +99,11 @@ type SchedStats = metrics.SchedStats
 // time. See Report.SpecStats.
 type SpecStats = metrics.SpecStats
 
+// VMStats is the compiled-IR fast path's telemetry: basic blocks executed
+// on the concrete straight-line fast path versus interpreted, and
+// instructions answered by load-time constant folding. See Report.VMStats.
+type VMStats = metrics.VMStats
+
 // SolverOptions tunes a run's constraint solver: ablation switches for
 // each pipeline layer (caches, model pool, fast path, partitioning,
 // incremental solving, subsumption, and the query-optimizer stages —
@@ -129,6 +134,17 @@ func (s Scenario) Description() string { return s.desc }
 
 // Algorithm returns the scenario's state mapping algorithm.
 func (s Scenario) Algorithm() Algorithm { return s.cfg.Algorithm }
+
+// Program returns the node software the scenario runs.
+func (s Scenario) Program() *Program { return s.cfg.Prog }
+
+// ShardableSites returns the program branches the load-time compiler's
+// static taint pass found to be data-dependent on symbolic input —
+// candidate shard points beyond the drop decisions the scenario's
+// shardable-node list declares. A scenario whose program has such sites
+// but whose MaxShardBits is zero cannot be partitioned at all; sde-run
+// warns in that case.
+func (s Scenario) ShardableSites() []ShardSite { return s.cfg.Prog.ShardableSites() }
 
 // WithAlgorithm returns a copy of the scenario using a different state
 // mapping algorithm — the way evaluation sweeps compare COB, COW, and SDS
@@ -187,6 +203,18 @@ func (s Scenario) WithSpeculation(workers int) Scenario {
 // first triage step when a soundness bug is suspected.
 func (s Scenario) WithoutSpeculation() Scenario {
 	s.cfg.DisableSpeculation = true
+	return s
+}
+
+// WithoutCompiledIR returns a copy of the scenario that executes every
+// instruction through the per-instruction symbolic interpreter, with no
+// basic-block fast path. Compiled and interpreted runs produce
+// bit-identical state fingerprints, dscenario sets, and test cases, so
+// this switch is the FIRST triage step when a soundness bug is suspected
+// — before WithoutSpeculation and WithoutQueryOptimizer, since the
+// compiled path sits below both.
+func (s Scenario) WithoutCompiledIR() Scenario {
+	s.cfg.DisableCompiledIR = true
 	return s
 }
 
@@ -306,6 +334,10 @@ func (r *Report) SolverStats() SolverStats { return r.res.SolverStats }
 // SpecStats returns the run's speculative-fork pipeline counters (all
 // zero when speculation is disabled or the run was a replay).
 func (r *Report) SpecStats() SpecStats { return r.res.Spec }
+
+// VMStats returns the run's compiled-IR fast-path counters (all zero
+// when compiled execution is disabled).
+func (r *Report) VMStats() VMStats { return r.res.VM }
 
 // TestCases explodes up to limit dscenarios (limit <= 0 = all) and solves
 // one concrete test case per dscenario (§IV-C).

@@ -92,6 +92,9 @@ type LeaseOptions struct {
 	// solver pipeline (see ShardConfig).
 	DisableSpeculation bool
 	SpecWorkers        int
+	// DisableCompiledIR turns the basic-block compiled fast path off for
+	// this lease (see Scenario.WithoutCompiledIR).
+	DisableCompiledIR bool
 	// Progress, when non-nil, is polled during the run with the live
 	// state count and elapsed wall time; returning true stops the run
 	// (LeaseOutcome.Stopped) — how a worker honours a straggler re-split
@@ -134,6 +137,7 @@ func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, 
 	cfg.CheckpointEvery = opts.CheckpointEvery
 	cfg.DisableSpeculation = opts.DisableSpeculation
 	cfg.SpecWorkers = opts.SpecWorkers
+	cfg.DisableCompiledIR = cfg.DisableCompiledIR || opts.DisableCompiledIR
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", s.desc, it.Label())
 	report, err := runOrResume(shard, opts.CheckpointDir)
