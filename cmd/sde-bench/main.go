@@ -81,6 +81,7 @@ func run() (err error) {
 	qoptOut := flag.String("qopt-out", "BENCH_qopt.json", "output path for the -json query-optimizer results")
 	specOut := flag.String("spec-out", "BENCH_spec.json", "output path for the -json speculative-pipeline results")
 	vmOut := flag.String("vm-out", "BENCH_vm.json", "output path for the -json compiled-fast-path results")
+	mergeOut := flag.String("merge-out", "BENCH_merge.json", "output path for the -json state-merging results")
 	vmProfileDir := flag.String("vm-profile-dir", "", "also write per-mode CPU profiles of the compiled-fast-path bench into this directory")
 	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
 	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
@@ -118,7 +119,10 @@ func run() (err error) {
 		if err := runSpecBench(*specOut, *jsonReps); err != nil {
 			return err
 		}
-		return runVMBench(*vmOut, *vmProfileDir, *jsonReps)
+		if err := runVMBench(*vmOut, *vmProfileDir, *jsonReps); err != nil {
+			return err
+		}
+		return runMergeBench(*mergeOut, *jsonReps)
 	}
 	if *worstCase {
 		return runWorstCase()

@@ -1,0 +1,287 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sde"
+)
+
+// mergeBenchResult is one mode (merging on or off) of one workload in
+// BENCH_merge.json.
+type mergeBenchResult struct {
+	Name    string `json:"name"`
+	Merge   bool   `json:"merge"`
+	NsPerOp int64  `json:"ns_per_op"` // one full scenario run (best of reps)
+
+	Instructions uint64 `json:"instructions"`
+	States       int    `json:"states"` // identical on/off by construction
+	// PeakLiveFrontier is the largest scheduler frontier any sample saw:
+	// live states minus states hidden inside merged representatives —
+	// the quantity merging exists to shrink.
+	PeakLiveFrontier int     `json:"peak_live_frontier"`
+	AvgLiveFrontier  float64 `json:"avg_live_frontier"`
+
+	Merges     uint64 `json:"merges,omitempty"`
+	Candidates uint64 `json:"merge_candidates,omitempty"`
+	Rejects    uint64 `json:"merge_rejects,omitempty"`
+	PeakMerged int    `json:"peak_merged_states,omitempty"`
+	MaxMembers int    `json:"max_members,omitempty"`
+}
+
+// mergeBenchWorkload is one workload's merge-on-vs-off comparison.
+type mergeBenchWorkload struct {
+	Name  string             `json:"name"`
+	Desc  string             `json:"desc"`
+	Modes []mergeBenchResult `json:"modes"`
+	// FrontierReduction is unmerged peak live frontier over merged peak
+	// live frontier; InstrReduction the same ratio for executed
+	// instructions (reps run shared events once instead of per member).
+	FrontierReduction float64 `json:"frontier_reduction"`
+	InstrReduction    float64 `json:"instr_reduction"`
+}
+
+// mergeBenchReport is the BENCH_merge.json document: ITE-based state
+// merging versus plain exploration. Outputs are bit-identical by
+// construction (pinned by the on/off differential oracles); the bench
+// measures what merging buys — frontier size and executed instructions —
+// and what it costs in wall time on workloads where little merges.
+type mergeBenchReport struct {
+	Benchmark string    `json:"benchmark"`
+	Generated time.Time `json:"generated"`
+	Reps      int       `json:"reps"`
+
+	Workloads []mergeBenchWorkload `json:"workloads"`
+
+	// FrontierReduction is the diamond workload's headline ratio — the
+	// acceptance criterion tracks that it is measurably above 1.
+	FrontierReduction float64 `json:"frontier_reduction"`
+}
+
+// mergeDiamondScenario builds the headline workload: every node samples
+// one symbolic sensor word at boot and runs `diamonds` two-way branches
+// on its bits, writing a branch-dependent value to one accumulator word
+// each — 2^diamonds sibling states per node that differ at a handful of
+// locations. Afterwards each node runs `ticks` rounds of purely concrete
+// mixing arithmetic on a staggered timer (per-node offsets keep event
+// times disjoint, so the engine's pop-time order gate always allows a
+// merged representative to execute through). Merging collapses each
+// node's sibling fan into one rep that executes the concrete tail once;
+// unmerged exploration executes it 2^diamonds times.
+func mergeDiamondScenario(nodes, diamonds, ticks, iters int) (sde.Scenario, error) {
+	period := uint32(nodes + 2)
+
+	b := sde.NewProgramBuilder()
+	boot := b.Func("boot")
+	boot.NodeID(sde.R9)
+	boot.AddI(sde.R8, sde.R9, 2) // per-node stagger: node i senses at t=2+i
+	boot.Timer("sense", sde.R8, sde.R0)
+	boot.Ret()
+
+	sense := b.Func("sense")
+	sense.Sym(sde.R1, "sensor", 32)
+	sense.MovI(sde.R7, 0)
+	for d := 0; d < diamonds; d++ {
+		arm := fmt.Sprintf("d%darm", d)
+		done := fmt.Sprintf("d%ddone", d)
+		sense.LShrI(sde.R2, sde.R1, uint32(d))
+		sense.AndI(sde.R2, sde.R2, 1)
+		sense.BrNZ(sde.R2, arm)
+		sense.MovI(sde.R3, uint32(100+d))
+		sense.Jmp(done)
+		sense.Label(arm)
+		sense.AddI(sde.R3, sde.R1, uint32(7+d))
+		sense.Label(done)
+		sense.Store(sde.R7, uint32(0x40+4*d), sde.R3)
+	}
+	sense.MovI(sde.R8, period)
+	sense.Timer("tick", sde.R8, sde.R0)
+	sense.Ret()
+
+	tick := b.Func("tick")
+	tick.NodeID(sde.R2)
+	tick.AddI(sde.R2, sde.R2, 0x9e37)
+	tick.MovI(sde.R3, uint32(iters))
+	tick.Label("loop")
+	tick.ShlI(sde.R4, sde.R2, 13)
+	tick.Xor(sde.R2, sde.R2, sde.R4)
+	tick.LShrI(sde.R4, sde.R2, 17)
+	tick.Xor(sde.R2, sde.R2, sde.R4)
+	tick.ShlI(sde.R4, sde.R2, 5)
+	tick.Xor(sde.R2, sde.R2, sde.R4)
+	tick.SubI(sde.R3, sde.R3, 1)
+	tick.BrNZ(sde.R3, "loop")
+	tick.MovI(sde.R7, 0)
+	tick.Store(sde.R7, 0x60, sde.R2)
+	tick.Load(sde.R6, sde.R7, 0x64)
+	tick.AddI(sde.R6, sde.R6, 1)
+	tick.Store(sde.R7, 0x64, sde.R6)
+	tick.UltI(sde.R5, sde.R6, uint32(ticks))
+	tick.BrZ(sde.R5, "stop")
+	tick.MovI(sde.R8, period)
+	tick.Timer("tick", sde.R8, sde.R0)
+	tick.Label("stop")
+	tick.Ret()
+
+	prog, err := b.Build()
+	if err != nil {
+		return sde.Scenario{}, err
+	}
+	horizon := uint64(nodes+2) + uint64(ticks+2)*uint64(period)
+	return sde.CustomScenario("merge diamond", sde.CustomConfig{
+		Topology:     sde.Line(nodes),
+		Program:      prog,
+		Algorithm:    sde.SDS,
+		HorizonTicks: horizon,
+	})
+}
+
+// runMergeBench measures state merging against plain exploration on the
+// branching diamond workload (headline) and the paper's grid collect with
+// symbolic route drops (the realistic case, where structural merge
+// opportunities are rare), and writes the results as JSON.
+func runMergeBench(out string, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", reps)
+	}
+	rep := mergeBenchReport{
+		Benchmark: "StateMerging",
+		Generated: time.Now().UTC(),
+		Reps:      reps,
+	}
+
+	measure := func(name string, build func() (sde.Scenario, error), merge bool) (mergeBenchResult, error) {
+		var best time.Duration
+		var res mergeBenchResult
+		for r := 0; r < reps; r++ {
+			scenario, err := build()
+			if err != nil {
+				return mergeBenchResult{}, err
+			}
+			scenario = scenario.WithSampling(16)
+			if merge {
+				scenario = scenario.WithMerging()
+			}
+			start := time.Now()
+			report, err := sde.RunScenario(scenario)
+			if err != nil {
+				return mergeBenchResult{}, fmt.Errorf("%s: %w", name, err)
+			}
+			elapsed := time.Since(start)
+			if r == 0 || elapsed < best {
+				best = elapsed
+				peak, sum := 0, 0.0
+				samples := report.Samples()
+				for _, sm := range samples {
+					live := sm.States - sm.MergedStates
+					if live > peak {
+						peak = live
+					}
+					sum += float64(live)
+				}
+				avg := 0.0
+				if len(samples) > 0 {
+					avg = sum / float64(len(samples))
+				}
+				ms := report.MergeStats()
+				res = mergeBenchResult{
+					Name:             name,
+					Merge:            merge,
+					NsPerOp:          best.Nanoseconds(),
+					Instructions:     report.Instructions(),
+					States:           report.States(),
+					PeakLiveFrontier: peak,
+					AvgLiveFrontier:  avg,
+					Merges:           ms.Merges,
+					Candidates:       ms.Candidates,
+					Rejects:          ms.Rejects,
+					PeakMerged:       ms.PeakMerged,
+					MaxMembers:       ms.MaxMembers,
+				}
+			}
+		}
+		return res, nil
+	}
+
+	workloads := []struct {
+		name, desc string
+		headline   bool
+		build      func() (sde.Scenario, error)
+	}{
+		{
+			name:     "diamond",
+			desc:     "6-node line, 16 symbolic siblings per node from 4 boot diamonds, 30 concrete mixing ticks",
+			headline: true,
+			build: func() (sde.Scenario, error) {
+				return mergeDiamondScenario(6, 4, 30, 500)
+			},
+		},
+		{
+			name: "collect",
+			desc: "5x5 grid collect, 3 packets, symbolic route drops",
+			build: func() (sde.Scenario, error) {
+				return sde.GridCollectScenario(sde.GridCollectOptions{
+					Dim:       5,
+					Algorithm: sde.SDS,
+					Packets:   3,
+					DropNodes: sde.DropRoute,
+				})
+			},
+		},
+	}
+
+	for _, w := range workloads {
+		wl := mergeBenchWorkload{Name: w.name, Desc: w.desc}
+		var off, on mergeBenchResult
+		for _, mode := range []bool{false, true} {
+			res, err := measure(fmt.Sprintf("%s/merge=%v", w.name, mode), w.build, mode)
+			if err != nil {
+				return err
+			}
+			wl.Modes = append(wl.Modes, res)
+			if mode {
+				on = res
+			} else {
+				off = res
+			}
+		}
+		if on.States != off.States {
+			return fmt.Errorf("%s: merging changed the state count (%d vs %d) — soundness bug",
+				w.name, on.States, off.States)
+		}
+		if on.PeakLiveFrontier > 0 {
+			wl.FrontierReduction = float64(off.PeakLiveFrontier) / float64(on.PeakLiveFrontier)
+		}
+		if on.Instructions > 0 {
+			wl.InstrReduction = float64(off.Instructions) / float64(on.Instructions)
+		}
+		if w.headline {
+			rep.FrontierReduction = wl.FrontierReduction
+		}
+		rep.Workloads = append(rep.Workloads, wl)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("State-merging bench (best of %d):\n", reps)
+	for _, wl := range rep.Workloads {
+		fmt.Printf("  %s (%s):\n", wl.Name, wl.Desc)
+		for _, m := range wl.Modes {
+			fmt.Printf("    merge=%-5v %12s  instrs=%-9d peak-frontier=%-6d avg-frontier=%-8.1f merges=%-5d peak-merged=%d\n",
+				m.Merge, time.Duration(m.NsPerOp), m.Instructions,
+				m.PeakLiveFrontier, m.AvgLiveFrontier, m.Merges, m.PeakMerged)
+		}
+		fmt.Printf("    frontier reduction: %.2fx  instruction reduction: %.2fx\n",
+			wl.FrontierReduction, wl.InstrReduction)
+	}
+	fmt.Printf("  headline (diamond) frontier reduction: %.2fx  → %s\n", rep.FrontierReduction, out)
+	return nil
+}

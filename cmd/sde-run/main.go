@@ -13,10 +13,12 @@
 // -resume DIR; a resumed run is bit-identical to an uninterrupted one.
 //
 // Concrete straight-line code runs through a compiled basic-block fast
-// path by default; feasibility solving overlaps with symbolic execution
-// (-spec-workers N sizes the solver pool, 0 = one per CPU). Every layer
-// preserves outputs bit-for-bit, so if a run ever looks wrong the triage
-// order is -compile=false first, then -speculate=false, then -qopt=false.
+// path by default; -merge fuses low-divergence sibling states into
+// ite-valued representatives (off by default); feasibility solving
+// overlaps with symbolic execution (-spec-workers N sizes the solver
+// pool, 0 = one per CPU). Every layer preserves outputs bit-for-bit, so
+// if a run ever looks wrong the triage order is -compile=false first,
+// then -merge=false, then -speculate=false, then -qopt=false.
 // -cpuprofile/-memprofile write pprof profiles for the whole run.
 package main
 
@@ -54,8 +56,9 @@ func run() (err error) {
 	checkpoint := flag.String("checkpoint", "", "write periodic durable checkpoints into this directory")
 	resume := flag.String("resume", "", "resume from the checkpoint in this directory (or start fresh into it)")
 	compile := flag.Bool("compile", true, "basic-block compiled fast path for concrete straight-line code; -compile=false is the FIRST soundness-triage step")
-	qoptFlag := flag.Bool("qopt", true, "query-optimization pipeline (slicing, rewriting, concretization); triage after -compile and -speculate")
-	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline (overlap execution with feasibility solving); triage after -compile")
+	merge := flag.Bool("merge", false, "ITE-based state merging (fuse low-divergence sibling states); off by default, triage after -compile")
+	qoptFlag := flag.Bool("qopt", true, "query-optimization pipeline (slicing, rewriting, concretization); triage after -compile, -merge, and -speculate")
+	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline (overlap execution with feasibility solving); triage after -compile and -merge")
 	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative-fork pipeline (0 = one per CPU)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,24 +98,20 @@ func run() (err error) {
 	if !*compile {
 		scenario = scenario.WithoutCompiledIR()
 	}
+	if *merge {
+		scenario = scenario.WithMerging()
+	}
 	if !*qoptFlag {
 		scenario = scenario.WithoutQueryOptimizer()
 	}
 	// The compiler's static taint pass knows which branches depend on
 	// symbolic input. If the program has such candidate shard points but
 	// the scenario declares no shardable drop nodes, a sharded run could
-	// not partition the space at all — worth a heads-up.
-	if sites := scenario.ShardableSites(); len(sites) > 0 && scenario.MaxShardBits() == 0 {
-		fmt.Fprintf(os.Stderr,
-			"sde-run: note: %d program branch(es) depend on symbolic input but the scenario declares no shardable nodes; sharded exploration cannot partition this space\n",
-			len(sites))
-		for i, site := range sites {
-			if i == 4 {
-				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(sites)-i)
-				break
-			}
-			fmt.Fprintf(os.Stderr, "  %s\n", site)
-		}
+	// not partition the space at all — worth a heads-up. The note itself
+	// lives on Scenario so the exploration service surfaces the same
+	// warning for ScenarioSpec-submitted jobs.
+	if note := scenario.ShardabilityNote(); note != "" {
+		fmt.Fprintf(os.Stderr, "sde-run: note: %s\n", note)
 	}
 	if !*speculate {
 		scenario = scenario.WithoutSpeculation()

@@ -31,6 +31,10 @@ type ReportJSON struct {
 	FastBlocks   uint64          `json:"fast_blocks,omitempty"`
 	SlowBlocks   uint64          `json:"slow_blocks,omitempty"`
 	FoldedInstrs uint64          `json:"folded_instrs,omitempty"`
+	Merges       uint64          `json:"merges,omitempty"`
+	MergeCands   uint64          `json:"merge_candidates,omitempty"`
+	MergeRejects uint64          `json:"merge_rejects,omitempty"`
+	PeakMerged   int             `json:"peak_merged_states,omitempty"`
 	Violations   []ViolationJSON `json:"violations,omitempty"`
 	TestCases    []TestCaseJSON  `json:"test_cases,omitempty"`
 }
@@ -69,6 +73,10 @@ func (r *Report) JSON(maxTestCases int) (*ReportJSON, error) {
 		FastBlocks:   r.res.VM.FastBlocks,
 		SlowBlocks:   r.res.VM.SlowBlocks,
 		FoldedInstrs: r.res.VM.FoldedInstrs,
+		Merges:       r.res.Merge.Merges,
+		MergeCands:   r.res.Merge.Candidates,
+		MergeRejects: r.res.Merge.Rejects,
+		PeakMerged:   r.res.Merge.PeakMerged,
 	}
 	for _, v := range r.res.Violations {
 		out.Violations = append(out.Violations, ViolationJSON{
@@ -107,16 +115,17 @@ func (r *Report) WriteJSON(w io.Writer, maxTestCases int) error {
 // errors instead of silently truncated series.
 func (r *Report) WriteCSV(w io.Writer) error {
 	if _, err := io.WriteString(w,
-		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs\n"); err != nil {
+		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs,merged_states,merge_candidates,merge_rejects\n"); err != nil {
 		return err
 	}
 	for _, sm := range r.res.Series.Samples() {
-		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes,
 			sm.Instructions, sm.SolverQueries, sm.QueriesSliced,
 			sm.GatesElided, sm.FastBlocks, sm.SlowBlocks,
-			sm.FoldedInstrs); err != nil {
+			sm.FoldedInstrs, sm.MergedStates, sm.MergeCandidates,
+			sm.MergeRejects); err != nil {
 			return err
 		}
 	}

@@ -115,7 +115,8 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 	}
 	wantHeader := []string{"wall_ms", "virtual_time", "states", "groups", "mem_bytes",
 		"instructions", "solver_queries", "queries_sliced", "gates_elided",
-		"fast_blocks", "slow_blocks", "folded_instrs"}
+		"fast_blocks", "slow_blocks", "folded_instrs",
+		"merged_states", "merge_candidates", "merge_rejects"}
 	if len(rows) == 0 {
 		t.Fatal("no rows emitted")
 	}
@@ -141,6 +142,9 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 			9:  int64(sm.FastBlocks),
 			10: int64(sm.SlowBlocks),
 			11: int64(sm.FoldedInstrs),
+			12: int64(sm.MergedStates),
+			13: int64(sm.MergeCandidates),
+			14: int64(sm.MergeRejects),
 		} {
 			got, err := strconv.ParseInt(row[col], 10, 64)
 			if err != nil {

@@ -207,6 +207,12 @@ func (c *Coordinator) AddJob(spec sde.ScenarioSpec, shardBits, testCases int) (s
 	if shardBits < 0 {
 		return "", fmt.Errorf("dist: shard bits must be >= 0 (got %d)", shardBits)
 	}
+	// Same heads-up sde-run prints for flag-driven runs: a spec whose
+	// program has candidate shard points but no shardable nodes yields a
+	// single-shard job no matter what shardBits asks for.
+	if note := scenario.ShardabilityNote(); note != "" {
+		c.logf("job spec %s: %s", spec, note)
+	}
 	if max := scenario.MaxShardBits(); shardBits > max {
 		shardBits = max
 	}

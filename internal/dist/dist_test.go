@@ -2,8 +2,10 @@ package dist
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -322,5 +324,48 @@ func TestServiceCancel(t *testing.T) {
 	}
 	if _, _, _, err := c.JobReport(id); err == nil {
 		t.Error("JobReport on a cancelled job succeeded")
+	}
+}
+
+// TestAddJobLogsShardabilityNote: the service entry point must surface
+// the same shardability warning sde-run prints for flag-driven runs. A
+// ScenarioSpec whose program has candidate shard points but no shardable
+// nodes is accepted (it still runs, as a single shard) with the note in
+// the coordinator log; a shardable spec submits silently.
+func TestAddJobLogsShardabilityNote(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	c := NewCoordinator(Options{Logf: func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+	defer c.Close()
+
+	logged := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Join(lines, "\n")
+	}
+
+	warn := sde.ScenarioSpec{
+		Workload: "threshold", Topology: "line:3", Algorithm: "sds",
+		Packets: 2, Drops: "none",
+	}
+	if _, err := c.AddJob(warn, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(logged(), "cannot partition") {
+		t.Fatalf("note missing from coordinator log:\n%s", logged())
+	}
+
+	mu.Lock()
+	lines = nil
+	mu.Unlock()
+	if _, err := c.AddJob(testSpec, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(logged(), "cannot partition") {
+		t.Fatalf("shardable spec drew a shardability note:\n%s", logged())
 	}
 }

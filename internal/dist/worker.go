@@ -32,13 +32,14 @@ type WorkerOptions struct {
 	HeartbeatEvery time.Duration
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
-	// CheckpointEvery, DisableSpeculation, SpecWorkers, and
-	// DisableCompiledIR default the per-lease execution knobs when the
-	// lease does not set them.
+	// CheckpointEvery, DisableSpeculation, SpecWorkers,
+	// DisableCompiledIR, and EnableMerge default the per-lease execution
+	// knobs when the lease does not set them.
 	CheckpointEvery    int
 	DisableSpeculation bool
 	SpecWorkers        int
 	DisableCompiledIR  bool
+	EnableMerge        bool
 	// SplitStates, when > 0, arms straggler self-splitting: a lease
 	// whose live state count exceeds it after SplitAfter, while the
 	// coordinator reports a starved queue, is abandoned with a Split so
@@ -284,6 +285,7 @@ func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
 		DisableSpeculation: lease.DisableSpeculation || opts.DisableSpeculation,
 		SpecWorkers:        specWorkers,
 		DisableCompiledIR:  lease.DisableCompiledIR || opts.DisableCompiledIR,
+		EnableMerge:        lease.EnableMerge || opts.EnableMerge,
 		Progress:           progress,
 	})
 	switch {

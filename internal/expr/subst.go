@@ -1,0 +1,152 @@
+package expr
+
+// Node substitution over the hash-consed DAG, the expression-level
+// mechanism behind state merging (internal/merge): a merged state's values
+// are ite(Δ, v1, v2) nodes whose condition Δ selects one pre-merge member,
+// and re-specialising the merged state to a member is exactly the
+// substitution Δ ↦ true (or false) pushed through every reachable node.
+//
+// Rebuilding goes through the Builder's smart constructors, never through
+// raw interning: ite(true, v1, v2) collapses to v1, conjunctions and
+// comparisons over the collapsed operands re-fold, and the result is the
+// same pointer the program would have produced had it computed with the
+// member's values directly. That structural round-trip property is what
+// makes merge-split invisible to fingerprints and path conditions.
+
+// Substitute returns e with every node that occurs as a key of sub
+// replaced by its mapped value, rebuilding all enclosing nodes through
+// the builder's smart constructors. Mapped values must have the width of
+// the node they replace. memo caches rewritten nodes and may be shared
+// across calls with the same sub (the merge layer keeps one memo per
+// member for the lifetime of a merged state); pass nil for a one-shot
+// substitution. Untouched subtrees are returned pointer-identically.
+func (b *Builder) Substitute(e *Expr, sub map[*Expr]*Expr, memo map[*Expr]*Expr) *Expr {
+	if e == nil || len(sub) == 0 {
+		return e
+	}
+	if memo == nil {
+		memo = make(map[*Expr]*Expr, 16)
+	}
+	return b.subst(e, sub, memo)
+}
+
+func (b *Builder) subst(e *Expr, sub, memo map[*Expr]*Expr) *Expr {
+	if r, ok := memo[e]; ok {
+		return r
+	}
+	if r, ok := sub[e]; ok {
+		// The mapped value is rewritten too: after chained merges a
+		// replacement produced by an earlier merge can itself contain
+		// nodes the map rewrites. Termination is structural — a map value
+		// predates its key in the DAG, so it can never reach the key.
+		if r != e {
+			r = b.subst(r, sub, memo)
+		}
+		memo[e] = r
+		return r
+	}
+	if e.a == nil {
+		// Leaf (const or var) not in the substitution map.
+		memo[e] = e
+		return e
+	}
+	a := b.subst(e.a, sub, memo)
+	var x, c *Expr
+	if e.b != nil {
+		x = b.subst(e.b, sub, memo)
+	}
+	if e.c != nil {
+		c = b.subst(e.c, sub, memo)
+	}
+	if a == e.a && x == e.b && c == e.c {
+		memo[e] = e
+		return e
+	}
+	var r *Expr
+	switch e.kind {
+	case KindAdd:
+		r = b.Add(a, x)
+	case KindSub:
+		r = b.Sub(a, x)
+	case KindMul:
+		r = b.Mul(a, x)
+	case KindUDiv:
+		r = b.UDiv(a, x)
+	case KindURem:
+		r = b.URem(a, x)
+	case KindAnd:
+		r = b.And(a, x)
+	case KindOr:
+		r = b.Or(a, x)
+	case KindXor:
+		r = b.Xor(a, x)
+	case KindNot:
+		r = b.Not(a)
+	case KindShl:
+		r = b.Shl(a, x)
+	case KindLShr:
+		r = b.LShr(a, x)
+	case KindAShr:
+		r = b.AShr(a, x)
+	case KindEq:
+		r = b.Eq(a, x)
+	case KindUlt:
+		r = b.Ult(a, x)
+	case KindUle:
+		r = b.Ule(a, x)
+	case KindSlt:
+		r = b.Slt(a, x)
+	case KindSle:
+		r = b.Sle(a, x)
+	case KindIte:
+		r = b.Ite(a, x, c)
+	case KindZExt:
+		r = b.ZExt(a, int(e.width))
+	case KindSExt:
+		r = b.SExt(a, int(e.width))
+	case KindTrunc:
+		r = b.Trunc(a, int(e.width))
+	default:
+		panic("expr: substitute: unexpected kind " + e.kind.String())
+	}
+	memo[e] = r
+	return r
+}
+
+// Depth returns the operator depth of e (leaves are 0), computed with DAG
+// memoisation and clamped at cap: once any path reaches cap the walk
+// stops and cap is returned. The merge cost model uses it to bound how
+// much ite nesting a candidate merge would add to the expression DAG.
+func Depth(e *Expr, cap int) int {
+	if e == nil || cap <= 0 {
+		return 0
+	}
+	memo := make(map[*Expr]int, 16)
+	return depthMemo(e, cap, memo)
+}
+
+func depthMemo(e *Expr, cap int, memo map[*Expr]int) int {
+	if e.a == nil {
+		return 0
+	}
+	if d, ok := memo[e]; ok {
+		return d
+	}
+	d := depthMemo(e.a, cap, memo)
+	if e.b != nil {
+		if db := depthMemo(e.b, cap, memo); db > d {
+			d = db
+		}
+	}
+	if e.c != nil {
+		if dc := depthMemo(e.c, cap, memo); dc > d {
+			d = dc
+		}
+	}
+	d++
+	if d > cap {
+		d = cap
+	}
+	memo[e] = d
+	return d
+}

@@ -1,0 +1,117 @@
+package merge
+
+import (
+	"sde/internal/expr"
+	"sde/internal/vm"
+)
+
+// Candidate summarizes a structurally mergeable pair for the merge-vs-fork
+// decision. All quantities are cheap to compute: divergence-site count and
+// member totals come from the structural diff, depths are DAG-memoized
+// walks clamped at the model's cap, and the variable coupling estimate is
+// the size of the union of free-variable sets over the deltas and every
+// site value — the variables a single merge-introduced ite would entangle
+// in future solver queries.
+type Candidate struct {
+	Node    int
+	Sites   int
+	Members int // member count of the resulting rep
+	// MaxDepth is the operator depth the deepest merged value would reach
+	// (1 + max over deltas and site arms, clamped at the walk cap).
+	MaxDepth int
+	// CoupledVars counts the distinct free variables the merge ties
+	// together through shared ite nodes.
+	CoupledVars int
+	// AvgSliceFactor is the solver's observed independence-slicing payoff
+	// (factors per sliced query, 1 when unknown). High values mean queries
+	// currently split into many independent factors — exactly what
+	// coupling variables through ites destroys.
+	AvgSliceFactor float64
+}
+
+// CostModel decides whether a structurally mergeable candidate is worth
+// fusing. Implementations must be deterministic pure functions of the
+// candidate — the decision is replayed on resumed runs.
+type CostModel interface {
+	ShouldMerge(c Candidate) bool
+}
+
+// DefaultCostModel implements the repo's standard merge heuristic, in the
+// Cloud9/KLEE lineage: merging pays when it hides states without making
+// individual solver queries disproportionately harder. Zero values select
+// the documented defaults.
+type DefaultCostModel struct {
+	// MaxDepth rejects merges whose ite values would exceed this operator
+	// depth (default 48): each nesting level is another gate layer in
+	// every future query that touches the value.
+	MaxDepth int
+	// MaxCoupledVars rejects merges entangling more distinct variables
+	// than this (default 24).
+	MaxCoupledVars int
+	// SliceGuard scales the coupling budget down when the solver reports
+	// strong independence slicing: with an average slice factor f, the
+	// effective variable budget is MaxCoupledVars/f (default guard on;
+	// set SliceGuardOff to disable).
+	SliceGuardOff bool
+}
+
+func (d DefaultCostModel) ShouldMerge(c Candidate) bool {
+	maxDepth := d.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 48
+	}
+	maxVars := d.MaxCoupledVars
+	if maxVars <= 0 {
+		maxVars = 24
+	}
+	if c.MaxDepth > maxDepth {
+		return false
+	}
+	budget := float64(maxVars)
+	if !d.SliceGuardOff && c.AvgSliceFactor > 1 {
+		budget /= c.AvgSliceFactor
+	}
+	return float64(c.CoupledVars) <= budget
+}
+
+func (m *Manager) buildCandidate(node int, d *vm.MergeDiff, deltaA, deltaB *expr.Expr, members int) Candidate {
+	cap := 64
+	depth := expr.Depth(deltaA, cap)
+	if db := expr.Depth(deltaB, cap); db > depth {
+		depth = db
+	}
+	vars := make(map[uint32]struct{})
+	for _, id := range deltaA.VarIDs() {
+		vars[id] = struct{}{}
+	}
+	for _, id := range deltaB.VarIDs() {
+		vars[id] = struct{}{}
+	}
+	for _, site := range d.Sites {
+		for _, arm := range [2]*expr.Expr{site.A, site.B} {
+			if arm == nil {
+				continue
+			}
+			if dd := expr.Depth(arm, cap); dd > depth {
+				depth = dd
+			}
+			for _, id := range arm.VarIDs() {
+				vars[id] = struct{}{}
+			}
+		}
+	}
+	factor := 1.0
+	if m.cfg.SliceStats != nil {
+		if q, f := m.cfg.SliceStats(); q > 0 {
+			factor = float64(f) / float64(q)
+		}
+	}
+	return Candidate{
+		Node:           node,
+		Sites:          len(d.Sites),
+		Members:        members,
+		MaxDepth:       depth + 1, // the introduced ite layer
+		CoupledVars:    len(vars),
+		AvgSliceFactor: factor,
+	}
+}

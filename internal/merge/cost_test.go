@@ -1,0 +1,51 @@
+package merge
+
+import "testing"
+
+// The cost model is a deterministic pure function of the candidate — the
+// merge decision is replayed on resumed runs, so these tables pin the
+// default thresholds and the slice-guard scaling exactly.
+
+func TestDefaultCostModel(t *testing.T) {
+	cases := []struct {
+		name  string
+		model DefaultCostModel
+		c     Candidate
+		want  bool
+	}{
+		{"trivial-pair", DefaultCostModel{},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 3, CoupledVars: 2, AvgSliceFactor: 1}, true},
+		{"at-depth-limit", DefaultCostModel{},
+			Candidate{Sites: 2, Members: 2, MaxDepth: 48, CoupledVars: 4, AvgSliceFactor: 1}, true},
+		{"over-depth-limit", DefaultCostModel{},
+			Candidate{Sites: 2, Members: 2, MaxDepth: 49, CoupledVars: 4, AvgSliceFactor: 1}, false},
+		{"at-var-limit", DefaultCostModel{},
+			Candidate{Sites: 3, Members: 2, MaxDepth: 10, CoupledVars: 24, AvgSliceFactor: 1}, true},
+		{"over-var-limit", DefaultCostModel{},
+			Candidate{Sites: 3, Members: 2, MaxDepth: 10, CoupledVars: 25, AvgSliceFactor: 1}, false},
+		// Slice guard: with an observed average slice factor of 3 the
+		// effective variable budget shrinks to 24/3 = 8.
+		{"slice-guard-scales-budget", DefaultCostModel{},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 10, CoupledVars: 9, AvgSliceFactor: 3}, false},
+		{"slice-guard-within-scaled-budget", DefaultCostModel{},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 10, CoupledVars: 8, AvgSliceFactor: 3}, true},
+		{"slice-guard-off", DefaultCostModel{SliceGuardOff: true},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 10, CoupledVars: 9, AvgSliceFactor: 3}, true},
+		// A slice factor of exactly 1 (no observed independence) must
+		// not scale the budget even with the guard on.
+		{"factor-one-no-scaling", DefaultCostModel{},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 10, CoupledVars: 24, AvgSliceFactor: 1}, true},
+		// Explicit overrides replace the defaults.
+		{"custom-depth", DefaultCostModel{MaxDepth: 4},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 5, CoupledVars: 1, AvgSliceFactor: 1}, false},
+		{"custom-vars", DefaultCostModel{MaxCoupledVars: 2},
+			Candidate{Sites: 1, Members: 2, MaxDepth: 3, CoupledVars: 3, AvgSliceFactor: 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.model.ShouldMerge(tc.c); got != tc.want {
+				t.Errorf("ShouldMerge(%+v) = %v, want %v", tc.c, got, tc.want)
+			}
+		})
+	}
+}

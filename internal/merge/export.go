@@ -1,0 +1,92 @@
+package merge
+
+// Snapshot surface: a merged frontier is durable state — reps carry live
+// machines and frozen members only shells — so checkpoints serialize the
+// rep machine, each member's identity, its substitution pairs (in creation
+// order; the expressions themselves live in the snapshot's shared DAG
+// table), and the step-accounting bases. Restore re-links restored shells
+// to their restored rep and rebuilds the derived lookup maps; substitution
+// memos are derived and start empty.
+
+import (
+	"fmt"
+
+	"sde/internal/expr"
+	"sde/internal/vm"
+)
+
+// MemberExport is one member's durable record.
+type MemberExport struct {
+	St        *vm.State
+	StepsBase uint64
+	Carried   uint64
+	Subs      []SubPair
+}
+
+// RepExport is one rep's durable record; members are in ascending id
+// order and members[0] shares the rep's id.
+type RepExport struct {
+	Rep     *vm.State
+	Members []MemberExport
+}
+
+// Export returns the merged frontier in ascending rep-id order.
+func (m *Manager) Export() []RepExport {
+	out := make([]RepExport, 0, len(m.reps))
+	for _, r := range m.sortedReps() {
+		re := RepExport{Rep: r.st, Members: make([]MemberExport, len(r.members))}
+		for i, mb := range r.members {
+			re.Members[i] = MemberExport{
+				St:        mb.st,
+				StepsBase: mb.stepsBase,
+				Carried:   mb.carried,
+				Subs:      mb.subOrder,
+			}
+		}
+		out = append(out, re)
+	}
+	return out
+}
+
+// AdoptRestored re-links one checkpoint-restored rep with its restored
+// member shells. The rep state was restored like any frontier state but is
+// not part of the engine's state table; this call marks it as a live rep
+// and rebuilds the manager's records.
+func (m *Manager) AdoptRestored(rep *vm.State, members []MemberExport) error {
+	if len(members) < 2 {
+		return fmt.Errorf("merge: restored rep %d has %d members", rep.ID(), len(members))
+	}
+	rec := &repRec{st: rep, node: rep.NodeID()}
+	var prev uint64
+	for i, me := range members {
+		if me.St.NodeID() != rep.NodeID() {
+			return fmt.Errorf("merge: restored rep %d member %d crosses nodes", rep.ID(), me.St.ID())
+		}
+		if i == 0 && me.St.ID() != rep.ID() {
+			return fmt.Errorf("merge: restored rep %d does not share its first member's id %d", rep.ID(), me.St.ID())
+		}
+		if i > 0 && me.St.ID() <= prev {
+			return fmt.Errorf("merge: restored rep %d member ids out of order", rep.ID())
+		}
+		prev = me.St.ID()
+		sub := make(map[*expr.Expr]*expr.Expr, len(me.Subs))
+		for _, p := range me.Subs {
+			sub[p.Key] = p.Val
+		}
+		rec.members = append(rec.members, &member{
+			st:        me.St,
+			sub:       sub,
+			subOrder:  me.Subs,
+			memo:      make(map[*expr.Expr]*expr.Expr),
+			stepsBase: me.StepsBase,
+			carried:   me.Carried,
+		})
+	}
+	rec.maxID = prev
+	rep.MarkMergedRep()
+	m.reps[rep] = rec
+	for _, mb := range rec.members {
+		m.byMem[mb.st] = rec
+	}
+	return nil
+}

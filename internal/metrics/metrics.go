@@ -31,6 +31,14 @@ type Sample struct {
 	FastBlocks   uint64 // block executions taken by the concrete fast path
 	SlowBlocks   uint64 // block entries interpreted instruction by instruction
 	FoldedInstrs uint64 // fast-path instructions answered by load-time folding
+
+	// State-merging counters (see MergeStats). MergedStates is a gauge —
+	// how many states are hidden inside merged representatives right now,
+	// so States − MergedStates is the live frontier the scheduler actually
+	// drives; the other two are cumulative. All zero with merging off.
+	MergedStates    int    // states currently fused away into reps
+	MergeCandidates uint64 // structurally mergeable pairs considered so far
+	MergeRejects    uint64 // candidates declined by the cost model so far
 }
 
 // Series accumulates samples in order.
@@ -101,13 +109,14 @@ func (s *Series) Downsample(n int) []Sample {
 // CSV renders the series with a header row, one sample per line.
 func (s *Series) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs\n")
+	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs,merged_states,merge_candidates,merge_rejects\n")
 	for _, sm := range s.samples {
-		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions,
 			sm.SolverQueries, sm.QueriesSliced, sm.GatesElided,
-			sm.FastBlocks, sm.SlowBlocks, sm.FoldedInstrs)
+			sm.FastBlocks, sm.SlowBlocks, sm.FoldedInstrs,
+			sm.MergedStates, sm.MergeCandidates, sm.MergeRejects)
 	}
 	return sb.String()
 }
@@ -174,6 +183,28 @@ func (v VMStats) String() string {
 		v.FastBlocks, v.SlowBlocks, 100*v.FastRate(), v.FoldedInstrs)
 }
 
+// MergeStats summarises one run's state-merging activity (internal/merge):
+// how many sibling-state fusions the scan performed, how the cost model
+// filtered candidates, and how large the merged frontier got. All zero
+// when merging is disabled.
+type MergeStats struct {
+	Merges     uint64 // accepted fusions (each hides one more live state)
+	Candidates uint64 // structurally mergeable pairs considered
+	Rejects    uint64 // candidates declined by the cost model
+	Splits     uint64 // rep dissolutions back into exact members
+	MaxMembers int    // largest member count any rep reached
+	PeakMerged int    // peak number of states hidden inside reps
+}
+
+// String renders a one-line merging summary.
+func (m MergeStats) String() string {
+	if m.Candidates == 0 && m.Merges == 0 {
+		return "merge: off"
+	}
+	return fmt.Sprintf("merge: merges=%d candidates=%d rejects=%d splits=%d max-members=%d peak-merged=%d",
+		m.Merges, m.Candidates, m.Rejects, m.Splits, m.MaxMembers, m.PeakMerged)
+}
+
 // SchedStats summarises one parallel scheduler run: how the adaptive
 // work-stealing shard scheduler spent its worker pool. It is the
 // scheduling counterpart of the per-run Sample series — per-worker
@@ -208,6 +239,12 @@ type SchedStats struct {
 	FastBlocks   uint64 // block executions taken by the concrete fast path
 	SlowBlocks   uint64 // block entries that fell back to the interpreter
 	FoldedInstrs uint64 // fast-path instructions answered by load-time folding
+
+	// Per-shard state-merging activity, summed over the leaf shards (see
+	// MergeStats).
+	MergeMerges     uint64 // accepted state fusions across shards
+	MergeCandidates uint64 // structurally mergeable pairs considered
+	MergeRejects    uint64 // candidates declined by the cost model
 
 	WorkerBusy []time.Duration // per-worker time spent running shards
 	Elapsed    time.Duration   // scheduler wall time (the makespan)

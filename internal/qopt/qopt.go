@@ -379,7 +379,40 @@ func (o *Optimizer) peephole(e *expr.Expr) *expr.Expr {
 				return eb.Eq(eb.Const(c.ConstVal()^y.Arg(0).ConstVal(), yw), y.Arg(1))
 			case y.Kind() == expr.KindNot:
 				return eb.Eq(eb.Const(^c.ConstVal(), yw), y.Arg(0))
+			case y.Kind() == expr.KindIte &&
+				y.Arg(1).IsConst() && y.Arg(2).IsConst():
+				// (k == ite(d, c1, c2)) with constant arms — the shape
+				// every branch on a merged value takes — collapses to a
+				// predicate on the merge condition alone: d, ¬d, or
+				// false. (c1 == c2 cannot reach here: hash-consing makes
+				// equal constants one node and Builder.Ite folds t==f.)
+				switch {
+				case c.ConstVal() == y.Arg(1).ConstVal():
+					return y.Arg(0)
+				case c.ConstVal() == y.Arg(2).ConstVal():
+					return eb.Not(y.Arg(0))
+				default:
+					return eb.False()
+				}
 			}
+		}
+	case expr.KindIte:
+		// Merge-produced ite chains: re-merging substitutes members'
+		// sub-mapped values back in, nesting ites that often share the
+		// same path-delta condition. (Constant conditions and equal arms
+		// never reach here — Builder.Ite folds those at construction.)
+		cond, tv, fv := e.Arg(0), e.Arg(1), e.Arg(2)
+		if cond.Kind() == expr.KindNot {
+			// ite(¬d, a, b) = ite(d, b, a): sheds the negation.
+			return eb.Ite(cond.Arg(0), fv, tv)
+		}
+		// Same condition nested in an arm: the inner ite is decided.
+		// ite(d, ite(d, a, b), c) = ite(d, a, c) and symmetrically.
+		if tv.Kind() == expr.KindIte && tv.Arg(0) == cond {
+			return eb.Ite(cond, tv.Arg(1), fv)
+		}
+		if fv.Kind() == expr.KindIte && fv.Arg(0) == cond {
+			return eb.Ite(cond, tv, fv.Arg(2))
 		}
 	}
 	return e

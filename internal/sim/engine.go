@@ -11,6 +11,7 @@ import (
 	"sde/internal/core"
 	"sde/internal/expr"
 	"sde/internal/isa"
+	mergepkg "sde/internal/merge"
 	"sde/internal/metrics"
 	"sde/internal/solver"
 	"sde/internal/vm"
@@ -159,6 +160,23 @@ type Config struct {
 	// never serialized, so this flag may differ between a checkpointed
 	// run and its resumption without affecting the outcome.
 	DisableCompiledIR bool
+
+	// EnableMerge turns on ITE-based state merging (internal/merge):
+	// sibling states of one node differing at a bounded number of
+	// locations are fused into one merged representative whose diverging
+	// values become ite(Δ, v1, v2) expressions, and split back into the
+	// exact members at the first non-uniform control decision or
+	// observable instruction. Merging preserves failure fingerprints,
+	// violations, solver queries, and generated test cases bit-for-bit —
+	// it reduces how many live machines exist, not what the run observes —
+	// so turning it OFF is a soundness-triage step ordered after -compile
+	// and before -speculate/-qopt. Off by default; replay runs never
+	// merge (they hold a single concrete path).
+	EnableMerge bool
+
+	// MergeCost overrides the merge-vs-fork cost model (default
+	// merge.DefaultCostModel). Only meaningful with EnableMerge.
+	MergeCost mergepkg.CostModel
 }
 
 // Result summarises a finished (or aborted) run.
@@ -201,6 +219,10 @@ type Result struct {
 	// VM summarises the compiled-IR fast path's activity (zero when
 	// compiled execution was disabled).
 	VM metrics.VMStats
+
+	// Merge summarises the state-merging subsystem's activity (zero when
+	// merging was disabled).
+	Merge metrics.MergeStats
 
 	// Mapper and Ctx expose the final symbolic state population for
 	// post-processing: dscenario explosion, test-case generation.
@@ -248,6 +270,13 @@ type Engine struct {
 	specRemoved     int64
 	specBarriers    int64
 	specBarrierWait time.Duration
+
+	// State merging (see merge.go). mergeMgr owns the merged frontier;
+	// mergeTouched collects the nodes whose quiescent states changed
+	// during the current Step, the only merge candidates its end-of-event
+	// scan needs to look at.
+	mergeMgr     *mergepkg.Manager
+	mergeTouched map[int]struct{}
 }
 
 // defaultCheckpointEvery is the checkpoint interval (in processed events)
@@ -355,6 +384,17 @@ func newEngineShell(cfg Config) (*Engine, error) {
 		e.specPool = solver.NewSpecPool(ctx.Solver, workers)
 		ctx.SetSpecHooks((*engineHooks)(e))
 	}
+	if cfg.EnableMerge && cfg.Replay == nil {
+		e.mergeMgr = mergepkg.NewManager(ctx.Exprs, (*engineHooks)(e), mergepkg.Config{
+			Cost: cfg.MergeCost,
+			SliceStats: func() (uint64, uint64) {
+				st := ctx.Solver.Stats()
+				return uint64(st.SlicedQueries), uint64(st.SlicedFactors)
+			},
+		})
+		ctx.SetMergeHooks(e.mergeMgr)
+		e.mergeTouched = make(map[int]struct{})
+	}
 	return e, nil
 }
 
@@ -414,6 +454,9 @@ func (e *Engine) adopt(states []*vm.State) {
 	for _, s := range states {
 		e.states = append(e.states, s)
 		e.scheduleHeap(s)
+		if e.mergeTouched != nil {
+			e.mergeTouched[s.NodeID()] = struct{}{}
+		}
 	}
 	if len(e.states) > e.peakStates {
 		e.peakStates = len(e.states)
@@ -462,7 +505,22 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		e.clock = t
+		// A merged rep may only execute through this event if no unrelated
+		// state due at the same timestamp would, unmerged, have run between
+		// its members; otherwise split and let the members pop in their
+		// exact heap order (see mergeExecOK).
+		if e.mergeMgr != nil {
+			if e.mergeMgr.IsRep(s) && !e.mergeExecOK(s, t) {
+				e.mergeMgr.SplitIdle(s)
+				continue
+			}
+			clear(e.mergeTouched)
+			e.mergeTouched[s.NodeID()] = struct{}{}
+		}
 		e.processEvent(s)
+		if e.mergeMgr != nil && e.err == nil && !e.aborted {
+			e.mergeScan()
+		}
 		e.events++
 		if e.cfg.SampleEvery > 0 && e.events%uint64(e.cfg.SampleEvery) == 0 {
 			e.sample()
@@ -502,6 +560,13 @@ func (e *Engine) Run() (*Result, error) {
 func (e *Engine) Finish() *Result {
 	e.closeSpecPool()
 	e.sample()
+	// Dissolve the merged frontier before result assembly: scenario
+	// explosion, test-case generation, and fingerprint collection must see
+	// the exact member states. The final sample above still captures the
+	// merged footprint; FinalMem below is comparable to a merge-off run.
+	if e.mergeMgr != nil {
+		e.mergeMgr.SplitAllIdle()
+	}
 	mem := e.modelBytes()
 	res := &Result{
 		Algorithm:    e.cfg.Algorithm,
@@ -547,6 +612,17 @@ func (e *Engine) Finish() *Result {
 		FastBlocks:   e.ctx.FastBlocks(),
 		SlowBlocks:   e.ctx.SlowBlocks(),
 		FoldedInstrs: e.ctx.FoldedInstrs(),
+	}
+	if e.mergeMgr != nil {
+		ms := e.mergeMgr.Stats()
+		res.Merge = metrics.MergeStats{
+			Merges:     ms.Merges,
+			Candidates: ms.Candidates,
+			Rejects:    ms.Rejects,
+			Splits:     ms.Splits,
+			MaxMembers: ms.MaxMembers,
+			PeakMerged: ms.PeakMerged,
+		}
 	}
 	if res.PeakMem < mem {
 		res.PeakMem = mem
@@ -632,6 +708,23 @@ func (e *Engine) runToCompletion(s *vm.State) {
 	}
 	if err == nil && s.Status() == vm.StatusDead {
 		err = s.Err() // killed by a hook (e.g. out-of-range unicast)
+	}
+	if err != nil && e.mergeMgr != nil {
+		// A rep can only die wholesale (step budget, pc out of range) —
+		// asserts and sends split before executing. Every member dies of
+		// the same cause; report them individually, in id order, exactly
+		// as their unmerged runs would have.
+		if members, ok := e.mergeMgr.SplitDead(s); ok {
+			for _, m := range members {
+				e.violations = append(e.violations, &vm.Violation{
+					Node:    m.NodeID(),
+					Time:    e.clock,
+					Msg:     fmt.Sprintf("state died: %v", m.Err()),
+					StateID: m.ID(),
+				})
+			}
+			return
+		}
 	}
 	if errors.Is(err, vm.ErrAssertFails) {
 		// Already surfaced through OnViolation; the dead state simply
@@ -754,6 +847,12 @@ func (e *Engine) pinDecision(s *vm.State, name string) (uint64, bool) {
 // onLocalBranch notifies the mapper of a local fork and adopts whatever
 // it created in response.
 func (e *Engine) onLocalBranch(orig, sibling *vm.State) {
+	// COB's OnBranch forks every other member of the dscenario — any node,
+	// any state — so the whole merged frontier must be real first. COW and
+	// SDS react to local forks without touching third-party states.
+	if e.mergeMgr != nil && e.cfg.Algorithm == core.COBAlgorithm {
+		e.mergeMgr.SplitAllIdle()
+	}
 	extra := e.mapper.OnBranch(orig, sibling)
 	e.adopt(extra)
 	e.checkMapper()
@@ -802,6 +901,16 @@ func (e *Engine) deliverUnicast(s *vm.State, dst int, payload []*expr.Expr) {
 	if e.err != nil {
 		return
 	}
+	// Deliveries mutate (and may fork) the destination node's states, and
+	// COW's rival handling forks bystanders on every node — those states
+	// must be real, not frozen merge members.
+	if e.mergeMgr != nil && e.mergeMgr.HasReps() {
+		if e.cfg.Algorithm == core.COWAlgorithm {
+			e.mergeMgr.SplitAllIdle()
+		} else {
+			e.mergeMgr.SplitNodeIdle(dst)
+		}
+	}
 	del, err := e.mapper.MapSend(s, dst)
 	if err != nil {
 		e.err = fmt.Errorf("sim: state mapping: %w", err)
@@ -817,6 +926,9 @@ func (e *Engine) deliverUnicast(s *vm.State, dst int, payload []*expr.Expr) {
 	senderPC := s.PathCond()
 	seq := s.RecordSend(uint32(dst), e.clock, payloadHash)
 	for _, r := range del.Receivers {
+		if e.mergeTouched != nil {
+			e.mergeTouched[r.NodeID()] = struct{}{}
+		}
 		r.RecordRecv(uint32(s.NodeID()), e.clock, seq, payloadHash, senderFP)
 		// Receiving implies the sender's context (see
 		// vm.InheritConstraints); with symbolic payloads the receiver
@@ -851,7 +963,7 @@ func (e *Engine) sample() {
 		e.peakMem = mem
 	}
 	st := e.ctx.Solver.Stats()
-	e.series.Add(metrics.Sample{
+	sm := metrics.Sample{
 		Wall:          e.priorWall + time.Since(e.started),
 		VirtualTime:   e.clock,
 		States:        e.mapper.NumStates(),
@@ -864,7 +976,14 @@ func (e *Engine) sample() {
 		FastBlocks:    e.ctx.FastBlocks(),
 		SlowBlocks:    e.ctx.SlowBlocks(),
 		FoldedInstrs:  e.ctx.FoldedInstrs(),
-	})
+	}
+	if e.mergeMgr != nil {
+		ms := e.mergeMgr.Stats()
+		sm.MergedStates = e.mergeMgr.MergedAway()
+		sm.MergeCandidates = ms.Candidates
+		sm.MergeRejects = ms.Rejects
+	}
+	e.series.Add(sm)
 	if c := e.cfg.Caps.MaxMemBytes; c > 0 && mem > c {
 		e.abort(fmt.Sprintf("memory cap exceeded (%s > %s)",
 			metrics.FormatBytes(mem), metrics.FormatBytes(c)))
@@ -882,7 +1001,7 @@ const nodeImageBytes = 64 << 10
 func (e *Engine) modelBytes() int64 {
 	pages := make(map[uint64]struct{}, 1024)
 	var total int64
-	for _, s := range e.states {
+	count := func(s *vm.State) {
 		total += int64(s.OverheadBytes())
 		s.ForEachPage(func(id uint64, bytes int) {
 			if _, ok := pages[id]; !ok {
@@ -890,6 +1009,14 @@ func (e *Engine) modelBytes() int64 {
 				total += int64(bytes)
 			}
 		})
+	}
+	for _, s := range e.states {
+		count(s)
+	}
+	// Merged reps live outside the state table but their machines are the
+	// footprint that replaces their members' (frozen shells share nothing).
+	if e.mergeMgr != nil {
+		e.mergeMgr.ForEachRep(count)
 	}
 	total += int64(e.cfg.Topo.K()) * nodeImageBytes
 	return total

@@ -1,0 +1,100 @@
+package sim
+
+// Engine-side state merging (tentpole of internal/merge): the end-of-event
+// merge scan, the pop-time ordering gate that makes merged execution
+// bit-identical to unmerged execution, and the scheduling driver the merge
+// manager splits members back through.
+//
+// The ordering argument: the event heap pops (time, stateID) ascending. A
+// rep carries the id of its smallest member, so it pops exactly where that
+// member would have. Executing the shared event once for all members is
+// indistinguishable from executing it member by member as long as no
+// OTHER state would, unmerged, have run between the members — i.e. no
+// foreign state with an id strictly inside the rep's member-id span is due
+// at the same timestamp. The gate checks exactly that and splits the rep
+// otherwise, so the sequence of handler activations (and therefore every
+// fork, solver query, violation, and fingerprint) is the unmerged one.
+
+import (
+	"sde/internal/vm"
+)
+
+// mergeExecOK decides whether rep s, due at time t, may execute through
+// the shared event. It fails when a foreign state due at t has an id
+// strictly inside the member span (unmerged interleaving would put it
+// between the members), or when the event would trigger the failure
+// models' first-reception forking (reps never fork).
+func (e *Engine) mergeExecOK(s *vm.State, t uint64) bool {
+	lo, hi, ok := e.mergeMgr.Span(s)
+	if !ok {
+		return false
+	}
+	for i := range e.evHeap {
+		ent := &e.evHeap[i]
+		if ent.time != t || ent.state == s {
+			continue
+		}
+		if ent.stateID <= lo || ent.stateID >= hi {
+			continue
+		}
+		// Live entry? Frozen members (no events) and superseded entries
+		// drop out here, exactly as the pop loop would skip them.
+		if ent.seq != e.entrySeq[ent.state] || ent.state.Status() != vm.StatusIdle {
+			continue
+		}
+		if et, due := ent.state.NextEventTime(); !due || et != t {
+			continue
+		}
+		return false
+	}
+	if ev, pending := s.PeekEvent(); pending && ev.Kind == vm.EventRecv {
+		n := s.NodeID()
+		f := e.cfg.Failures
+		if (f.DropFirst[n] || f.DuplicateFirst[n] || f.RebootOnFirst[n]) && s.RecvCount() == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeScan offers the quiescent states of every node touched by the
+// current Step to the merge manager. It runs after the event's runnable
+// states are fully drained — every speculative verdict is resolved and
+// each state is at an event boundary, the same property checkpoints rely
+// on.
+func (e *Engine) mergeScan() {
+	if len(e.mergeTouched) == 0 {
+		return
+	}
+	var cands []*vm.State
+	for _, s := range e.states {
+		if _, touched := e.mergeTouched[s.NodeID()]; !touched {
+			continue
+		}
+		if st := s.Status(); st != vm.StatusIdle && st != vm.StatusHalted {
+			continue
+		}
+		if e.mergeMgr.IsFrozen(s) {
+			continue
+		}
+		cands = append(cands, s)
+	}
+	e.mergeMgr.ForEachRep(func(r *vm.State) {
+		if _, touched := e.mergeTouched[r.NodeID()]; touched {
+			cands = append(cands, r)
+		}
+	})
+	e.mergeMgr.Scan(cands)
+}
+
+// merge.Driver: split members re-enter exploration through the same
+// scheduling paths unmerged states use.
+
+func (h *engineHooks) EnqueueRunnable(s *vm.State) {
+	e := (*Engine)(h)
+	e.runnable = append(e.runnable, s)
+}
+
+func (h *engineHooks) ScheduleIdle(s *vm.State) {
+	(*Engine)(h).scheduleHeap(s)
+}

@@ -1,0 +1,16 @@
+package snap
+
+import "sde/internal/expr"
+
+// EncodeAt exposes version-parameterized encoding to tests, so
+// cross-version decode tests run against real old-format bytes rather
+// than hand-crafted ones.
+func (s *Snapshot) EncodeAt(b *expr.Builder, ver byte) ([]byte, error) {
+	return s.encodeAt(b, ver)
+}
+
+// Version and OldVersion mirror the unexported format-version constants.
+const (
+	Version    = version
+	OldVersion = oldVersion
+)

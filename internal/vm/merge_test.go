@@ -1,0 +1,195 @@
+package vm
+
+// VM-layer state-merging unit tests: the structural diff that finds
+// mergeable sibling pairs and bounds their divergence sites, the fusion
+// that rewrites those sites into ite(Δ, va, vb) values, and the
+// substitution-based reconstruction that must return each member's exact
+// machine — pointer-identical values, since the expression DAG is
+// hash-consed and every observable (fingerprints, constraints, test
+// cases) flows from those pointers.
+
+import (
+	"testing"
+
+	"sde/internal/expr"
+	"sde/internal/isa"
+)
+
+// forkedSiblings runs a program with one symbolic branch to completion on
+// both sides and returns the two resulting sibling states (true side
+// first: the original keeps the taken branch).
+func forkedSiblings(t *testing.T, f func(b *isa.Builder)) (*State, *State, *Context) {
+	t.Helper()
+	prog := build(t, f)
+	ctx := NewContext()
+	s := NewState(ctx, prog, 1)
+	s.StartCall(prog.FuncIndex("main"))
+	h := &forkCollector{}
+	if err := s.Run(0, 0, h); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(h.siblings) != 1 {
+		t.Fatalf("forks = %d, want 1", len(h.siblings))
+	}
+	sib := h.siblings[0]
+	if err := sib.Run(0, 0, h); err != nil {
+		t.Fatalf("sibling Run: %v", err)
+	}
+	return s, sib, ctx
+}
+
+// divergeProg: one symbolic branch whose sides leave different symbolic
+// values in a register and different words at one memory address, then
+// reconverge to the same return — the canonical mergeable pair. Both
+// sides jump to one shared Ret: mergeability requires an identical final
+// program position, which two separate Rets would break.
+func divergeProg(b *isa.Builder) {
+	f := b.Func("main")
+	f.Sym(isa.R1, "x", 32)
+	f.UltI(isa.R2, isa.R1, 50)
+	f.MovI(isa.R4, 64) // address
+	f.BrNZ(isa.R2, "small")
+	f.AddI(isa.R3, isa.R1, 2) // x >= 50 side
+	f.MovI(isa.R5, 20)
+	f.Store(isa.R4, 0, isa.R5)
+	f.Jmp("done")
+	f.Label("small")
+	f.AddI(isa.R3, isa.R1, 1) // x < 50 side
+	f.MovI(isa.R5, 10)
+	f.Store(isa.R4, 0, isa.R5)
+	f.Jmp("done")
+	f.Label("done")
+	f.Ret()
+}
+
+func TestMergeClassHashBucketsSiblings(t *testing.T) {
+	a, b, _ := forkedSiblings(t, divergeProg)
+	if a.MergeClassHash() != b.MergeClassHash() {
+		t.Error("sibling states at the same program position hash to different merge classes")
+	}
+	// A state of another node can never merge and must bucket apart.
+	other := NewState(a.ctx, a.prog, 2)
+	if a.MergeClassHash() == other.MergeClassHash() {
+		t.Error("states of different nodes share a merge class")
+	}
+}
+
+func TestDiffMergeableSitesAndBounds(t *testing.T) {
+	a, b, _ := forkedSiblings(t, divergeProg)
+
+	d, ok := DiffMergeable(a, b, 8)
+	if !ok {
+		t.Fatal("sibling pair not mergeable")
+	}
+	// Exactly three divergences: R3 (x+1 vs x+2), R5 (10 vs 20), and the
+	// stored memory word. R1, R2, and R4 are shared expressions.
+	if len(d.Sites) != 3 {
+		t.Fatalf("sites = %d (%+v), want 3", len(d.Sites), d.Sites)
+	}
+	var regSites, memSites int
+	for _, site := range d.Sites {
+		if site.A == site.B || site.A == nil || site.B == nil {
+			t.Errorf("degenerate site %+v", site)
+		}
+		switch site.Kind {
+		case MergeSiteReg:
+			regSites++
+		case MergeSiteMem:
+			memSites++
+		default:
+			t.Errorf("unexpected site kind %d", site.Kind)
+		}
+	}
+	if regSites != 2 || memSites != 1 {
+		t.Errorf("site kinds: %d reg / %d mem, want 2/1", regSites, memSites)
+	}
+
+	// The site bound is hard: the same pair with maxSites=2 must refuse.
+	if _, ok := DiffMergeable(a, b, 2); ok {
+		t.Error("DiffMergeable ignored the site bound")
+	}
+	// A state never merges with itself, and identical machines (a
+	// speculative fork shares every value pointer) yield no sites.
+	if _, ok := DiffMergeable(a, a, 8); ok {
+		t.Error("state merged with itself")
+	}
+	clone := a.SpecFork()
+	if _, ok := DiffMergeable(a, clone, 8); ok {
+		t.Error("identical machines reported mergeable — duplicates belong to the mapping algorithms")
+	}
+}
+
+func TestFuseStatesAndAdoptRoundTrip(t *testing.T) {
+	a, b, ctx := forkedSiblings(t, divergeProg)
+	eb := ctx.Exprs
+
+	// The policy layer computes Δ as a's path-condition suffix past the
+	// common prefix; here the fork is the only constraint.
+	if len(a.PathCond()) != 1 {
+		t.Fatalf("a has %d constraints, want 1", len(a.PathCond()))
+	}
+	delta := a.PathCond()[0]
+
+	d, ok := DiffMergeable(a, b, 8)
+	if !ok {
+		t.Fatal("pair not mergeable")
+	}
+	wantA := map[MergeSiteKind]*expr.Expr{}
+	wantB := map[MergeSiteKind]*expr.Expr{}
+	for _, site := range d.Sites {
+		if site.Kind == MergeSiteReg && site.Index == int(isa.R3) {
+			wantA[site.Kind], wantB[site.Kind] = site.A, site.B
+		}
+	}
+
+	rep, subA, subB := FuseStates(a, b, delta, d)
+	if !rep.IsMergedRep() {
+		t.Error("fused state not marked as rep")
+	}
+	if rep.ID() != a.ID() {
+		t.Errorf("rep id = %d, want a's id %d", rep.ID(), a.ID())
+	}
+	// Every site became ite(Δ, va, vb), resolvable back per member.
+	r3 := rep.Reg(isa.R3)
+	if want := eb.Ite(delta, wantA[MergeSiteReg], wantB[MergeSiteReg]); r3 != want {
+		t.Errorf("rep r3 = %v, want %v", r3, want)
+	}
+	if subA[r3] != wantA[MergeSiteReg] || subB[r3] != wantB[MergeSiteReg] {
+		t.Error("substitution maps do not resolve the rep's ite to the member arms")
+	}
+
+	// Reconstruction must return the members' exact machines. Capture the
+	// originals, freeze the members (releasing their machines), then
+	// adopt back from the rep.
+	aRegs := make([]*expr.Expr, isa.NumRegs)
+	bRegs := make([]*expr.Expr, isa.NumRegs)
+	for i := 0; i < isa.NumRegs; i++ {
+		aRegs[i] = a.Reg(isa.Reg(i))
+		bRegs[i] = b.Reg(isa.Reg(i))
+	}
+	repSteps := rep.Steps()
+	a.MergeFreeze()
+	b.MergeFreeze()
+
+	memoA := make(map[*expr.Expr]*expr.Expr)
+	a.AdoptMergedMachine(rep, subA, memoA, 7)
+	memoB := make(map[*expr.Expr]*expr.Expr)
+	b.AdoptMergedMachine(rep, subB, memoB, 7)
+	for i := 0; i < isa.NumRegs; i++ {
+		if a.Reg(isa.Reg(i)) != aRegs[i] {
+			t.Errorf("a r%d = %v, want %v (pointer identity)", i, a.Reg(isa.Reg(i)), aRegs[i])
+		}
+		if b.Reg(isa.Reg(i)) != bRegs[i] {
+			t.Errorf("b r%d = %v, want %v (pointer identity)", i, b.Reg(isa.Reg(i)), bRegs[i])
+		}
+	}
+	if got, want := a.Steps(), repSteps+7; got != want {
+		t.Errorf("a steps = %d, want rep's %d + 7 extra", got, want)
+	}
+
+	// Retiring the rep kills its machine and unmarks it.
+	rep.MergeDiscard()
+	if rep.IsMergedRep() || rep.Status() != StatusHalted {
+		t.Errorf("discarded rep: merged=%v status=%v", rep.IsMergedRep(), rep.Status())
+	}
+}

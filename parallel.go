@@ -98,6 +98,10 @@ type ShardConfig struct {
 	// DisableCompiledIR turns the basic-block compiled fast path off in
 	// every shard (see Scenario.WithoutCompiledIR).
 	DisableCompiledIR bool
+
+	// EnableMerge turns ITE-based state merging on in every shard (see
+	// Scenario.WithMerging). Off by default.
+	EnableMerge bool
 }
 
 const (
@@ -258,6 +262,7 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 	cfg.DisableSpeculation = sc.cfg.DisableSpeculation
 	cfg.SpecWorkers = sc.cfg.SpecWorkers
 	cfg.DisableCompiledIR = cfg.DisableCompiledIR || sc.cfg.DisableCompiledIR
+	cfg.EnableMerge = cfg.EnableMerge || sc.cfg.EnableMerge
 	shard := sc.scenario
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
@@ -478,6 +483,10 @@ func finalizeSharded(s Scenario, leaves []leafResult, sched SchedStats) *Sharded
 		sched.FastBlocks += vmst.FastBlocks
 		sched.SlowBlocks += vmst.SlowBlocks
 		sched.FoldedInstrs += vmst.FoldedInstrs
+		mg := leaf.report.res.Merge
+		sched.MergeMerges += mg.Merges
+		sched.MergeCandidates += mg.Candidates
+		sched.MergeRejects += mg.Rejects
 	}
 	return &ShardedReport{Shards: shards, Sched: sched}
 }

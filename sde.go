@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"strings"
 	"time"
 
 	"sde/internal/core"
@@ -104,6 +105,12 @@ type SpecStats = metrics.SpecStats
 // instructions answered by load-time constant folding. See Report.VMStats.
 type VMStats = metrics.VMStats
 
+// MergeStats is the state-merging subsystem's telemetry: fusions
+// accepted, candidates considered, cost-model rejections, rep splits, and
+// the peak number of states hidden inside merged representatives. See
+// Report.MergeStats.
+type MergeStats = metrics.MergeStats
+
 // SolverOptions tunes a run's constraint solver: ablation switches for
 // each pipeline layer (caches, model pool, fast path, partitioning,
 // incremental solving, subsumption, and the query-optimizer stages —
@@ -146,6 +153,33 @@ func (s Scenario) Program() *Program { return s.cfg.Prog }
 // warns in that case.
 func (s Scenario) ShardableSites() []ShardSite { return s.cfg.Prog.ShardableSites() }
 
+// ShardabilityNote returns a human-readable heads-up when the program has
+// symbolic-input-dependent branches (candidate shard points) but the
+// scenario declares no shardable nodes — such a run cannot be partitioned
+// by sharded or distributed exploration at all. It returns "" when the
+// scenario is shardable or the program has no such sites. Every scenario
+// entry point surfaces it: sde-run prints it for flag-driven runs and the
+// exploration service logs it at job submission, so ScenarioSpec-driven
+// runs get the same warning.
+func (s Scenario) ShardabilityNote() string {
+	sites := s.ShardableSites()
+	if len(sites) == 0 || s.MaxShardBits() > 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b,
+		"%d program branch(es) depend on symbolic input but the scenario declares no shardable nodes; sharded exploration cannot partition this space",
+		len(sites))
+	for i, site := range sites {
+		if i == 4 {
+			fmt.Fprintf(&b, "\n  ... and %d more", len(sites)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %s", site)
+	}
+	return b.String()
+}
+
 // WithAlgorithm returns a copy of the scenario using a different state
 // mapping algorithm — the way evaluation sweeps compare COB, COW, and SDS
 // on identical workloads.
@@ -179,7 +213,8 @@ func (s Scenario) WithSolverOptions(o SolverOptions) Scenario {
 // implied-value concretization) switched off. Optimized and unoptimized
 // runs produce identical test-case sets and state fingerprints, so this
 // switch — and the per-stage SolverOptions flags for finer bisection —
-// is the first triage step when a soundness bug is suspected.
+// is the LAST triage step when a soundness bug is suspected, after
+// WithoutCompiledIR, WithoutMerging, and WithoutSpeculation.
 func (s Scenario) WithoutQueryOptimizer() Scenario {
 	s.cfg.Solver.DisableSlicing = true
 	s.cfg.Solver.DisableRewrite = true
@@ -200,7 +235,8 @@ func (s Scenario) WithSpeculation(workers int) Scenario {
 // branch feasibility query synchronously, with no speculative execution.
 // Speculative and synchronous runs produce bit-identical state
 // fingerprints, dscenario sets, and test cases, so this switch is the
-// first triage step when a soundness bug is suspected.
+// THIRD triage step when a soundness bug is suspected — after
+// WithoutCompiledIR and WithoutMerging, before WithoutQueryOptimizer.
 func (s Scenario) WithoutSpeculation() Scenario {
 	s.cfg.DisableSpeculation = true
 	return s
@@ -211,10 +247,36 @@ func (s Scenario) WithoutSpeculation() Scenario {
 // basic-block fast path. Compiled and interpreted runs produce
 // bit-identical state fingerprints, dscenario sets, and test cases, so
 // this switch is the FIRST triage step when a soundness bug is suspected
-// — before WithoutSpeculation and WithoutQueryOptimizer, since the
-// compiled path sits below both.
+// — before WithoutMerging, WithoutSpeculation, and WithoutQueryOptimizer,
+// since the compiled path sits below all three.
 func (s Scenario) WithoutCompiledIR() Scenario {
 	s.cfg.DisableCompiledIR = true
+	return s
+}
+
+// WithMerging returns a copy of the scenario with ITE-based state merging
+// enabled: at event boundaries, sibling states of a node whose memories
+// and registers differ at a bounded number of locations fuse into one
+// representative whose differing values become ite(pathΔ, v1, v2)
+// expressions over a disjoined path condition. The representative
+// executes shared events once and splits back into its exact members at
+// the first divergent or observable point, so merged and unmerged runs
+// produce bit-identical state fingerprints, dscenario sets, violations,
+// and test cases — only the instruction count shrinks. Merging is off by
+// default.
+func (s Scenario) WithMerging() Scenario {
+	s.cfg.EnableMerge = true
+	return s
+}
+
+// WithoutMerging returns a copy of the scenario with state merging
+// disabled (the default). Because merged and unmerged runs are
+// bit-identical, this switch is the SECOND triage step when a soundness
+// bug is suspected — after WithoutCompiledIR and before
+// WithoutSpeculation and WithoutQueryOptimizer, since merging sits above
+// the compiled path but below the solver pipeline.
+func (s Scenario) WithoutMerging() Scenario {
+	s.cfg.EnableMerge = false
 	return s
 }
 
@@ -338,6 +400,10 @@ func (r *Report) SpecStats() SpecStats { return r.res.Spec }
 // VMStats returns the run's compiled-IR fast-path counters (all zero
 // when compiled execution is disabled).
 func (r *Report) VMStats() VMStats { return r.res.VM }
+
+// MergeStats returns the run's state-merging counters (all zero when
+// merging is disabled or the run was a replay).
+func (r *Report) MergeStats() MergeStats { return r.res.Merge }
 
 // TestCases explodes up to limit dscenarios (limit <= 0 = all) and solves
 // one concrete test case per dscenario (§IV-C).

@@ -95,6 +95,9 @@ type LeaseOptions struct {
 	// DisableCompiledIR turns the basic-block compiled fast path off for
 	// this lease (see Scenario.WithoutCompiledIR).
 	DisableCompiledIR bool
+	// EnableMerge turns ITE-based state merging on for this lease (see
+	// Scenario.WithMerging). Off by default.
+	EnableMerge bool
 	// Progress, when non-nil, is polled during the run with the live
 	// state count and elapsed wall time; returning true stops the run
 	// (LeaseOutcome.Stopped) — how a worker honours a straggler re-split
@@ -138,6 +141,7 @@ func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, 
 	cfg.DisableSpeculation = opts.DisableSpeculation
 	cfg.SpecWorkers = opts.SpecWorkers
 	cfg.DisableCompiledIR = cfg.DisableCompiledIR || opts.DisableCompiledIR
+	cfg.EnableMerge = cfg.EnableMerge || opts.EnableMerge
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", s.desc, it.Label())
 	report, err := runOrResume(shard, opts.CheckpointDir)
