@@ -1,0 +1,305 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"sde"
+	"sde/internal/expr"
+	"sde/internal/vm"
+)
+
+// reduceBenchResult is one mode (reduction on or off) of one workload in
+// BENCH_reduce.json.
+type reduceBenchResult struct {
+	Name    string `json:"name"`
+	Reduce  bool   `json:"reduce"`
+	NsPerOp int64  `json:"ns_per_op"` // one full scenario run (best of reps)
+
+	Instructions uint64 `json:"instructions"`
+	States       int    `json:"states"`
+	Violations   int    `json:"violations"`
+
+	GroupOrder  int    `json:"group_order,omitempty"`
+	Decisions   int    `json:"decisions,omitempty"`
+	Checks      uint64 `json:"reduce_checks,omitempty"`
+	Pins        uint64 `json:"reduce_pins,omitempty"`
+	Synthesized int    `json:"synthesized,omitempty"`
+}
+
+// reduceBenchWorkload is one workload's reduce-on-vs-off comparison.
+type reduceBenchWorkload struct {
+	Name  string              `json:"name"`
+	Desc  string              `json:"desc"`
+	Modes []reduceBenchResult `json:"modes"`
+	// StateReduction is unreduced final states over reduced final states:
+	// how many orbit-duplicate states the symmetry layer pruned away.
+	StateReduction float64 `json:"state_reduction"`
+	// TimeOverhead is reduced wall time over unreduced wall time — the
+	// cost of canonicalization bookkeeping when the group prunes nothing
+	// (the honesty workload) or the net win when it prunes a lot.
+	TimeOverhead float64 `json:"time_overhead"`
+}
+
+// reduceBenchReport is the BENCH_reduce.json document: symmetry +
+// partial-order reduction versus plain exploration. Reduction preserves
+// the violation set (pinned by the on/off differential oracles) but not
+// state counts — shrinking the explored state count on symmetric
+// workloads is the whole point. The bench measures that shrinkage on a
+// fully symmetric workload and the bookkeeping overhead on an asymmetric
+// one where the stabilized group is trivial and nothing can be pruned.
+type reduceBenchReport struct {
+	Benchmark string    `json:"benchmark"`
+	Generated time.Time `json:"generated"`
+	Reps      int       `json:"reps"`
+
+	Workloads []reduceBenchWorkload `json:"workloads"`
+
+	// StateReduction is the symmetric workload's headline ratio — the
+	// acceptance criterion tracks that it is at least 4x.
+	StateReduction float64 `json:"state_reduction"`
+	// HonestyOverhead is the asymmetric workload's wall-time ratio — the
+	// acceptance criterion tracks that it stays within 10% of baseline.
+	HonestyOverhead float64 `json:"honesty_overhead"`
+}
+
+// reduceFloodScenario builds the headline workload: a two-wave flood on
+// a dim x dim grid. The center broadcasts at t=1, its edge-adjacent ring
+// rebroadcasts on an unconditional timer at t=2, and every node counts
+// receptions; symbolic first-reception drops are armed on three D4
+// orbits ringing the center (the edge-adjacent ring, the diagonal ring,
+// and the distance-2 straight ring). The per-node broadcast delays come
+// from NodeInit and are constant on each ring, so the dynamics stay
+// invariant under the grid's dihedral group D4 — declared via
+// ring-constant labels. The wave schedule makes the inner ring decide
+// its drops strictly before the outer rings, which keeps the online
+// canonicalization close to the 618-orbit floor of the 4096 drop
+// assignments (ordering the decisions outside-in would not). Under COB
+// every drop decision multiplies the global dscenario count;
+// canonicalization collapses each orbit to one representative.
+func reduceFloodScenario(dim int) (sde.Scenario, error) {
+	const (
+		txBuf     = 0x100
+		addrSeen  = 0x40
+		addrDelay = 0x44
+	)
+	b := sde.NewProgramBuilder()
+
+	boot := b.Func("boot")
+	boot.MovI(sde.R3, 0)
+	boot.Load(sde.R1, sde.R3, addrDelay)
+	boot.BrZ(sde.R1, "silent") // delay 0: this node never broadcasts
+	boot.Timer("bcast", sde.R1, sde.R0)
+	boot.Label("silent")
+	boot.Ret()
+
+	bcast := b.Func("bcast")
+	bcast.MovI(sde.R4, txBuf)
+	bcast.MovI(sde.R5, 0xF100)
+	bcast.Store(sde.R4, 0, sde.R5)
+	bcast.MovI(sde.R6, sde.BroadcastAddr)
+	bcast.Send(sde.R6, sde.R4, 1)
+	bcast.Ret()
+
+	recv := b.Func("on_recv")
+	recv.MovI(sde.R3, 0)
+	recv.Load(sde.R4, sde.R3, addrSeen)
+	recv.AddI(sde.R4, sde.R4, 1)
+	recv.Store(sde.R3, addrSeen, sde.R4)
+	recv.Ret()
+
+	prog, err := b.Build()
+	if err != nil {
+		return sde.Scenario{}, err
+	}
+
+	// Three rings around the center: its edge neighbours (first
+	// reception at t=2 from the center), plus its diagonal neighbours
+	// and the straight-line distance-2 ring (first reception at t=3 from
+	// the inner ring's unconditional timer broadcast).
+	c := dim / 2
+	inner := []int{(c-1)*dim + c, (c+1)*dim + c, c*dim + (c - 1), c*dim + (c + 1)}
+	outer := []int{
+		(c-1)*dim + (c - 1), (c-1)*dim + (c + 1),
+		(c+1)*dim + (c - 1), (c+1)*dim + (c + 1),
+		(c-2)*dim + c, (c+2)*dim + c, c*dim + (c - 2), c*dim + (c + 2),
+	}
+	armed := append(append([]int{}, inner...), outer...)
+
+	center := c*dim + c
+	delays := make([]uint32, dim*dim)
+	labels := make([]uint64, dim*dim)
+	delays[center], labels[center] = 1, 1
+	for _, n := range inner {
+		delays[n], labels[n] = 2, 2
+	}
+	init := func(node int, s *vm.State, eb *expr.Builder) {
+		if delays[node] != 0 {
+			s.StoreWord(addrDelay, eb.Const(uint64(delays[node]), vm.WordBits))
+		}
+	}
+	return sde.CustomScenario(fmt.Sprintf("%dx%d two-wave flood", dim, dim), sde.CustomConfig{
+		Topology:     sde.Grid(dim, dim),
+		Program:      prog,
+		Algorithm:    sde.COB,
+		HorizonTicks: 16,
+		Failures:     sde.FailurePlan{DropFirst: sde.NodeSet(armed)},
+		NodeInit:     init,
+		Symmetry:     &sde.SymmetrySpec{Labels: labels},
+	})
+}
+
+// runReduceBench measures symmetry reduction against plain exploration on
+// the two-wave flood workload (headline: the armed drop sites form three
+// full D4 orbits, so most drop assignments are orbit duplicates) and the
+// paper's grid collect (honesty case: source and sink labels plus the
+// static route stabilize the group down to the identity, so reduction
+// can prune nothing and its bookkeeping cost is fully visible), and
+// writes the results as JSON.
+func runReduceBench(out string, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", reps)
+	}
+	rep := reduceBenchReport{
+		Benchmark: "SymmetryReduction",
+		Generated: time.Now().UTC(),
+		Reps:      reps,
+	}
+
+	measure := func(name string, build func() (sde.Scenario, error), reduce bool) (reduceBenchResult, error) {
+		var best time.Duration
+		var res reduceBenchResult
+		for r := 0; r < reps; r++ {
+			scenario, err := build()
+			if err != nil {
+				return reduceBenchResult{}, err
+			}
+			if reduce {
+				scenario = scenario.WithReduction()
+			}
+			// Settle the heap before timing: the preceding workload's
+			// garbage (the unreduced flood peaks above 100k states)
+			// otherwise taxes whichever mode happens to run first.
+			runtime.GC()
+			start := time.Now()
+			report, err := sde.RunScenario(scenario)
+			if err != nil {
+				return reduceBenchResult{}, fmt.Errorf("%s: %w", name, err)
+			}
+			elapsed := time.Since(start)
+			if r == 0 || elapsed < best {
+				best = elapsed
+				rs := report.ReduceStats()
+				res = reduceBenchResult{
+					Name:         name,
+					Reduce:       reduce,
+					NsPerOp:      best.Nanoseconds(),
+					Instructions: report.Instructions(),
+					States:       report.States(),
+					Violations:   len(report.Violations()),
+					GroupOrder:   rs.GroupOrder,
+					Decisions:    rs.Decisions,
+					Checks:       rs.Checks,
+					Pins:         rs.Pins,
+					Synthesized:  rs.Synthesized,
+				}
+			}
+		}
+		return res, nil
+	}
+
+	workloads := []struct {
+		name, desc string
+		headline   bool
+		honesty    bool
+		build      func() (sde.Scenario, error)
+	}{
+		{
+			name:     "two-wave-flood",
+			desc:     "5x5 grid COB two-wave flood, symbolic drops on three D4 rings around the center",
+			headline: true,
+			build: func() (sde.Scenario, error) {
+				return reduceFloodScenario(5)
+			},
+		},
+		{
+			name:    "collect",
+			desc:    "5x5 grid collect, 3 packets, symbolic route drops (asymmetric: trivial stabilized group)",
+			honesty: true,
+			build: func() (sde.Scenario, error) {
+				return sde.GridCollectScenario(sde.GridCollectOptions{
+					Dim:       5,
+					Algorithm: sde.COB,
+					Packets:   3,
+					DropNodes: sde.DropRoute,
+				})
+			},
+		},
+	}
+
+	for _, w := range workloads {
+		wl := reduceBenchWorkload{Name: w.name, Desc: w.desc}
+		var off, on reduceBenchResult
+		for _, mode := range []bool{false, true} {
+			res, err := measure(fmt.Sprintf("%s/reduce=%v", w.name, mode), w.build, mode)
+			if err != nil {
+				return err
+			}
+			wl.Modes = append(wl.Modes, res)
+			if mode {
+				on = res
+			} else {
+				off = res
+			}
+		}
+		// Reduction must never change how many violations a run reports
+		// (pruned orbits are recovered by witness expansion).
+		if on.Violations != off.Violations {
+			return fmt.Errorf("%s: reduction changed the violation count (%d vs %d) — soundness bug",
+				w.name, on.Violations, off.Violations)
+		}
+		if on.States > 0 {
+			wl.StateReduction = float64(off.States) / float64(on.States)
+		}
+		if off.NsPerOp > 0 {
+			wl.TimeOverhead = float64(on.NsPerOp) / float64(off.NsPerOp)
+		}
+		if w.headline {
+			rep.StateReduction = wl.StateReduction
+		}
+		if w.honesty {
+			if on.States != off.States {
+				return fmt.Errorf("%s: trivial-group reduction changed the state count (%d vs %d) — soundness bug",
+					w.name, on.States, off.States)
+			}
+			rep.HonestyOverhead = wl.TimeOverhead
+		}
+		rep.Workloads = append(rep.Workloads, wl)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("Symmetry-reduction bench (best of %d):\n", reps)
+	for _, wl := range rep.Workloads {
+		fmt.Printf("  %s (%s):\n", wl.Name, wl.Desc)
+		for _, m := range wl.Modes {
+			fmt.Printf("    reduce=%-5v %12s  states=%-6d violations=%-3d group=%-4d checks=%-5d pins=%-5d synthesized=%d\n",
+				m.Reduce, time.Duration(m.NsPerOp), m.States, m.Violations,
+				m.GroupOrder, m.Checks, m.Pins, m.Synthesized)
+		}
+		fmt.Printf("    state reduction: %.2fx  time overhead: %.2fx\n",
+			wl.StateReduction, wl.TimeOverhead)
+	}
+	fmt.Printf("  headline (two-wave-flood) state reduction: %.2fx  honesty overhead: %.2fx  → %s\n",
+		rep.StateReduction, rep.HonestyOverhead, out)
+	return nil
+}

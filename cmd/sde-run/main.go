@@ -14,11 +14,13 @@
 //
 // Concrete straight-line code runs through a compiled basic-block fast
 // path by default; -merge fuses low-divergence sibling states into
-// ite-valued representatives (off by default); feasibility solving
-// overlaps with symbolic execution (-spec-workers N sizes the solver
-// pool, 0 = one per CPU). Every layer preserves outputs bit-for-bit, so
-// if a run ever looks wrong the triage order is -compile=false first,
-// then -merge=false, then -speculate=false, then -qopt=false.
+// ite-valued representatives (off by default); -reduce prunes orbit
+// duplicates under the topology's automorphism group (off by default,
+// violation-set-preserving rather than bit-identical); feasibility
+// solving overlaps with symbolic execution (-spec-workers N sizes the
+// solver pool, 0 = one per CPU). If a run ever looks wrong the triage
+// order is -compile=false first, then -merge=false, then -reduce=false,
+// then -speculate=false, then -qopt=false.
 // -cpuprofile/-memprofile write pprof profiles for the whole run.
 package main
 
@@ -57,8 +59,9 @@ func run() (err error) {
 	resume := flag.String("resume", "", "resume from the checkpoint in this directory (or start fresh into it)")
 	compile := flag.Bool("compile", true, "basic-block compiled fast path for concrete straight-line code; -compile=false is the FIRST soundness-triage step")
 	merge := flag.Bool("merge", false, "ITE-based state merging (fuse low-divergence sibling states); off by default, triage after -compile")
-	qoptFlag := flag.Bool("qopt", true, "query-optimization pipeline (slicing, rewriting, concretization); triage after -compile, -merge, and -speculate")
-	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline (overlap execution with feasibility solving); triage after -compile and -merge")
+	reduce := flag.Bool("reduce", false, "symmetry + partial-order reduction (prune orbit-duplicate states); off by default, triage after -merge")
+	qoptFlag := flag.Bool("qopt", true, "query-optimization pipeline (slicing, rewriting, concretization); triage after -compile, -merge, -reduce, and -speculate")
+	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline (overlap execution with feasibility solving); triage after -compile, -merge, and -reduce")
 	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative-fork pipeline (0 = one per CPU)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -100,6 +103,9 @@ func run() (err error) {
 	}
 	if *merge {
 		scenario = scenario.WithMerging()
+	}
+	if *reduce {
+		scenario = scenario.WithReduction()
 	}
 	if !*qoptFlag {
 		scenario = scenario.WithoutQueryOptimizer()

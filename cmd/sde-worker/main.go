@@ -49,6 +49,7 @@ func run() error {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint interval in events (0 = engine default)")
 	compile := flag.Bool("compile", true, "basic-block compiled fast path; -compile=false is the first soundness-triage step")
 	merge := flag.Bool("merge", false, "ITE-based state merging; off by default, triage after -compile")
+	reduce := flag.Bool("reduce", false, "symmetry + partial-order reduction; off by default, triage after -merge")
 	speculate := flag.Bool("speculate", true, "speculative-fork solver pipeline")
 	specWorkers := flag.Int("spec-workers", 0, "solver workers for the speculative pipeline (0 = one per CPU)")
 	splitStates := flag.Int("split-states", 0, "self-split a lease above this many live states when the queue is starved (0 = never)")
@@ -96,6 +97,7 @@ func run() error {
 		SpecWorkers:           *specWorkers,
 		DisableCompiledIR:     !*compile,
 		EnableMerge:           *merge,
+		EnableReduce:          *reduce,
 		SplitStates:           *splitStates,
 		SplitAfter:            *splitAfter,
 		CrashAfterCheckpoints: *crashAfter,

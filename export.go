@@ -35,6 +35,10 @@ type ReportJSON struct {
 	MergeCands   uint64          `json:"merge_candidates,omitempty"`
 	MergeRejects uint64          `json:"merge_rejects,omitempty"`
 	PeakMerged   int             `json:"peak_merged_states,omitempty"`
+	ReduceChecks uint64          `json:"reduce_checks,omitempty"`
+	ReducePins   uint64          `json:"reduce_pins,omitempty"`
+	PORCommutes  uint64          `json:"por_commutes,omitempty"`
+	Synthesized  int             `json:"synthesized_violations,omitempty"`
 	Violations   []ViolationJSON `json:"violations,omitempty"`
 	TestCases    []TestCaseJSON  `json:"test_cases,omitempty"`
 }
@@ -45,6 +49,9 @@ type ViolationJSON struct {
 	Time    uint64            `json:"time"`
 	Msg     string            `json:"msg"`
 	Witness map[string]uint64 `json:"witness"`
+	// Synthesized marks violations reconstructed by symmetry expansion
+	// rather than observed on an executed path (see README, Reduction).
+	Synthesized bool `json:"synthesized,omitempty"`
 }
 
 // TestCaseJSON is a serialisable concrete test case.
@@ -77,10 +84,15 @@ func (r *Report) JSON(maxTestCases int) (*ReportJSON, error) {
 		MergeCands:   r.res.Merge.Candidates,
 		MergeRejects: r.res.Merge.Rejects,
 		PeakMerged:   r.res.Merge.PeakMerged,
+		ReduceChecks: r.res.Reduce.Checks,
+		ReducePins:   r.res.Reduce.Pins,
+		PORCommutes:  r.res.Reduce.PORCommutes,
+		Synthesized:  r.res.Reduce.Synthesized,
 	}
 	for _, v := range r.res.Violations {
 		out.Violations = append(out.Violations, ViolationJSON{
 			Node: v.Node, Time: v.Time, Msg: v.Msg, Witness: v.Model,
+			Synthesized: v.Synthesized,
 		})
 	}
 	if maxTestCases > 0 {
@@ -115,17 +127,17 @@ func (r *Report) WriteJSON(w io.Writer, maxTestCases int) error {
 // errors instead of silently truncated series.
 func (r *Report) WriteCSV(w io.Writer) error {
 	if _, err := io.WriteString(w,
-		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs,merged_states,merge_candidates,merge_rejects\n"); err != nil {
+		"wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs,merged_states,merge_candidates,merge_rejects,reduce_checks,reduce_pins\n"); err != nil {
 		return err
 	}
 	for _, sm := range r.res.Series.Samples() {
-		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes,
 			sm.Instructions, sm.SolverQueries, sm.QueriesSliced,
 			sm.GatesElided, sm.FastBlocks, sm.SlowBlocks,
 			sm.FoldedInstrs, sm.MergedStates, sm.MergeCandidates,
-			sm.MergeRejects); err != nil {
+			sm.MergeRejects, sm.ReduceChecks, sm.ReducePins); err != nil {
 			return err
 		}
 	}

@@ -116,7 +116,8 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 	wantHeader := []string{"wall_ms", "virtual_time", "states", "groups", "mem_bytes",
 		"instructions", "solver_queries", "queries_sliced", "gates_elided",
 		"fast_blocks", "slow_blocks", "folded_instrs",
-		"merged_states", "merge_candidates", "merge_rejects"}
+		"merged_states", "merge_candidates", "merge_rejects",
+		"reduce_checks", "reduce_pins"}
 	if len(rows) == 0 {
 		t.Fatal("no rows emitted")
 	}
@@ -145,6 +146,8 @@ func TestWriteCSVRoundTrip(t *testing.T) {
 			12: int64(sm.MergedStates),
 			13: int64(sm.MergeCandidates),
 			14: int64(sm.MergeRejects),
+			15: int64(sm.ReduceChecks),
+			16: int64(sm.ReducePins),
 		} {
 			got, err := strconv.ParseInt(row[col], 10, 64)
 			if err != nil {

@@ -88,6 +88,7 @@ type Lease struct {
 	SpecWorkers        int              `json:"spec_workers,omitempty"`
 	DisableCompiledIR  bool             `json:"disable_compile,omitempty"`
 	EnableMerge        bool             `json:"enable_merge,omitempty"`
+	EnableReduce       bool             `json:"enable_reduce,omitempty"`
 	// MaxSplitDepth caps straggler re-splitting for this job (the
 	// scenario's MaxShardBits at most); a worker never splits past it.
 	MaxSplitDepth int `json:"max_split_depth,omitempty"`

@@ -33,13 +33,14 @@ type WorkerOptions struct {
 	// DialTimeout bounds the initial connection (default 5s).
 	DialTimeout time.Duration
 	// CheckpointEvery, DisableSpeculation, SpecWorkers,
-	// DisableCompiledIR, and EnableMerge default the per-lease execution
-	// knobs when the lease does not set them.
+	// DisableCompiledIR, EnableMerge, and EnableReduce default the
+	// per-lease execution knobs when the lease does not set them.
 	CheckpointEvery    int
 	DisableSpeculation bool
 	SpecWorkers        int
 	DisableCompiledIR  bool
 	EnableMerge        bool
+	EnableReduce       bool
 	// SplitStates, when > 0, arms straggler self-splitting: a lease
 	// whose live state count exceeds it after SplitAfter, while the
 	// coordinator reports a starved queue, is abandoned with a Split so
@@ -286,6 +287,7 @@ func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
 		SpecWorkers:        specWorkers,
 		DisableCompiledIR:  lease.DisableCompiledIR || opts.DisableCompiledIR,
 		EnableMerge:        lease.EnableMerge || opts.EnableMerge,
+		EnableReduce:       lease.EnableReduce || opts.EnableReduce,
 		Progress:           progress,
 	})
 	switch {

@@ -1,0 +1,137 @@
+package isa
+
+// Per-function effect summaries: what a handler activation may do beyond
+// pure register/memory computation, including transitively through calls.
+// The partial-order reduction layer (internal/reduce) uses these to decide
+// whether two same-time activations on different nodes commute; anything
+// that can transmit, fork, observe, or schedule makes that question
+// node-order-dependent.
+//
+// Like the basic-block IR, the summaries are derived: computed once per
+// program, lazily, and never serialized.
+
+import "sync"
+
+// FuncEffects summarises one function's possible effects, transitively
+// through every function it can call. A cyclic call graph is handled by
+// fixpoint propagation, so mutual recursion is summarised correctly.
+type FuncEffects struct {
+	// MaySend: the function (or a callee) contains a Send instruction.
+	MaySend bool
+	// MayBranch: contains a conditional branch (BrNZ/BrZ). On a symbolic
+	// condition such a branch forks the state.
+	MayBranch bool
+	// MaySym: contains a Sym instruction (introduces a symbolic value).
+	MaySym bool
+	// MayAssert: contains an Assert or Assume (solver interaction; an
+	// assert can record a violation, an assume can kill the state).
+	MayAssert bool
+	// MayTimer: contains a Timer instruction (schedules a future event).
+	MayTimer bool
+	// MayObserve: contains a Print instruction (appends to the
+	// per-state diagnostic trace).
+	MayObserve bool
+}
+
+// Pure reports that an activation of the function is confined to its own
+// state's registers and memory: it cannot transmit, fork, record a
+// violation, schedule an event, or emit trace output. Pure activations on
+// different nodes commute with any activation that cannot deliver a packet
+// to them — the independence fact partial-order reduction exploits.
+func (fe FuncEffects) Pure() bool {
+	return !fe.MaySend && !fe.MayBranch && !fe.MaySym &&
+		!fe.MayAssert && !fe.MayTimer && !fe.MayObserve
+}
+
+// effCache caches the lazily computed per-function effect summaries on the
+// Program, exactly like irCache caches the basic-block IR.
+type effCache struct {
+	once sync.Once
+	eff  []FuncEffects
+}
+
+// FuncEffects returns the transitive effect summary of function fn,
+// computing all summaries on first use. Out-of-range indices (e.g. the -1
+// of an absent receive handler) return the zero summary, which is Pure —
+// a missing handler consumes its event silently.
+func (p *Program) FuncEffects(fn int) FuncEffects {
+	p.effc.once.Do(func() { p.effc.eff = computeEffects(p) })
+	if fn < 0 || fn >= len(p.effc.eff) {
+		return FuncEffects{}
+	}
+	return p.effc.eff[fn]
+}
+
+// UsesNodeID reports whether any function in the program reads the node
+// id. A program that never does — and has no per-node initial memory — is
+// node-uniform: every node runs the same computation over its inputs, so
+// topology automorphisms act on executions by pure relabeling. The
+// symmetry layer uses this to decide when reduction is automatically
+// applicable without a declared symmetry spec.
+func (p *Program) UsesNodeID() bool {
+	for fi := 0; fi < p.NumFuncs(); fi++ {
+		f := p.Func(fi)
+		for i := range f.Instrs {
+			if f.Instrs[i].Op == OpNodeID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeEffects scans every function for local effects, then propagates
+// them along call edges to a fixpoint.
+func computeEffects(p *Program) []FuncEffects {
+	n := p.NumFuncs()
+	eff := make([]FuncEffects, n)
+	calls := make([][]int, n)
+	for fi := 0; fi < n; fi++ {
+		f := p.Func(fi)
+		for i := range f.Instrs {
+			in := &f.Instrs[i]
+			switch in.Op {
+			case OpSend:
+				eff[fi].MaySend = true
+			case OpBrNZ, OpBrZ:
+				eff[fi].MayBranch = true
+			case OpSym:
+				eff[fi].MaySym = true
+			case OpAssert, OpAssume:
+				eff[fi].MayAssert = true
+			case OpTimer:
+				eff[fi].MayTimer = true
+			case OpPrint:
+				eff[fi].MayObserve = true
+			case OpCall:
+				if in.Fn >= 0 && in.Fn < n {
+					calls[fi] = append(calls[fi], in.Fn)
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fi := 0; fi < n; fi++ {
+			for _, callee := range calls[fi] {
+				merged := union(eff[fi], eff[callee])
+				if merged != eff[fi] {
+					eff[fi] = merged
+					changed = true
+				}
+			}
+		}
+	}
+	return eff
+}
+
+func union(a, b FuncEffects) FuncEffects {
+	return FuncEffects{
+		MaySend:    a.MaySend || b.MaySend,
+		MayBranch:  a.MayBranch || b.MayBranch,
+		MaySym:     a.MaySym || b.MaySym,
+		MayAssert:  a.MayAssert || b.MayAssert,
+		MayTimer:   a.MayTimer || b.MayTimer,
+		MayObserve: a.MayObserve || b.MayObserve,
+	}
+}

@@ -217,6 +217,10 @@ type Program struct {
 	// Programs are only constructed by pointer, so the sync.Once inside
 	// is never copied.
 	irc irCache
+
+	// effc caches the per-function transitive effect summaries
+	// (see effects.go), under the same pointer-only discipline.
+	effc effCache
 }
 
 // Func returns the function at index i.

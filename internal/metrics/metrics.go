@@ -39,6 +39,11 @@ type Sample struct {
 	MergedStates    int    // states currently fused away into reps
 	MergeCandidates uint64 // structurally mergeable pairs considered so far
 	MergeRejects    uint64 // candidates declined by the cost model so far
+
+	// Symmetry-reduction counters (see ReduceStats), cumulative. All zero
+	// with reduction off.
+	ReduceChecks uint64 // failure decisions the reducer was consulted on
+	ReducePins   uint64 // decisions pinned instead of forked (pruned branches)
 }
 
 // Series accumulates samples in order.
@@ -109,14 +114,15 @@ func (s *Series) Downsample(n int) []Sample {
 // CSV renders the series with a header row, one sample per line.
 func (s *Series) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs,merged_states,merge_candidates,merge_rejects\n")
+	sb.WriteString("wall_ms,virtual_time,states,groups,mem_bytes,instructions,solver_queries,queries_sliced,gates_elided,fast_blocks,slow_blocks,folded_instrs,merged_states,merge_candidates,merge_rejects,reduce_checks,reduce_pins\n")
 	for _, sm := range s.samples {
-		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(&sb, "%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			float64(sm.Wall.Microseconds())/1000.0,
 			sm.VirtualTime, sm.States, sm.Groups, sm.MemBytes, sm.Instructions,
 			sm.SolverQueries, sm.QueriesSliced, sm.GatesElided,
 			sm.FastBlocks, sm.SlowBlocks, sm.FoldedInstrs,
-			sm.MergedStates, sm.MergeCandidates, sm.MergeRejects)
+			sm.MergedStates, sm.MergeCandidates, sm.MergeRejects,
+			sm.ReduceChecks, sm.ReducePins)
 	}
 	return sb.String()
 }
@@ -194,6 +200,13 @@ type MergeStats struct {
 	Splits     uint64 // rep dissolutions back into exact members
 	MaxMembers int    // largest member count any rep reached
 	PeakMerged int    // peak number of states hidden inside reps
+
+	// ScansSkipped counts end-of-event merge scans elided by the barren-
+	// workload backoff: after a run of consecutive scans that produced no
+	// fusion, the engine scans only every 2^i-th eligible Step (capped),
+	// resetting on the next fusion. Candidate nodes accumulate across the
+	// skipped scans, so no merge opportunity is lost — only deferred.
+	ScansSkipped uint64
 }
 
 // String renders a one-line merging summary.
@@ -201,8 +214,37 @@ func (m MergeStats) String() string {
 	if m.Candidates == 0 && m.Merges == 0 {
 		return "merge: off"
 	}
-	return fmt.Sprintf("merge: merges=%d candidates=%d rejects=%d splits=%d max-members=%d peak-merged=%d",
-		m.Merges, m.Candidates, m.Rejects, m.Splits, m.MaxMembers, m.PeakMerged)
+	return fmt.Sprintf("merge: merges=%d candidates=%d rejects=%d splits=%d max-members=%d peak-merged=%d scans-skipped=%d",
+		m.Merges, m.Candidates, m.Rejects, m.Splits, m.MaxMembers, m.PeakMerged, m.ScansSkipped)
+}
+
+// ReduceStats summarises one run's symmetry/partial-order reduction
+// activity (internal/reduce): the effective automorphism group the
+// reducer pruned with, how often it was consulted, and how many failure
+// decisions it pinned instead of forking (each pin halves that lineage's
+// subtree). All zero when reduction is disabled.
+type ReduceStats struct {
+	GroupOrder int  // order of the effective (filtered) automorphism group
+	Truncated  bool // automorphism search overflowed; fell back to trivial
+	Decisions  int  // size of the armed failure-decision universe
+
+	Checks      uint64 // failure decisions the reducer was consulted on
+	Pins        uint64 // decisions pinned instead of forked
+	PORCommutes uint64 // merged executions allowed by the independence check
+	Synthesized int    // violations synthesized by witness expansion
+}
+
+// String renders a one-line reduction summary.
+func (r ReduceStats) String() string {
+	if r.Checks == 0 && r.GroupOrder <= 1 {
+		return "reduce: off"
+	}
+	trunc := ""
+	if r.Truncated {
+		trunc = " (truncated)"
+	}
+	return fmt.Sprintf("reduce: group=%d%s decisions=%d checks=%d pins=%d por-commutes=%d synthesized=%d",
+		r.GroupOrder, trunc, r.Decisions, r.Checks, r.Pins, r.PORCommutes, r.Synthesized)
 }
 
 // SchedStats summarises one parallel scheduler run: how the adaptive
@@ -245,6 +287,11 @@ type SchedStats struct {
 	MergeMerges     uint64 // accepted state fusions across shards
 	MergeCandidates uint64 // structurally mergeable pairs considered
 	MergeRejects    uint64 // candidates declined by the cost model
+
+	// Per-shard symmetry-reduction activity, summed over the leaf shards
+	// (see ReduceStats).
+	ReduceChecks uint64 // failure decisions the reducers were consulted on
+	ReducePins   uint64 // decisions pinned instead of forked across shards
 
 	WorkerBusy []time.Duration // per-worker time spent running shards
 	Elapsed    time.Duration   // scheduler wall time (the makespan)

@@ -1,0 +1,189 @@
+package reduce_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sde/internal/expr"
+	"sde/internal/reduce"
+	"sde/internal/sim"
+	"sde/internal/vm"
+)
+
+// meshReducer builds a reducer over the full symmetric group of a k-node
+// mesh with drops armed everywhere — the richest orbit structure the
+// expansion can face.
+func meshReducer(k int) *reduce.Reducer {
+	nodes := make([]int, k)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	return reduce.NewReducer(reduce.Automorphisms(sim.NewFullMesh(k)), dropDecisions(nodes), nil)
+}
+
+// TestExpandViolationsOrbitClosure: a single observed violation at node 0
+// of a 3-mesh must be replicated to nodes 1 and 2, with the witness model
+// relabeled through the same permutation that moved the node, the
+// Synthesized flag set, and the originals untouched in front.
+func TestExpandViolationsOrbitClosure(t *testing.T) {
+	r := meshReducer(3)
+	if r.Group().Order() != 6 {
+		t.Fatalf("group order = %d, want 6", r.Group().Order())
+	}
+	in := []*vm.Violation{{
+		Node:  0,
+		Time:  7,
+		Msg:   "boom",
+		Model: expr.Env{"drop_n0_r0": 0, "sensor_n0_0": 42},
+	}}
+	out := r.ExpandViolations(in)
+	if len(out) != 3 {
+		t.Fatalf("got %d violations, want 3 (orbit of a single node)", len(out))
+	}
+	if out[0] != in[0] {
+		t.Error("observed violation must stay first and unmodified")
+	}
+	if out[0].Synthesized {
+		t.Error("observed violation must not be marked Synthesized")
+	}
+	for i, want := range []int{1, 2} {
+		v := out[1+i]
+		if v.Node != want || v.Time != 7 || v.Msg != "boom" {
+			t.Errorf("synth[%d] = node %d t=%d %q, want node %d t=7 \"boom\"",
+				i, v.Node, v.Time, v.Msg, want)
+		}
+		if !v.Synthesized {
+			t.Errorf("synth[%d] not marked Synthesized", i)
+		}
+		// The witness must drive the image node: the model's variable
+		// names follow the node through the permutation, values intact.
+		wantModel := expr.Env{
+			fmt.Sprintf("drop_n%d_r0", want):  0,
+			fmt.Sprintf("sensor_n%d_0", want): 42,
+		}
+		if !reflect.DeepEqual(v.Model, wantModel) {
+			t.Errorf("synth[%d].Model = %v, want %v", i, v.Model, wantModel)
+		}
+	}
+}
+
+// TestExpandViolationsDedupe: when the full orbit is already observed,
+// nothing is synthesized; when part of it is, only the missing triples
+// appear, each exactly once even though many permutations produce it.
+func TestExpandViolationsDedupe(t *testing.T) {
+	r := meshReducer(3)
+	full := []*vm.Violation{
+		{Node: 0, Time: 3, Msg: "m"},
+		{Node: 1, Time: 3, Msg: "m"},
+		{Node: 2, Time: 3, Msg: "m"},
+	}
+	if out := r.ExpandViolations(full); len(out) != 3 {
+		t.Errorf("fully observed orbit: got %d violations, want 3", len(out))
+	}
+	partial := []*vm.Violation{
+		{Node: 0, Time: 3, Msg: "m"},
+		{Node: 1, Time: 3, Msg: "m"},
+	}
+	out := r.ExpandViolations(partial)
+	if len(out) != 3 {
+		t.Fatalf("partial orbit: got %d violations, want 3", len(out))
+	}
+	v := out[2]
+	if v.Node != 2 || !v.Synthesized {
+		t.Errorf("missing orbit member = node %d synth=%v, want node 2 synth=true", v.Node, v.Synthesized)
+	}
+	// Distinct messages at the same (node, time) are distinct triples.
+	mixed := []*vm.Violation{
+		{Node: 0, Time: 3, Msg: "a"},
+		{Node: 0, Time: 3, Msg: "b"},
+	}
+	if out := r.ExpandViolations(mixed); len(out) != 6 {
+		t.Errorf("two messages: got %d violations, want 6 (two 3-orbits)", len(out))
+	}
+}
+
+// TestExpandViolationsDeterministicOrder: the synthesized tail is sorted
+// by (Node, Time, Msg) regardless of input order or group enumeration.
+func TestExpandViolationsDeterministicOrder(t *testing.T) {
+	r := meshReducer(4)
+	in := []*vm.Violation{
+		{Node: 2, Time: 9, Msg: "z"},
+		{Node: 2, Time: 5, Msg: "a"},
+	}
+	out := r.ExpandViolations(in)
+	if len(out) != 8 {
+		t.Fatalf("got %d violations, want 8 (two 4-orbits)", len(out))
+	}
+	synth := out[2:]
+	sorted := sort.SliceIsSorted(synth, func(i, j int) bool {
+		a, b := synth[i], synth[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.Msg < b.Msg
+	})
+	if !sorted {
+		for _, v := range synth {
+			t.Logf("synth: node=%d time=%d msg=%q", v.Node, v.Time, v.Msg)
+		}
+		t.Error("synthesized violations not in (Node, Time, Msg) order")
+	}
+	// Determinism across calls on a fresh reducer.
+	again := meshReducer(4).ExpandViolations(in)
+	if !reflect.DeepEqual(violationKeys(out), violationKeys(again)) {
+		t.Error("expansion order differs between identical runs")
+	}
+}
+
+// TestExpandViolationsTrivialGroup: a trivial group (or empty input) is a
+// strict no-op — the input slice itself comes back, unmodified.
+func TestExpandViolationsTrivialGroup(t *testing.T) {
+	// An asymmetric armed set filters the mesh group down to the identity.
+	r := reduce.NewReducer(reduce.Automorphisms(sim.NewGrid(3, 3)), dropDecisions([]int{0, 1}), nil)
+	if r.Group().Order() != 1 {
+		t.Fatalf("group order = %d, want 1", r.Group().Order())
+	}
+	in := []*vm.Violation{{Node: 0, Time: 1, Msg: "x"}}
+	if out := r.ExpandViolations(in); len(out) != 1 || out[0] != in[0] {
+		t.Error("trivial group must return the input unchanged")
+	}
+	r2 := meshReducer(3)
+	if out := r2.ExpandViolations(nil); out != nil {
+		t.Error("empty input must come back empty")
+	}
+}
+
+// TestExpandViolationsInputUntouched: the input slice and its elements
+// are never mutated, and nil models stay nil on the images.
+func TestExpandViolationsInputUntouched(t *testing.T) {
+	r := meshReducer(3)
+	orig := &vm.Violation{Node: 1, Time: 2, Msg: "m", Model: expr.Env{"sensor_n1_0": 9}}
+	in := []*vm.Violation{orig}
+	out := r.ExpandViolations(in)
+	if orig.Node != 1 || orig.Synthesized || orig.Model["sensor_n1_0"] != 9 {
+		t.Error("input violation was mutated")
+	}
+	if len(in) != 1 {
+		t.Error("input slice was modified")
+	}
+	nilModel := r.ExpandViolations([]*vm.Violation{{Node: 0, Time: 1, Msg: "n"}})
+	for _, v := range nilModel[1:] {
+		if v.Model != nil {
+			t.Errorf("image of a nil model has Model = %v", v.Model)
+		}
+	}
+	_ = out
+}
+
+func violationKeys(vs []*vm.Violation) []string {
+	keys := make([]string, len(vs))
+	for i, v := range vs {
+		keys[i] = fmt.Sprintf("%d/%d/%s/%v", v.Node, v.Time, v.Msg, v.Synthesized)
+	}
+	return keys
+}

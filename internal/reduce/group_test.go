@@ -1,0 +1,187 @@
+package reduce_test
+
+import (
+	"testing"
+
+	"sde/internal/reduce"
+	"sde/internal/sim"
+)
+
+// checkGroupProperties asserts the algebraic properties every enumerated
+// automorphism group must have: it contains the identity, is closed under
+// composition and inverse, and every member preserves the topology's
+// neighbor relation.
+func checkGroupProperties(t *testing.T, topo sim.Topology, g *reduce.Group) {
+	t.Helper()
+	k := topo.K()
+	byKey := make(map[string]bool, g.Order())
+	key := func(p reduce.Perm) string {
+		b := make([]byte, 0, 3*k)
+		for _, v := range p {
+			b = append(b, byte(v>>8), byte(v))
+		}
+		return string(b)
+	}
+	hasIdentity := false
+	for _, p := range g.Perms {
+		if len(p) != k {
+			t.Fatalf("%s: permutation %v has length %d, want %d", topo.Name(), p, len(p), k)
+		}
+		byKey[key(p)] = true
+		if p.IsIdentity() {
+			hasIdentity = true
+		}
+	}
+	if !hasIdentity {
+		t.Errorf("%s: group is missing the identity", topo.Name())
+	}
+	if len(byKey) != g.Order() {
+		t.Errorf("%s: group has duplicate permutations (%d unique of %d)", topo.Name(), len(byKey), g.Order())
+	}
+
+	// Neighbor preservation: m ∈ N(n) ⟺ π(m) ∈ N(π(n)).
+	adj := make([]map[int]bool, k)
+	for n := 0; n < k; n++ {
+		adj[n] = make(map[int]bool)
+		for _, m := range topo.Neighbors(n) {
+			adj[n][m] = true
+		}
+	}
+	for _, p := range g.Perms {
+		for n := 0; n < k; n++ {
+			for m := 0; m < k; m++ {
+				if adj[n][m] != adj[p[n]][p[m]] {
+					t.Fatalf("%s: %v does not preserve edge (%d,%d)", topo.Name(), p, n, m)
+				}
+			}
+		}
+	}
+
+	// Closure under composition and inverse.
+	for _, p := range g.Perms {
+		if !byKey[key(p.Inverse())] {
+			t.Errorf("%s: inverse of %v is not in the group", topo.Name(), p)
+		}
+		for _, q := range g.Perms {
+			if !byKey[key(p.Compose(q))] {
+				t.Errorf("%s: composition of %v and %v is not in the group", topo.Name(), p, q)
+			}
+		}
+	}
+}
+
+func TestAutomorphismGroups(t *testing.T) {
+	cases := []struct {
+		topo  sim.Topology
+		order int
+	}{
+		// A line of k ≥ 2 nodes has exactly the reversal symmetry.
+		{sim.NewLine(2), 2},
+		{sim.NewLine(5), 2},
+		// A square grid has the dihedral group D4.
+		{sim.NewGrid(3, 3), 8},
+		{sim.NewGrid(5, 5), 8},
+		// A non-square grid loses the transpositions: only the
+		// horizontal/vertical reflections and 180° rotation remain.
+		{sim.NewGrid(4, 2), 4},
+		{sim.NewGrid(2, 3), 4},
+		// A full mesh on k nodes is fully symmetric: k! permutations.
+		{sim.NewFullMesh(3), 6},
+		{sim.NewFullMesh(5), 120},
+		// Degenerate topologies.
+		{sim.NewLine(1), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.topo.Name(), func(t *testing.T) {
+			g := reduce.Automorphisms(tc.topo)
+			if g.Truncated {
+				t.Fatalf("%s: search truncated unexpectedly", tc.topo.Name())
+			}
+			if g.Order() != tc.order {
+				t.Errorf("%s: group order = %d, want %d", tc.topo.Name(), g.Order(), tc.order)
+			}
+			checkGroupProperties(t, tc.topo, g)
+		})
+	}
+}
+
+// A 7-node mesh has 5040 automorphisms — just under the cap — while an
+// 8-node mesh overflows and must fall back to the sound trivial group.
+func TestAutomorphismOverflowFallsBackToTrivial(t *testing.T) {
+	g := reduce.Automorphisms(sim.NewFullMesh(8))
+	if !g.Truncated {
+		t.Fatal("mesh8: expected truncated search")
+	}
+	if g.Order() != 1 || !g.Perms[0].IsIdentity() {
+		t.Fatalf("mesh8: truncated group must be trivial, got order %d", g.Order())
+	}
+	g7 := reduce.Automorphisms(sim.NewFullMesh(7))
+	if g7.Truncated || g7.Order() != 5040 {
+		t.Fatalf("mesh7: got order %d (truncated=%v), want 5040", g7.Order(), g7.Truncated)
+	}
+}
+
+func TestStabilizeLabels(t *testing.T) {
+	topo := sim.NewGrid(3, 3)
+	g := reduce.Automorphisms(topo)
+	// Labeling the center (node 4) distinctly changes nothing: every grid
+	// automorphism fixes the center.
+	labels := make([]uint64, 9)
+	labels[4] = 1
+	if got := g.Stabilize(labels).Order(); got != 8 {
+		t.Errorf("center label: order = %d, want 8", got)
+	}
+	// Labeling one corner keeps only the symmetries fixing that corner:
+	// identity and the diagonal reflection through it.
+	labels = make([]uint64, 9)
+	labels[0] = 1
+	sub := g.Stabilize(labels)
+	if got := sub.Order(); got != 2 {
+		t.Errorf("corner label: order = %d, want 2", got)
+	}
+	checkGroupProperties(t, topo, sub)
+	// Labeling an off-axis node (1,0)=node 1... node 1 is on the vertical
+	// mirror axis of the top edge: stabilizer is identity + that mirror.
+	labels = make([]uint64, 9)
+	labels[3] = 1 // (0,1): on the horizontal mirror axis
+	if got := g.Stabilize(labels).Order(); got != 2 {
+		t.Errorf("edge-mid label: order = %d, want 2", got)
+	}
+}
+
+func TestStabilizeRouting(t *testing.T) {
+	topo := sim.NewGrid(3, 3)
+	g := reduce.Automorphisms(topo)
+	// A staircase route from corner 8 to corner 0 breaks the transpose
+	// symmetry: only automorphisms mapping the route onto itself survive.
+	// For the 3x3 staircase (8 -> 5 -> 4 -> 1 -> 0, or as built by
+	// StaircaseRoute) the surviving subgroup is trivial or the single
+	// diagonal reflection that happens to preserve it.
+	route := topo.StaircaseRoute(8, 0)
+	hops := sim.NextHops(9, route)
+	sub := g.StabilizeRouting(hops)
+	for _, p := range sub.Perms {
+		for n, h := range hops {
+			want := -1
+			if h >= 0 {
+				want = p[h]
+			}
+			if hops[p[n]] != want {
+				t.Fatalf("%v does not preserve routing at node %d", p, n)
+			}
+		}
+	}
+	if sub.Order() >= g.Order() {
+		t.Errorf("staircase routing should break most grid symmetry: got order %d of %d", sub.Order(), g.Order())
+	}
+	checkGroupProperties(t, topo, sub)
+
+	// All-off-route hops constrain nothing.
+	allOff := make([]int, 9)
+	for i := range allOff {
+		allOff[i] = -1
+	}
+	if got := g.StabilizeRouting(allOff).Order(); got != 8 {
+		t.Errorf("vacuous routing: order = %d, want 8", got)
+	}
+}

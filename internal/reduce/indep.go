@@ -1,0 +1,39 @@
+package reduce
+
+import "sde/internal/isa"
+
+// Classifier answers per-activation independence questions for the
+// partial-order layer, from the program's transitive effect summaries
+// (isa.FuncEffects). All answers are static over-approximations: "pure"
+// and "sendless" are only claimed when every execution of the handler is.
+type Classifier struct {
+	prog *isa.Program
+}
+
+// NewClassifier wraps a program. The underlying effect summaries are
+// computed lazily by the program itself and shared across users.
+func NewClassifier(prog *isa.Program) *Classifier {
+	return &Classifier{prog: prog}
+}
+
+// Pure reports that an activation of handler fn is confined to its own
+// state's registers and memory: no sends, no forks (conditional branches),
+// no fresh symbolic values, no asserts/assumes, no timers, no trace
+// output. Negative fn (absent handler — the event is consumed silently)
+// is pure. Pure activations commute with any activation that cannot
+// deliver a packet to their node.
+func (c *Classifier) Pure(fn int) bool {
+	if fn < 0 {
+		return true
+	}
+	return c.prog.FuncEffects(fn).Pure()
+}
+
+// MaySend reports that an activation of handler fn may transmit a packet
+// (transitively through calls). Negative fn cannot send.
+func (c *Classifier) MaySend(fn int) bool {
+	if fn < 0 {
+		return false
+	}
+	return c.prog.FuncEffects(fn).MaySend
+}

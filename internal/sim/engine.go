@@ -13,6 +13,7 @@ import (
 	"sde/internal/isa"
 	mergepkg "sde/internal/merge"
 	"sde/internal/metrics"
+	reducepkg "sde/internal/reduce"
 	"sde/internal/solver"
 	"sde/internal/vm"
 )
@@ -177,6 +178,30 @@ type Config struct {
 	// MergeCost overrides the merge-vs-fork cost model (default
 	// merge.DefaultCostModel). Only meaningful with EnableMerge.
 	MergeCost mergepkg.CostModel
+
+	// EnableReduce turns on symmetry and partial-order reduction
+	// (internal/reduce): the topology's automorphism group canonicalizes
+	// failure-decision branches so only one member of each symmetry orbit
+	// is explored (COB), and an activation-independence check lets merged
+	// representatives commute past foreign same-time activations
+	// (COW/SDS). Reduction preserves the violation set — pruned branches'
+	// violations are synthesized back onto concrete node ids at the end
+	// of the run — and per-orbit-representative test cases, but NOT
+	// bit-identity: fewer states are explored, so instruction counts,
+	// solver queries, and fingerprint populations shrink. Turning it OFF
+	// is therefore a soundness-triage step ordered after -merge and
+	// before -speculate/-qopt. Off by default; replay runs never reduce.
+	// Reduction state is derived (group recomputed, seen-set rebuilt
+	// empty on resume) and never serialized; the snapshot format is
+	// unchanged.
+	EnableReduce bool
+
+	// Symmetry declares the per-node asymmetries of the scenario (role
+	// labels, static routes) so reduction can be used with node-aware
+	// programs; see ReduceSymmetry. When nil, the automorphism group is
+	// applied automatically only to node-uniform programs. Only
+	// meaningful with EnableReduce.
+	Symmetry *ReduceSymmetry
 }
 
 // Result summarises a finished (or aborted) run.
@@ -223,6 +248,10 @@ type Result struct {
 	// Merge summarises the state-merging subsystem's activity (zero when
 	// merging was disabled).
 	Merge metrics.MergeStats
+
+	// Reduce summarises the symmetry/partial-order reduction activity
+	// (zero when reduction was disabled).
+	Reduce metrics.ReduceStats
 
 	// Mapper and Ctx expose the final symbolic state population for
 	// post-processing: dscenario explosion, test-case generation.
@@ -277,6 +306,22 @@ type Engine struct {
 	// scan needs to look at.
 	mergeMgr     *mergepkg.Manager
 	mergeTouched map[int]struct{}
+
+	// Merge-scan backoff (see maybeMergeScan): consecutive fruitless
+	// scans back the scan frequency off exponentially; touched nodes
+	// accumulate across the skipped scans, so candidates are deferred,
+	// never lost.
+	mergeBarren       int    // consecutive scans without a fusion
+	mergeInterval     int    // current skip interval (0 = scan every Step)
+	mergeSkip         int    // scans left to skip before the next real one
+	mergeScansSkipped uint64 // total scans elided by the backoff
+
+	// Symmetry/partial-order reduction (see reduce.go in this package).
+	reducer      *reducepkg.Reducer
+	porCls       *reducepkg.Classifier
+	reduceChecks uint64 // failure decisions the reducer was consulted on
+	reducePins   uint64 // decisions pinned instead of forked
+	porCommutes  uint64 // merged executions allowed by the independence check
 }
 
 // defaultCheckpointEvery is the checkpoint interval (in processed events)
@@ -395,6 +440,13 @@ func newEngineShell(cfg Config) (*Engine, error) {
 		ctx.SetMergeHooks(e.mergeMgr)
 		e.mergeTouched = make(map[int]struct{})
 	}
+	if cfg.EnableReduce && cfg.Replay == nil {
+		if err := validateSymmetry(&cfg); err != nil {
+			return nil, err
+		}
+		e.reducer = buildReducer(&cfg)
+		e.porCls = reducepkg.NewClassifier(cfg.Prog)
+	}
 	return e, nil
 }
 
@@ -458,6 +510,11 @@ func (e *Engine) adopt(states []*vm.State) {
 			e.mergeTouched[s.NodeID()] = struct{}{}
 		}
 	}
+	if len(states) > 0 {
+		// Fresh forks are exactly what produces merge candidates: cancel
+		// any scan backoff so the end-of-event scan sees them immediately.
+		e.mergeWake()
+	}
 	if len(e.states) > e.peakStates {
 		e.peakStates = len(e.states)
 	}
@@ -514,12 +571,11 @@ func (e *Engine) Step() bool {
 				e.mergeMgr.SplitIdle(s)
 				continue
 			}
-			clear(e.mergeTouched)
 			e.mergeTouched[s.NodeID()] = struct{}{}
 		}
 		e.processEvent(s)
 		if e.mergeMgr != nil && e.err == nil && !e.aborted {
-			e.mergeScan()
+			e.maybeMergeScan()
 		}
 		e.events++
 		if e.cfg.SampleEvery > 0 && e.events%uint64(e.cfg.SampleEvery) == 0 {
@@ -616,12 +672,36 @@ func (e *Engine) Finish() *Result {
 	if e.mergeMgr != nil {
 		ms := e.mergeMgr.Stats()
 		res.Merge = metrics.MergeStats{
-			Merges:     ms.Merges,
-			Candidates: ms.Candidates,
-			Rejects:    ms.Rejects,
-			Splits:     ms.Splits,
-			MaxMembers: ms.MaxMembers,
-			PeakMerged: ms.PeakMerged,
+			Merges:       ms.Merges,
+			Candidates:   ms.Candidates,
+			Rejects:      ms.Rejects,
+			Splits:       ms.Splits,
+			MaxMembers:   ms.MaxMembers,
+			PeakMerged:   ms.PeakMerged,
+			ScansSkipped: e.mergeScansSkipped,
+		}
+	}
+	if e.reducer != nil {
+		// Pruned branches' violations are recovered by closing the
+		// observed set under the group: relabeled twins with concrete node
+		// ids, marked Synthesized, deduplicated against observed triples.
+		// The expansion runs unconditionally (not only when this engine
+		// pinned something): a resumed finished shard replays zero events
+		// and so records zero pins, yet its snapshot carries violations
+		// whose orbit twins were pruned before the checkpoint — the
+		// expansion here is what recovers them during sharded assembly.
+		before := len(res.Violations)
+		res.Violations = e.reducer.ExpandViolations(res.Violations)
+		synthesized := len(res.Violations) - before
+		g := e.reducer.Group()
+		res.Reduce = metrics.ReduceStats{
+			GroupOrder:  g.Order(),
+			Truncated:   g.Truncated,
+			Decisions:   e.reducer.Decisions(),
+			Checks:      e.reduceChecks,
+			Pins:        e.reducePins,
+			PORCommutes: e.porCommutes,
+			Synthesized: synthesized,
 		}
 	}
 	if res.PeakMem < mem {
@@ -787,7 +867,7 @@ func (e *Engine) applyFailures(s *vm.State) {
 	}
 	if drop {
 		name := fmt.Sprintf("drop_n%d_r%d", node, idx)
-		if val, pinned := e.pinDecision(s, name); pinned {
+		if val, pinned := e.decideFailure(s, name); pinned {
 			if val == 0 {
 				s.DropEvent()
 			}
@@ -800,7 +880,7 @@ func (e *Engine) applyFailures(s *vm.State) {
 	}
 	if dup {
 		name := fmt.Sprintf("dup_n%d_r%d", node, idx)
-		if val, pinned := e.pinDecision(s, name); pinned {
+		if val, pinned := e.decideFailure(s, name); pinned {
 			if val == 0 {
 				if _, ok := s.PeekEvent(); ok {
 					s.DuplicateEvent()
@@ -815,7 +895,7 @@ func (e *Engine) applyFailures(s *vm.State) {
 	}
 	if reboot {
 		name := fmt.Sprintf("reboot_n%d_r%d", node, idx)
-		if val, pinned := e.pinDecision(s, name); pinned {
+		if val, pinned := e.decideFailure(s, name); pinned {
 			if val == 0 {
 				s.Reboot(e.bootFn, e.clock)
 			}
@@ -982,6 +1062,10 @@ func (e *Engine) sample() {
 		sm.MergedStates = e.mergeMgr.MergedAway()
 		sm.MergeCandidates = ms.Candidates
 		sm.MergeRejects = ms.Rejects
+	}
+	if e.reducer != nil {
+		sm.ReduceChecks = e.reduceChecks
+		sm.ReducePins = e.reducePins
 	}
 	e.series.Add(sm)
 	if c := e.cfg.Caps.MaxMemBytes; c > 0 && mem > c {

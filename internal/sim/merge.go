@@ -45,6 +45,15 @@ func (e *Engine) mergeExecOK(s *vm.State, t uint64) bool {
 		if et, due := ent.state.NextEventTime(); !due || et != t {
 			continue
 		}
+		// Partial-order relaxation (internal/reduce): a foreign activation
+		// that is independent of the rep's pending one — the rep's handler
+		// is pure and the foreign one cannot deliver to the rep's node —
+		// commutes with it, so the unmerged interleaving is observably
+		// identical and the rep may stay merged.
+		if e.porCanCommute(s, ent.state) {
+			e.porCommutes++
+			continue
+		}
 		return false
 	}
 	if ev, pending := s.PeekEvent(); pending && ev.Kind == vm.EventRecv {
@@ -57,8 +66,63 @@ func (e *Engine) mergeExecOK(s *vm.State, t uint64) bool {
 	return true
 }
 
-// mergeScan offers the quiescent states of every node touched by the
-// current Step to the merge manager. It runs after the event's runnable
+// Merge-scan backoff tuning: after mergeBarrenThreshold consecutive scans
+// without a fusion the engine starts skipping scans, doubling the skip
+// interval (up to mergeBackoffCap) while the workload stays barren and
+// resetting to every-Step scanning on the first new fusion.
+const (
+	mergeBarrenThreshold = 8
+	mergeBackoffCap      = 64
+)
+
+// mergeWake cancels the scan backoff. Called whenever the frontier gains
+// states that could pair up — fork adoptions and rep splits — so the
+// backoff only ever skips scans over a frontier that has not grown since
+// the last fruitless scan.
+func (e *Engine) mergeWake() {
+	e.mergeBarren = 0
+	e.mergeInterval = 0
+	e.mergeSkip = 0
+}
+
+// maybeMergeScan runs the end-of-event merge scan, or skips it under the
+// exponential backoff a barren workload earns. Touched nodes accumulate
+// across skipped scans and are cleared only after a scan actually runs,
+// so skipping defers merge candidates without losing any — and because
+// mergeWake cancels the backoff the moment the frontier grows, a deferred
+// scan only ever covers states that already failed to pair up. Deferral
+// is safe: merging is an optimisation that preserves execution
+// bit-for-bit, so WHEN a fusion happens affects only how much work it
+// saves.
+func (e *Engine) maybeMergeScan() {
+	if e.mergeSkip > 0 {
+		e.mergeSkip--
+		e.mergeScansSkipped++
+		return
+	}
+	before := e.mergeMgr.Stats()
+	e.mergeScan()
+	clear(e.mergeTouched)
+	after := e.mergeMgr.Stats()
+	if after.Merges > before.Merges || after.Candidates > before.Candidates {
+		// The scan found structurally mergeable pairs (fused or not):
+		// the workload is not barren, keep scanning every Step.
+		e.mergeWake()
+		return
+	}
+	e.mergeBarren++
+	if e.mergeBarren >= mergeBarrenThreshold {
+		if e.mergeInterval == 0 {
+			e.mergeInterval = 1
+		} else if e.mergeInterval < mergeBackoffCap {
+			e.mergeInterval *= 2
+		}
+		e.mergeSkip = e.mergeInterval
+	}
+}
+
+// mergeScan offers the quiescent states of every node touched since the
+// last scan to the merge manager. It runs after the event's runnable
 // states are fully drained — every speculative verdict is resolved and
 // each state is at an event boundary, the same property checkpoints rely
 // on.
@@ -93,8 +157,11 @@ func (e *Engine) mergeScan() {
 func (h *engineHooks) EnqueueRunnable(s *vm.State) {
 	e := (*Engine)(h)
 	e.runnable = append(e.runnable, s)
+	e.mergeWake()
 }
 
 func (h *engineHooks) ScheduleIdle(s *vm.State) {
-	(*Engine)(h).scheduleHeap(s)
+	e := (*Engine)(h)
+	e.scheduleHeap(s)
+	e.mergeWake()
 }

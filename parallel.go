@@ -102,6 +102,14 @@ type ShardConfig struct {
 	// EnableMerge turns ITE-based state merging on in every shard (see
 	// Scenario.WithMerging). Off by default.
 	EnableMerge bool
+
+	// EnableReduce turns symmetry and partial-order reduction on in every
+	// shard (see Scenario.WithReduction). Each shard's reducer keeps only
+	// the automorphisms preserving its pinned decisions, so orbit
+	// canonicalization stays inside the shard's sub-space; the aggregated
+	// report dedupes the synthesized orbit twins across leaves. Off by
+	// default.
+	EnableReduce bool
 }
 
 const (
@@ -147,10 +155,39 @@ func (r *ShardedReport) DScenarios() *big.Int {
 }
 
 // Violations returns all violations found across shards, in shard order.
+// Observed violations are always kept (the same assertion failing in two
+// shards belongs to two disjoint sub-spaces); synthesized orbit twins
+// from symmetry reduction are deduplicated across leaves — a shard's
+// witness expansion covers whole orbits, so without the dedupe every
+// leaf touching an orbit would re-report it.
 func (r *ShardedReport) Violations() []*Violation {
+	type vkey struct {
+		node int
+		time uint64
+		msg  string
+	}
 	var out []*Violation
+	seen := make(map[vkey]bool)
 	for _, sh := range r.Shards {
-		out = append(out, sh.Report.Violations()...)
+		for _, v := range sh.Report.Violations() {
+			if !v.Synthesized {
+				out = append(out, v)
+				seen[vkey{v.Node, v.Time, v.Msg}] = true
+			}
+		}
+	}
+	for _, sh := range r.Shards {
+		for _, v := range sh.Report.Violations() {
+			if !v.Synthesized {
+				continue
+			}
+			k := vkey{v.Node, v.Time, v.Msg}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, v)
+		}
 	}
 	return out
 }
@@ -263,6 +300,7 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 	cfg.SpecWorkers = sc.cfg.SpecWorkers
 	cfg.DisableCompiledIR = cfg.DisableCompiledIR || sc.cfg.DisableCompiledIR
 	cfg.EnableMerge = cfg.EnableMerge || sc.cfg.EnableMerge
+	cfg.EnableReduce = cfg.EnableReduce || sc.cfg.EnableReduce
 	shard := sc.scenario
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
@@ -487,6 +525,9 @@ func finalizeSharded(s Scenario, leaves []leafResult, sched SchedStats) *Sharded
 		sched.MergeMerges += mg.Merges
 		sched.MergeCandidates += mg.Candidates
 		sched.MergeRejects += mg.Rejects
+		rd := leaf.report.res.Reduce
+		sched.ReduceChecks += rd.Checks
+		sched.ReducePins += rd.Pins
 	}
 	return &ShardedReport{Shards: shards, Sched: sched}
 }

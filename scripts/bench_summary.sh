@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# bench_summary.sh — aggregate BENCH_*.json artifacts into one markdown
+# table. Each bench document carries a `benchmark` name, a `generated`
+# timestamp, and one or two top-level headline ratios (speedup,
+# frontier_reduction, state_reduction, ...); the table shows those
+# ratios side by side so a CI run's step summary answers "what do all
+# the layers buy right now" at a glance.
+#
+# Usage:
+#   scripts/bench_summary.sh [BENCH_a.json BENCH_b.json ...]
+#
+# With no arguments every BENCH_*.json in the current directory is
+# summarised. Output is GitHub-flavoured markdown on stdout; in CI it is
+# appended to $GITHUB_STEP_SUMMARY.
+set -euo pipefail
+
+command -v jq >/dev/null 2>&1 || {
+  echo "bench_summary.sh: jq is required" >&2
+  exit 1
+}
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  for f in BENCH_*.json; do
+    [ -e "$f" ] && files+=("$f")
+  done
+fi
+if [ ${#files[@]} -eq 0 ]; then
+  echo "bench_summary.sh: no BENCH_*.json files found" >&2
+  exit 1
+fi
+
+echo "## Benchmark summary"
+echo
+echo "| artifact | benchmark | reps | generated | headline |"
+echo "|---|---|---|---|---|"
+for f in "${files[@]}"; do
+  jq -r --arg file "$f" '
+    # Headline metrics are the top-level numeric ratios; sweep
+    # parameters are excluded by name.
+    [ to_entries[]
+      | select(.value | type == "number")
+      | select(.key | IN("reps", "depth", "queries", "pairs",
+                         "activations", "width") | not)
+      | "\(.key) \(.value * 100 | round / 100)"
+    ] as $headline
+    | "| \($file) | \(.benchmark) | \(.reps) | \(.generated | split("T")[0]) | \($headline | join("; ")) |"
+  ' "$f"
+done

@@ -111,6 +111,20 @@ type VMStats = metrics.VMStats
 // Report.MergeStats.
 type MergeStats = metrics.MergeStats
 
+// ReduceStats is the symmetry/partial-order reduction telemetry: the
+// effective automorphism-group order, decisions pinned instead of forked,
+// independence commutes, and violations synthesized by witness expansion.
+// See Report.ReduceStats.
+type ReduceStats = metrics.ReduceStats
+
+// SymmetrySpec declares a scenario's per-node asymmetries (role labels,
+// static routes) so symmetry reduction can be applied to node-aware
+// programs: the topology's automorphism group is stabilized by the
+// declared labels and routing before it prunes anything. Without a spec,
+// reduction applies the full group only to node-uniform programs (no
+// node-id reads, no per-node initial memory) and is otherwise inert.
+type SymmetrySpec = sim.ReduceSymmetry
+
 // SolverOptions tunes a run's constraint solver: ablation switches for
 // each pipeline layer (caches, model pool, fast path, partitioning,
 // incremental solving, subsumption, and the query-optimizer stages —
@@ -214,7 +228,8 @@ func (s Scenario) WithSolverOptions(o SolverOptions) Scenario {
 // runs produce identical test-case sets and state fingerprints, so this
 // switch — and the per-stage SolverOptions flags for finer bisection —
 // is the LAST triage step when a soundness bug is suspected, after
-// WithoutCompiledIR, WithoutMerging, and WithoutSpeculation.
+// WithoutCompiledIR, WithoutMerging, WithoutReduction, and
+// WithoutSpeculation.
 func (s Scenario) WithoutQueryOptimizer() Scenario {
 	s.cfg.Solver.DisableSlicing = true
 	s.cfg.Solver.DisableRewrite = true
@@ -235,8 +250,9 @@ func (s Scenario) WithSpeculation(workers int) Scenario {
 // branch feasibility query synchronously, with no speculative execution.
 // Speculative and synchronous runs produce bit-identical state
 // fingerprints, dscenario sets, and test cases, so this switch is the
-// THIRD triage step when a soundness bug is suspected — after
-// WithoutCompiledIR and WithoutMerging, before WithoutQueryOptimizer.
+// FOURTH triage step when a soundness bug is suspected — after
+// WithoutCompiledIR, WithoutMerging, and WithoutReduction, before
+// WithoutQueryOptimizer.
 func (s Scenario) WithoutSpeculation() Scenario {
 	s.cfg.DisableSpeculation = true
 	return s
@@ -247,8 +263,8 @@ func (s Scenario) WithoutSpeculation() Scenario {
 // basic-block fast path. Compiled and interpreted runs produce
 // bit-identical state fingerprints, dscenario sets, and test cases, so
 // this switch is the FIRST triage step when a soundness bug is suspected
-// — before WithoutMerging, WithoutSpeculation, and WithoutQueryOptimizer,
-// since the compiled path sits below all three.
+// — before WithoutMerging, WithoutReduction, WithoutSpeculation, and
+// WithoutQueryOptimizer, since the compiled path sits below all of them.
 func (s Scenario) WithoutCompiledIR() Scenario {
 	s.cfg.DisableCompiledIR = true
 	return s
@@ -272,11 +288,40 @@ func (s Scenario) WithMerging() Scenario {
 // WithoutMerging returns a copy of the scenario with state merging
 // disabled (the default). Because merged and unmerged runs are
 // bit-identical, this switch is the SECOND triage step when a soundness
-// bug is suspected — after WithoutCompiledIR and before
-// WithoutSpeculation and WithoutQueryOptimizer, since merging sits above
+// bug is suspected — after WithoutCompiledIR and before WithoutReduction,
+// WithoutSpeculation, and WithoutQueryOptimizer, since merging sits above
 // the compiled path but below the solver pipeline.
 func (s Scenario) WithoutMerging() Scenario {
 	s.cfg.EnableMerge = false
+	return s
+}
+
+// WithReduction returns a copy of the scenario with symmetry and
+// partial-order reduction enabled: the topology's automorphism group
+// (stabilized by the scenario's declared SymmetrySpec, if any)
+// canonicalizes failure-decision branches so only one representative of
+// each symmetry orbit is explored, and an activation-independence check
+// lets merged representatives commute past unrelated same-time
+// activations. Reduction preserves the violation set — violations of
+// pruned branches are synthesized back onto their concrete node ids at
+// the end of the run, marked Synthesized — and one test case per orbit,
+// but unlike merging it is NOT bit-identical: the explored state count,
+// instruction count, and fingerprint population shrink. Reduction is off
+// by default.
+func (s Scenario) WithReduction() Scenario {
+	s.cfg.EnableReduce = true
+	return s
+}
+
+// WithoutReduction returns a copy of the scenario with symmetry reduction
+// disabled (the default). Because reduction preserves the violation set
+// but not bit-identity, this switch is the THIRD triage step when a
+// soundness bug is suspected — after WithoutCompiledIR and WithoutMerging,
+// before WithoutSpeculation and WithoutQueryOptimizer: if turning
+// reduction off changes the VIOLATION SET, the reduction layer is the
+// bug; state-count differences alone are expected and benign.
+func (s Scenario) WithoutReduction() Scenario {
+	s.cfg.EnableReduce = false
 	return s
 }
 
@@ -401,6 +446,10 @@ func (r *Report) SpecStats() SpecStats { return r.res.Spec }
 // when compiled execution is disabled).
 func (r *Report) VMStats() VMStats { return r.res.VM }
 
+// ReduceStats returns the run's symmetry/partial-order reduction
+// counters (all zero when reduction was disabled).
+func (r *Report) ReduceStats() ReduceStats { return r.res.Reduce }
+
 // MergeStats returns the run's state-merging counters (all zero when
 // merging is disabled or the run was a replay).
 func (r *Report) MergeStats() MergeStats { return r.res.Merge }
@@ -509,6 +558,7 @@ func CustomScenario(desc string, cfg CustomConfig) (Scenario, error) {
 			Failures:  cfg.Failures,
 			NodeInit:  cfg.NodeInit,
 			Caps:      cfg.Caps,
+			Symmetry:  cfg.Symmetry,
 		},
 	}, nil
 }
@@ -531,4 +581,10 @@ type CustomConfig struct {
 	// whose reception is conditional makes sharded coverage unsound
 	// (the sub-space without the reception is explored by both halves).
 	ShardableNodes []int
+
+	// Symmetry declares the scenario's per-node asymmetries so symmetry
+	// reduction (Scenario.WithReduction) can be used with node-aware
+	// programs; see SymmetrySpec. Nil means: apply the automorphism
+	// group automatically only if the program is node-uniform.
+	Symmetry *SymmetrySpec
 }

@@ -98,6 +98,11 @@ type LeaseOptions struct {
 	// EnableMerge turns ITE-based state merging on for this lease (see
 	// Scenario.WithMerging). Off by default.
 	EnableMerge bool
+	// EnableReduce turns symmetry and partial-order reduction on for this
+	// lease (see Scenario.WithReduction). The lease's reducer keeps only
+	// automorphisms preserving its pinned decisions, so canonicalization
+	// stays inside the leased sub-space. Off by default.
+	EnableReduce bool
 	// Progress, when non-nil, is polled during the run with the live
 	// state count and elapsed wall time; returning true stops the run
 	// (LeaseOutcome.Stopped) — how a worker honours a straggler re-split
@@ -142,6 +147,7 @@ func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, 
 	cfg.SpecWorkers = opts.SpecWorkers
 	cfg.DisableCompiledIR = cfg.DisableCompiledIR || opts.DisableCompiledIR
 	cfg.EnableMerge = cfg.EnableMerge || opts.EnableMerge
+	cfg.EnableReduce = cfg.EnableReduce || opts.EnableReduce
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", s.desc, it.Label())
 	report, err := runOrResume(shard, opts.CheckpointDir)

@@ -40,6 +40,10 @@ type ScenarioSpec struct {
 	Threshold uint64 `json:"threshold,omitempty"`
 	// MaxStates aborts the run when live states exceed it (0 = unlimited).
 	MaxStates int `json:"max_states,omitempty"`
+	// Reduce turns symmetry and partial-order reduction on for the run
+	// (Scenario.WithReduction). Reduction preserves the violation set and
+	// per-orbit-representative test cases but not bit-identity.
+	Reduce bool `json:"reduce,omitempty"`
 }
 
 // String renders the spec compactly for logs.
@@ -210,6 +214,9 @@ func (sp ScenarioSpec) Scenario() (Scenario, error) {
 	}
 	if sp.MaxStates > 0 {
 		s = s.WithCaps(Caps{MaxStates: sp.MaxStates})
+	}
+	if sp.Reduce {
+		s = s.WithReduction()
 	}
 	return s, nil
 }
