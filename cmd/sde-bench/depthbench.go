@@ -1,0 +1,319 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"time"
+
+	"sde"
+	"sde/internal/dist"
+)
+
+// The depth-partitioning bench: a deep-chain workload with zero
+// shardable decision sites (sde.DeepChainScenario), so the static
+// bit-partition dimension is useless and depth-horizon continuation
+// leases are the only way to spread the run over a fleet. Each
+// configuration stands up a real coordinator plus N in-process workers
+// over loopback TCP, submits the job with a depth horizon, and measures
+// submission-to-done wall clock. Every distributed digest is checked
+// against the in-process horizon-partitioned oracle.
+//
+// Worker links are routed through an in-bench proxy that imposes a
+// fixed one-way delay (depthBenchLinkDelay) on every protocol message,
+// emulating a fleet spread across a real network. That keeps the
+// measured quantity — how well continuation leases keep a fleet busy —
+// meaningful regardless of host core count: a single worker pays every
+// lease grant, frontier ship, and continuation hand-off serially, while
+// a fleet pipelines them level by level. The delay and the host CPU
+// count are both recorded in the JSON so the numbers can be read in
+// context; on a many-core host the same fan-out additionally buys
+// CPU-parallel lease execution on top of the latency hiding measured
+// here.
+
+const (
+	depthBenchK       = 6
+	depthBenchTicks   = 48
+	depthBenchIters   = 96
+	depthBenchHorizon = 400
+	depthBenchFanout  = 4
+	depthBenchCases   = 8
+	// depthBenchLinkDelay is the emulated one-way worker-link latency
+	// (~a geo-distributed fleet; 150ms RTT).
+	depthBenchLinkDelay = 75 * time.Millisecond
+)
+
+// depthBenchRun is one fleet size of one algorithm.
+type depthBenchRun struct {
+	Workers int   `json:"workers"`
+	NsPerOp int64 `json:"ns_per_op"` // submission to job done (best of reps)
+	// DigestMatch records that every rep's distributed digest equalled
+	// the in-process oracle digest — the bit-identity acceptance bit.
+	DigestMatch bool `json:"digest_match"`
+	// Suspensions and ContinuationLeases count the depth dimension in
+	// action on the best rep's coordinator.
+	Suspensions        int `json:"suspensions"`
+	ContinuationLeases int `json:"continuation_leases"`
+}
+
+// depthBenchAlgo is one algorithm's scaling column.
+type depthBenchAlgo struct {
+	Algorithm string          `json:"algorithm"`
+	Digest    string          `json:"digest"` // in-process oracle
+	Runs      []depthBenchRun `json:"runs"`
+	// Speedup4W is wall(1 worker) / wall(4 workers). COB frontiers
+	// slice along dscenario rows and scale; COW/SDS frontiers are
+	// fan-out-1 continuation chains and stay near 1x by design.
+	Speedup4W float64 `json:"speedup_4w"`
+}
+
+// depthBenchReport is the BENCH_depth.json document.
+type depthBenchReport struct {
+	Benchmark string    `json:"benchmark"`
+	Generated time.Time `json:"generated"`
+	Reps      int       `json:"reps"`
+
+	Workload struct {
+		Desc    string `json:"desc"`
+		K       int    `json:"k"`
+		Ticks   uint32 `json:"ticks"`
+		Iters   uint32 `json:"iters"`
+		Horizon uint64 `json:"horizon"`
+		Fanout  int    `json:"fanout"`
+		// LinkDelayMs is the emulated one-way worker-link latency; a
+		// lone worker pays it serially per lease, a fleet pipelines it.
+		LinkDelayMs int `json:"link_delay_ms"`
+		// HostCPUs records the cores the fleet ran on: extra
+		// CPU-parallel speedup on top of the latency hiding scales with
+		// this.
+		HostCPUs int `json:"host_cpus"`
+	} `json:"workload"`
+
+	Algorithms []depthBenchAlgo `json:"algorithms"`
+
+	// Speedup4W is the headline: the COB column's 4-worker speedup on a
+	// workload whose MaxShardBits() is zero.
+	Speedup4W float64 `json:"speedup_4w"`
+}
+
+// depthBenchSpec is the declarative job every coordinator materialises.
+func depthBenchSpec(algo string) sde.ScenarioSpec {
+	return sde.ScenarioSpec{
+		Workload:  "deepchain",
+		Topology:  fmt.Sprintf("line:%d", depthBenchK),
+		Algorithm: algo,
+		Ticks:     depthBenchTicks,
+		Iters:     depthBenchIters,
+	}
+}
+
+// delayProxy forwards a worker connection to the coordinator, imposing
+// a fixed one-way delay on every chunk in both directions — the bench's
+// emulated fleet link.
+func delayProxy(worker, coord net.Conn, delay time.Duration) {
+	pump := func(dst, src net.Conn) {
+		defer dst.Close()
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := src.Read(buf)
+			if n > 0 {
+				time.Sleep(delay)
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}
+	go pump(coord, worker)
+	go pump(worker, coord)
+}
+
+// depthBenchFleet runs one job on a fresh coordinator with `workers`
+// loopback workers and returns the wall time, the job digest, and the
+// coordinator's depth-dimension counters.
+func depthBenchFleet(spec sde.ScenarioSpec, workers int) (time.Duration, string, int, int, error) {
+	c := dist.NewCoordinator(dist.Options{RetryMillis: 5})
+	defer c.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, "", 0, 0, err
+	}
+	go c.Serve(l)
+
+	// Workers dial the delay proxy, not the coordinator directly.
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, "", 0, 0, err
+	}
+	defer pl.Close()
+	go func() {
+		for {
+			wc, err := pl.Accept()
+			if err != nil {
+				return
+			}
+			cc, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				wc.Close()
+				return
+			}
+			delayProxy(wc, cc, depthBenchLinkDelay)
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	dirs := make([]string, 0, workers)
+	defer func() {
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}()
+	for i := 0; i < workers; i++ {
+		dir, err := os.MkdirTemp("", "sde-depth-bench-*")
+		if err != nil {
+			return 0, "", 0, 0, err
+		}
+		dirs = append(dirs, dir)
+		opts := dist.WorkerOptions{Name: fmt.Sprintf("w%d", i), WorkDir: dir}
+		go dist.RunWorker(ctx, pl.Addr().String(), opts)
+	}
+
+	start := time.Now()
+	id, err := c.AddJobWith(spec, dist.JobOptions{
+		TestCases:     depthBenchCases,
+		DepthHorizon:  depthBenchHorizon,
+		HorizonFanout: depthBenchFanout,
+	})
+	if err != nil {
+		return 0, "", 0, 0, err
+	}
+	select {
+	case <-c.WaitJob(id):
+	case <-time.After(10 * time.Minute):
+		return 0, "", 0, 0, fmt.Errorf("depth bench: job did not finish in 10m")
+	}
+	elapsed := time.Since(start)
+	st, ok := c.JobStatus(id)
+	if !ok {
+		return 0, "", 0, 0, fmt.Errorf("depth bench: job vanished")
+	}
+	if st.State != dist.JobDone {
+		return 0, "", 0, 0, fmt.Errorf("depth bench: job state %s (%s)", st.State, st.Error)
+	}
+	reg := c.Registry()
+	susp := int(reg.Value("sde_lease_suspensions_total", nil))
+	conts := int(reg.Value("sde_continuation_leases_total", nil))
+	return elapsed, st.Digest, susp, conts, nil
+}
+
+// runDepthBench measures depth-horizon partitioning wall-clock scaling
+// at 1/2/4 workers per algorithm and writes the results as JSON.
+func runDepthBench(out string, reps int) error {
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1 (got %d)", reps)
+	}
+	rep := depthBenchReport{
+		Benchmark: "DepthPartitioning",
+		Generated: time.Now().UTC(),
+		Reps:      reps,
+	}
+	rep.Workload.Desc = fmt.Sprintf(
+		"deepchain line:%d — relay drops on every hop (none shardable), %d-tick concrete mixing tail, %v one-way emulated worker link",
+		depthBenchK, depthBenchTicks, depthBenchLinkDelay)
+	rep.Workload.K = depthBenchK
+	rep.Workload.Ticks = depthBenchTicks
+	rep.Workload.Iters = depthBenchIters
+	rep.Workload.Horizon = depthBenchHorizon
+	rep.Workload.Fanout = depthBenchFanout
+	rep.Workload.LinkDelayMs = int(depthBenchLinkDelay / time.Millisecond)
+	rep.Workload.HostCPUs = runtime.NumCPU()
+
+	for _, algo := range []string{"cob", "cow", "sds"} {
+		spec := depthBenchSpec(algo)
+		scenario, err := spec.Scenario()
+		if err != nil {
+			return err
+		}
+		if bits := scenario.MaxShardBits(); bits != 0 {
+			return fmt.Errorf("depth bench: workload has %d shardable bits, want 0", bits)
+		}
+		oracleRep, err := sde.RunScenarioShardedWith(scenario, sde.ShardConfig{
+			DepthHorizon:  depthBenchHorizon,
+			HorizonFanout: depthBenchFanout,
+		})
+		if err != nil {
+			return err
+		}
+		oracle, err := oracleRep.Digest(depthBenchCases)
+		if err != nil {
+			return err
+		}
+
+		col := depthBenchAlgo{Algorithm: algo, Digest: oracle}
+		var wall1, wall4 time.Duration
+		for _, workers := range []int{1, 2, 4} {
+			run := depthBenchRun{Workers: workers, DigestMatch: true}
+			var best time.Duration
+			for r := 0; r < reps; r++ {
+				elapsed, digest, susp, conts, err := depthBenchFleet(spec, workers)
+				if err != nil {
+					return fmt.Errorf("%s/%dw: %w", algo, workers, err)
+				}
+				if digest != oracle {
+					run.DigestMatch = false
+					return fmt.Errorf("%s/%dw: distributed digest %s != in-process %s",
+						algo, workers, digest, oracle)
+				}
+				if r == 0 || elapsed < best {
+					best = elapsed
+					run.Suspensions = susp
+					run.ContinuationLeases = conts
+				}
+			}
+			run.NsPerOp = best.Nanoseconds()
+			col.Runs = append(col.Runs, run)
+			switch workers {
+			case 1:
+				wall1 = best
+			case 4:
+				wall4 = best
+			}
+		}
+		if wall4 > 0 {
+			col.Speedup4W = float64(wall1) / float64(wall4)
+		}
+		if algo == "cob" {
+			rep.Speedup4W = col.Speedup4W
+		}
+		rep.Algorithms = append(rep.Algorithms, col)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	if err := os.WriteFile(out, doc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("Depth-partitioning bench (best of %d, horizon=%d fanout=%d):\n",
+		reps, depthBenchHorizon, depthBenchFanout)
+	for _, col := range rep.Algorithms {
+		fmt.Printf("  %s:\n", col.Algorithm)
+		for _, r := range col.Runs {
+			fmt.Printf("    %dw %12s  digest-match=%-5v suspensions=%-4d cont-leases=%d\n",
+				r.Workers, time.Duration(r.NsPerOp), r.DigestMatch,
+				r.Suspensions, r.ContinuationLeases)
+		}
+		fmt.Printf("    4-worker speedup: %.2fx\n", col.Speedup4W)
+	}
+	fmt.Printf("  headline (cob) 4-worker speedup: %.2fx  → %s\n", rep.Speedup4W, out)
+	return nil
+}

@@ -83,6 +83,7 @@ func run() (err error) {
 	vmOut := flag.String("vm-out", "BENCH_vm.json", "output path for the -json compiled-fast-path results")
 	mergeOut := flag.String("merge-out", "BENCH_merge.json", "output path for the -json state-merging results")
 	reduceOut := flag.String("reduce-out", "BENCH_reduce.json", "output path for the -json symmetry-reduction results")
+	depthOut := flag.String("depth-out", "BENCH_depth.json", "output path for the -json depth-partitioning results")
 	vmProfileDir := flag.String("vm-profile-dir", "", "also write per-mode CPU profiles of the compiled-fast-path bench into this directory")
 	jsonDepth := flag.Int("depth", 24, "path-condition depth for -json")
 	jsonReps := flag.Int("reps", 3, "repetitions per configuration for -json (best is kept)")
@@ -126,7 +127,10 @@ func run() (err error) {
 		if err := runMergeBench(*mergeOut, *jsonReps); err != nil {
 			return err
 		}
-		return runReduceBench(*reduceOut, *jsonReps)
+		if err := runReduceBench(*reduceOut, *jsonReps); err != nil {
+			return err
+		}
+		return runDepthBench(*depthOut, *jsonReps)
 	}
 	if *worstCase {
 		return runWorstCase()

@@ -118,6 +118,13 @@ func run() (err error) {
 	// warning for ScenarioSpec-submitted jobs.
 	if note := scenario.ShardabilityNote(); note != "" {
 		fmt.Fprintf(os.Stderr, "sde-run: note: %s\n", note)
+		if scenario.MaxShardBits() == 0 {
+			// Zero shardable bits caps a multi-worker sharded or
+			// distributed run at one lease: only a depth horizon
+			// (ShardConfig.DepthHorizon / the job API's depth_horizon)
+			// could spread it across a pool or fleet.
+			fmt.Fprintln(os.Stderr, "sde-run: note: with 0 shardable bits a multi-worker run would sit idle; depth-horizon partitioning (depth_horizon in the job API, DepthHorizon in ShardConfig) fans deep exploration out instead")
+		}
 	}
 	if !*speculate {
 		scenario = scenario.WithoutSpeculation()

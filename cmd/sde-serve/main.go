@@ -56,11 +56,13 @@ func run() error {
 	oracle := flag.String("oracle", "", "compute a spec's in-process digest and exit (JSON ScenarioSpec)")
 	oracleBits := flag.Int("oracle-bits", 2, "shard bits for -oracle")
 	oracleTestCases := flag.Int("oracle-testcases", 8, "test-case budget for -oracle")
+	oracleHorizon := flag.Uint64("oracle-horizon", 0, "depth horizon for -oracle (must match the job's depth_horizon)")
+	oracleFanout := flag.Int("oracle-fanout", 0, "horizon fan-out for -oracle (0 = default 2 when a horizon is set; must match the job's horizon_fanout)")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
 	flag.Parse()
 
 	if *oracle != "" {
-		digest, err := oracleDigest(*oracle, *oracleBits, *oracleTestCases)
+		digest, err := oracleDigest(*oracle, *oracleBits, *oracleTestCases, *oracleHorizon, *oracleFanout)
 		if err != nil {
 			return err
 		}
@@ -125,8 +127,10 @@ func run() error {
 }
 
 // oracleDigest runs a spec in-process and returns the digest a
-// distributed run of the same job must match.
-func oracleDigest(specJSON string, bits, testCases int) (string, error) {
+// distributed run of the same job must match. The (horizon, fanout)
+// pair is part of the partition definition, so it must equal the job's —
+// a digest from a different horizon legitimately differs.
+func oracleDigest(specJSON string, bits, testCases int, horizon uint64, fanout int) (string, error) {
 	var spec sde.ScenarioSpec
 	if err := json.Unmarshal([]byte(specJSON), &spec); err != nil {
 		return "", fmt.Errorf("parsing -oracle spec: %w", err)
@@ -138,7 +142,14 @@ func oracleDigest(specJSON string, bits, testCases int) (string, error) {
 	if bits > scenario.MaxShardBits() {
 		bits = scenario.MaxShardBits()
 	}
-	report, err := sde.RunScenarioSharded(scenario, bits)
+	if scenario.MaxShardBits() == 0 && horizon == 0 {
+		fmt.Fprintln(os.Stderr, "sde-serve: note: 0 shardable bits and no -oracle-horizon — a multi-worker fleet would run this spec as a single lease; set depth_horizon on the job (and -oracle-horizon here) to fan it out")
+	}
+	report, err := sde.RunScenarioShardedWith(scenario, sde.ShardConfig{
+		ShardBits:     bits,
+		DepthHorizon:  horizon,
+		HorizonFanout: fanout,
+	})
 	if err != nil {
 		return "", err
 	}

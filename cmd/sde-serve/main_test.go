@@ -12,7 +12,7 @@ import (
 // equal the library's own sharded digest.
 func TestOracleDigestMatchesInProcess(t *testing.T) {
 	specJSON := `{"workload":"collect","topology":"grid:3","packets":2,"drops":"route+neighbors"}`
-	got, err := oracleDigest(specJSON, 2, 8)
+	got, err := oracleDigest(specJSON, 2, 8, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,18 +42,18 @@ func TestOracleDigestMatchesInProcess(t *testing.T) {
 // shard must clamp, not fail — the service does the same on submission.
 func TestOracleDigestClampsBits(t *testing.T) {
 	specJSON := `{"workload":"collect","topology":"grid:3","packets":1}`
-	if _, err := oracleDigest(specJSON, 64, 0); err != nil {
+	if _, err := oracleDigest(specJSON, 64, 0, 0, 0); err != nil {
 		t.Errorf("oracle with oversized bits failed: %v", err)
 	}
 }
 
 func TestOracleDigestRejectsBadSpec(t *testing.T) {
 	for _, bad := range []string{`{not json`, `{"workload":"collect","topology":"ring:9"}`} {
-		if _, err := oracleDigest(bad, 2, 0); err == nil {
+		if _, err := oracleDigest(bad, 2, 0, 0, 0); err == nil {
 			t.Errorf("oracle accepted %q", bad)
 		}
 	}
-	if _, err := oracleDigest(`{"workload":"collect","topology":"ring:9"}`, 2, 0); err == nil ||
+	if _, err := oracleDigest(`{"workload":"collect","topology":"ring:9"}`, 2, 0, 0, 0); err == nil ||
 		strings.Contains(err.Error(), "panic") {
 		t.Error("bad topology must return a clean error")
 	}

@@ -58,25 +58,50 @@ type Coordinator struct {
 }
 
 type job struct {
-	id          string
-	spec        sde.ScenarioSpec
-	shardBits   int
-	testCases   int
-	scenario    sde.Scenario
-	state       string
-	queue       []sde.ShardItem
-	outstanding map[uint64]bool
-	leaves      []sde.ShardLeaf
-	report      *sde.ShardedReport
-	digest      string
-	errMsg      string
-	done        chan struct{}
+	id            string
+	spec          sde.ScenarioSpec
+	shardBits     int
+	testCases     int
+	depthHorizon  uint64
+	horizonFanout int
+	scenario      sde.Scenario
+	state         string
+	queue         []queued
+	outstanding   map[uint64]bool
+	leaves        []sde.ShardLeaf
+	// conts holds suspended frontiers by id, reference-counted by the
+	// continuation items that still need them: a blob is freed when its
+	// last slice completes (or suspends again), and wholesale when the
+	// job reaches a terminal state.
+	conts    map[uint64]*contBlob
+	nextCont uint64
+	report   *sde.ShardedReport
+	digest   string
+	errMsg   string
+	done     chan struct{}
+}
+
+// queued is one queue entry: the item plus its depth-dimension context —
+// the absolute event count of its next horizon and, for continuation
+// items, the id of the suspended parent frontier it resumes from.
+type queued struct {
+	item   sde.ShardItem
+	target uint64
+	contID uint64
+}
+
+// contBlob is a suspended frontier held for its continuation items.
+type contBlob struct {
+	data []byte
+	refs int
 }
 
 type lease struct {
 	id       uint64
 	jobID    string
 	item     sde.ShardItem
+	target   uint64
+	contID   uint64
 	worker   string
 	holder   *workerConn
 	lastBeat time.Time
@@ -128,6 +153,9 @@ func NewCoordinator(opts Options) *Coordinator {
 	reg.Declare("sde_results_total", "shard-leaf results received from workers", metrics.PromCounter)
 	reg.Declare("sde_heartbeats_total", "worker heartbeats received", metrics.PromCounter)
 	reg.Declare("sde_worker_leases_active", "leases currently held, per worker", metrics.PromGauge)
+	reg.Declare("sde_lease_suspensions_total", "leases suspended at a depth horizon and fanned out", metrics.PromCounter)
+	reg.Declare("sde_continuation_leases_total", "continuation work leases granted to workers", metrics.PromCounter)
+	reg.Declare("sde_continuation_blobs", "suspended frontiers currently held for continuation items", metrics.PromGauge)
 	c := &Coordinator{
 		opts:   opts,
 		reg:    reg,
@@ -196,22 +224,61 @@ func (c *Coordinator) Serve(l net.Listener) error {
 	}
 }
 
-// AddJob accepts a job: the spec is materialised (validating it), the
-// initial shard queue is enumerated at shardBits (clamped to the
-// scenario's MaxShardBits), and workers start leasing immediately.
+// JobOptions parameterises AddJobWith.
+type JobOptions struct {
+	// ShardBits is the initial static pre-split (clamped to the
+	// scenario's MaxShardBits).
+	ShardBits int
+	// TestCases is the per-shard test-case budget the job digest is
+	// computed with.
+	TestCases int
+	// DepthHorizon, when non-zero, adds exploration depth as a second
+	// shard dimension (see sde.ShardConfig.DepthHorizon): leases suspend
+	// at multiples of the horizon and their frontiers fan out as
+	// continuation items. Part of the partition definition — in-process
+	// digest oracles must use the same value.
+	DepthHorizon uint64
+	// HorizonFanout is the continuation fan-out per suspension (default
+	// 2 when DepthHorizon is set; clamped per suspension to what the
+	// frontier supports). Never derived from fleet size.
+	HorizonFanout int
+}
+
+// AddJob accepts a job with default depth-partitioning options; see
+// AddJobWith.
 func (c *Coordinator) AddJob(spec sde.ScenarioSpec, shardBits, testCases int) (string, error) {
+	return c.AddJobWith(spec, JobOptions{ShardBits: shardBits, TestCases: testCases})
+}
+
+// AddJobWith accepts a job: the spec is materialised (validating it), the
+// initial shard queue is enumerated at opts.ShardBits (clamped to the
+// scenario's MaxShardBits), and workers start leasing immediately.
+func (c *Coordinator) AddJobWith(spec sde.ScenarioSpec, opts JobOptions) (string, error) {
 	scenario, err := spec.Scenario()
 	if err != nil {
 		return "", err
 	}
+	shardBits := opts.ShardBits
 	if shardBits < 0 {
 		return "", fmt.Errorf("dist: shard bits must be >= 0 (got %d)", shardBits)
+	}
+	if opts.HorizonFanout < 0 {
+		return "", fmt.Errorf("dist: horizon fanout must be >= 0 (got %d)", opts.HorizonFanout)
+	}
+	fanout := opts.HorizonFanout
+	if opts.DepthHorizon == 0 {
+		fanout = 0
+	} else if fanout == 0 {
+		fanout = 2
 	}
 	// Same heads-up sde-run prints for flag-driven runs: a spec whose
 	// program has candidate shard points but no shardable nodes yields a
 	// single-shard job no matter what shardBits asks for.
 	if note := scenario.ShardabilityNote(); note != "" {
 		c.logf("job spec %s: %s", spec, note)
+	}
+	if scenario.MaxShardBits() == 0 && opts.DepthHorizon == 0 {
+		c.logf("job spec %s: 0 shardable bits and no depth horizon — the job runs as a single lease and a multi-worker fleet sits idle; set a depth horizon to fan deep exploration out", spec)
 	}
 	if max := scenario.MaxShardBits(); shardBits > max {
 		shardBits = max
@@ -223,17 +290,23 @@ func (c *Coordinator) AddJob(spec sde.ScenarioSpec, shardBits, testCases int) (s
 	}
 	c.nextJobID++
 	j := &job{
-		id:          fmt.Sprintf("job-%d", c.nextJobID),
-		spec:        spec,
-		shardBits:   shardBits,
-		testCases:   testCases,
-		scenario:    scenario,
-		state:       JobRunning,
-		outstanding: make(map[uint64]bool),
-		done:        make(chan struct{}),
+		id:            fmt.Sprintf("job-%d", c.nextJobID),
+		spec:          spec,
+		shardBits:     shardBits,
+		testCases:     opts.TestCases,
+		depthHorizon:  opts.DepthHorizon,
+		horizonFanout: fanout,
+		scenario:      scenario,
+		state:         JobRunning,
+		outstanding:   make(map[uint64]bool),
+		conts:         make(map[uint64]*contBlob),
+		done:          make(chan struct{}),
 	}
 	for bits := uint64(0); bits < 1<<uint(shardBits); bits++ {
-		j.queue = append(j.queue, sde.ShardItem{Depth: shardBits, Bits: bits})
+		j.queue = append(j.queue, queued{
+			item:   sde.ShardItem{Depth: shardBits, Bits: bits},
+			target: opts.DepthHorizon,
+		})
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
@@ -257,6 +330,8 @@ func (c *Coordinator) CancelJob(id string) error {
 	}
 	j.state = JobCancelled
 	j.queue = nil
+	j.conts = nil
+	c.reg.Set("sde_continuation_blobs", nil, float64(c.contBlobsLocked()))
 	close(j.done)
 	c.reg.Set("sde_jobs_active", nil, float64(c.activeJobsLocked()))
 	c.logf("job %s cancelled", id)
@@ -346,6 +421,32 @@ func (c *Coordinator) activeJobsLocked() int {
 	return n
 }
 
+func (c *Coordinator) contBlobsLocked() int {
+	n := 0
+	for _, j := range c.jobs {
+		n += len(j.conts)
+	}
+	return n
+}
+
+// releaseContLocked drops one reference to a suspended frontier; the
+// blob is freed when its last continuation item has completed or
+// suspended again.
+func (c *Coordinator) releaseContLocked(j *job, contID uint64) {
+	if contID == 0 || j.conts == nil {
+		return
+	}
+	b := j.conts[contID]
+	if b == nil {
+		return
+	}
+	b.refs--
+	if b.refs <= 0 {
+		delete(j.conts, contID)
+		c.reg.Set("sde_continuation_blobs", nil, float64(c.contBlobsLocked()))
+	}
+}
+
 // handleConn speaks the worker protocol on one connection.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	defer conn.Close()
@@ -432,6 +533,13 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 				return
 			}
 			c.completeLease(w, hdr, snapshot)
+		case MsgSuspend:
+			hdr, frontier, err := parseSuspend(payload)
+			if err != nil {
+				c.logf("worker %s: bad suspend: %v", w.name, err)
+				return
+			}
+			c.suspendLease(w, hdr, frontier)
 		case MsgError:
 			em, err := decode[ErrorMsg](payload)
 			if err != nil {
@@ -450,14 +558,14 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 func (c *Coordinator) grantLease(w *workerConn) error {
 	c.mu.Lock()
 	var (
-		j    *job
-		item sde.ShardItem
+		j  *job
+		qi queued
 	)
 	for off := 0; off < len(c.order); off++ {
 		cand := c.jobs[c.order[(c.rr+off)%len(c.order)]]
 		if cand.state == JobRunning && len(cand.queue) > 0 {
 			j = cand
-			item = cand.queue[0]
+			qi = cand.queue[0]
 			cand.queue = cand.queue[1:]
 			c.rr = (c.rr + off + 1) % len(c.order)
 			break
@@ -472,7 +580,9 @@ func (c *Coordinator) grantLease(w *workerConn) error {
 	l := &lease{
 		id:       c.nextLease,
 		jobID:    j.id,
-		item:     item,
+		item:     qi.item,
+		target:   qi.target,
+		contID:   qi.contID,
 		worker:   w.name,
 		holder:   w,
 		lastBeat: time.Now(),
@@ -483,13 +593,27 @@ func (c *Coordinator) grantLease(w *workerConn) error {
 		ID:            l.id,
 		Job:           j.id,
 		Spec:          j.spec,
-		Item:          item,
+		Item:          qi.item,
 		MaxSplitDepth: j.scenario.MaxShardBits(),
+		EventTarget:   qi.target,
+	}
+	// Continuation items ship the suspended parent frontier with the
+	// lease; blobs are immutable once stored, so the bytes may be written
+	// outside the lock.
+	var parent []byte
+	if qi.contID != 0 {
+		if b := j.conts[qi.contID]; b != nil {
+			parent = b.data
+		}
 	}
 	c.mu.Unlock()
 	c.reg.Add("sde_leases_issued_total", map[string]string{"worker": w.name}, 1)
 	c.reg.AddGauge("sde_worker_leases_active", map[string]string{"worker": w.name}, 1)
-	c.logf("lease %d: shard %s of %s -> %s", l.id, item.Label(), j.id, w.name)
+	c.logf("lease %d: shard %s of %s -> %s", l.id, qi.item.Label(), j.id, w.name)
+	if qi.contID != 0 {
+		c.reg.Add("sde_continuation_leases_total", nil, 1)
+		return writeContLease(w.conn, msg, parent)
+	}
 	return writeMsg(w.conn, MsgLease, msg)
 }
 
@@ -534,15 +658,17 @@ func (c *Coordinator) split(w *workerConn, leaseID uint64) {
 		return
 	}
 	it := l.item
-	if it.Depth >= j.scenario.MaxShardBits() {
-		// Cannot split further; run it whole on the next worker.
-		j.queue = append(j.queue, it)
+	if it.Depth >= j.scenario.MaxShardBits() || len(it.Cont) > 0 {
+		// Cannot split further — no bits left to pin, or a continuation
+		// item whose pinned decisions already materialised inside its
+		// parent frontier. Run it whole on the next worker.
+		j.queue = append(j.queue, queued{item: it, target: l.target, contID: l.contID})
 		c.reg.Add("sde_lease_requeues_total", map[string]string{"reason": "unsplittable"}, 1)
 		return
 	}
 	j.queue = append(j.queue,
-		sde.ShardItem{Depth: it.Depth + 1, Bits: it.Bits},
-		sde.ShardItem{Depth: it.Depth + 1, Bits: it.Bits | 1<<uint(it.Depth)})
+		queued{item: sde.ShardItem{Depth: it.Depth + 1, Bits: it.Bits}, target: l.target},
+		queued{item: sde.ShardItem{Depth: it.Depth + 1, Bits: it.Bits | 1<<uint(it.Depth)}, target: l.target})
 	c.reg.Add("sde_lease_splits_total", nil, 1)
 	c.logf("lease %d: shard %s of %s split", leaseID, it.Label(), l.jobID)
 }
@@ -565,12 +691,14 @@ func (c *Coordinator) completeLease(w *workerConn, hdr ResultHeader, snapshot []
 	}
 	if hdr.Stopped {
 		// The worker honoured a cancellation that has since been
-		// rescinded, or stopped for its own reasons: requeue.
-		c.requeueItemLocked(j, l.item, "stopped")
+		// rescinded, or stopped for its own reasons: requeue (keeping the
+		// parent-frontier reference — the item will run again).
+		c.requeueItemLocked(j, queued{item: l.item, target: l.target, contID: l.contID}, "stopped")
 		c.mu.Unlock()
 		return
 	}
 	j.leaves = append(j.leaves, sde.ShardLeaf{Item: l.item, Snapshot: snapshot})
+	c.releaseContLocked(j, l.contID)
 	c.reg.Add("sde_results_total", map[string]string{"worker": w.name}, 1)
 	finished := len(j.queue) == 0 && len(j.outstanding) == 0
 	c.mu.Unlock()
@@ -579,6 +707,61 @@ func (c *Coordinator) completeLease(w *workerConn, hdr ResultHeader, snapshot []
 	if finished {
 		c.finalizeJob(j)
 	}
+}
+
+// suspendLease records a lease that hit its depth horizon: the shipped
+// frontier is stored and fanned out as continuation items — the job's
+// fan-out clamped to what the frontier supports — each targeting the
+// next horizon. The suspended item itself is done; its sub-space is now
+// exactly covered by its continuation children.
+func (c *Coordinator) suspendLease(w *workerConn, hdr SuspendHeader, frontier []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[hdr.Lease]
+	if !ok || l.holder != w {
+		c.logf("worker %s: suspend for unknown lease %d dropped", w.name, hdr.Lease)
+		return
+	}
+	c.dropLeaseLocked(l)
+	j := c.jobs[l.jobID]
+	if j == nil || j.state != JobRunning {
+		return
+	}
+	if j.depthHorizon == 0 || hdr.Units < 1 {
+		// A suspension we never asked for (or an unusable one) would
+		// leave a hole in the cover: requeue the item to run again.
+		c.requeueItemLocked(j, queued{item: l.item, target: l.target, contID: l.contID}, "bad-suspend")
+		c.logf("lease %d: unexpected suspend from %s requeued", hdr.Lease, w.name)
+		return
+	}
+	f := j.horizonFanout
+	if f > hdr.Units {
+		f = hdr.Units
+	}
+	if f < 1 {
+		f = 1
+	}
+	j.nextCont++
+	contID := j.nextCont
+	j.conts[contID] = &contBlob{data: frontier, refs: f}
+	// The parent frontier this lease resumed from is no longer needed by
+	// this item — its continuation work is now covered by the children.
+	c.releaseContLocked(j, l.contID)
+	target := hdr.Events + j.depthHorizon
+	for seg := 0; seg < f; seg++ {
+		cont := make([]sde.ContStep, len(l.item.Cont)+1)
+		copy(cont, l.item.Cont)
+		cont[len(l.item.Cont)] = sde.ContStep{Seg: seg, Of: f}
+		j.queue = append(j.queue, queued{
+			item:   sde.ShardItem{Depth: l.item.Depth, Bits: l.item.Bits, Cont: cont},
+			target: target,
+			contID: contID,
+		})
+	}
+	c.reg.Add("sde_lease_suspensions_total", nil, 1)
+	c.reg.Set("sde_continuation_blobs", nil, float64(c.contBlobsLocked()))
+	c.logf("lease %d: shard %s of %s suspended at %d events (%d units) -> %d continuations",
+		hdr.Lease, l.item.Label(), l.jobID, hdr.Events, hdr.Units, f)
 }
 
 // failLease requeues a lease whose execution errored worker-side.
@@ -609,13 +792,13 @@ func (c *Coordinator) requeueLocked(l *lease, reason string) {
 	if j == nil || j.state != JobRunning {
 		return
 	}
-	c.requeueItemLocked(j, l.item, reason)
+	c.requeueItemLocked(j, queued{item: l.item, target: l.target, contID: l.contID}, reason)
 	c.logf("lease %d: shard %s of %s requeued (%s)", l.id, l.item.Label(), l.jobID, reason)
 }
 
-func (c *Coordinator) requeueItemLocked(j *job, item sde.ShardItem, reason string) {
+func (c *Coordinator) requeueItemLocked(j *job, qi queued, reason string) {
 	// Front of the queue: a recovered item is the oldest work we have.
-	j.queue = append([]sde.ShardItem{item}, j.queue...)
+	j.queue = append([]queued{qi}, j.queue...)
 	c.reg.Add("sde_lease_requeues_total", map[string]string{"reason": reason}, 1)
 }
 
@@ -651,6 +834,8 @@ func (c *Coordinator) finalizeJob(j *job) {
 		j.report = report
 		j.digest = digest
 	}
+	j.conts = nil
+	c.reg.Set("sde_continuation_blobs", nil, float64(c.contBlobsLocked()))
 	close(j.done)
 	c.reg.Set("sde_jobs_active", nil, float64(c.activeJobsLocked()))
 	c.mu.Unlock()

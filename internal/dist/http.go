@@ -18,6 +18,14 @@ type SubmitRequest struct {
 	// TestCases is the per-shard test-case budget used for the report
 	// and its digest (0 = none).
 	TestCases int `json:"test_cases"`
+	// DepthHorizon, when non-zero, partitions the job along the second
+	// shard dimension — exploration depth: leases suspend every
+	// DepthHorizon processed events and fan their frontiers out as
+	// continuation items (see JobOptions.DepthHorizon).
+	DepthHorizon uint64 `json:"depth_horizon,omitempty"`
+	// HorizonFanout is the continuation fan-out per suspension (0 =
+	// default 2 when DepthHorizon is set).
+	HorizonFanout int `json:"horizon_fanout,omitempty"`
 }
 
 // SubmitResponse answers a job submission.
@@ -57,7 +65,12 @@ func (c *Coordinator) HTTPHandler() http.Handler {
 			http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 			return
 		}
-		id, err := c.AddJob(req.Spec, req.ShardBits, req.TestCases)
+		id, err := c.AddJobWith(req.Spec, JobOptions{
+			ShardBits:     req.ShardBits,
+			TestCases:     req.TestCases,
+			DepthHorizon:  req.DepthHorizon,
+			HorizonFanout: req.HorizonFanout,
+		})
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return

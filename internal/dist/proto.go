@@ -61,6 +61,15 @@ const (
 	MsgResult
 	// MsgError reports a failed lease execution.
 	MsgError
+	// MsgContLease grants a continuation work item: the Lease JSON plus
+	// the suspended parent frontier the worker slice-resumes from. (New
+	// in wire version 4 — the handshake's version check keeps pre-4
+	// peers from ever seeing it.)
+	MsgContLease
+	// MsgSuspend delivers a lease that hit its depth horizon: JSON
+	// header plus the surviving frontier — the continuation payload the
+	// coordinator fans out as new work items. (New in wire version 4.)
+	MsgSuspend
 )
 
 // Hello is the worker's opening message.
@@ -92,6 +101,11 @@ type Lease struct {
 	// MaxSplitDepth caps straggler re-splitting for this job (the
 	// scenario's MaxShardBits at most); a worker never splits past it.
 	MaxSplitDepth int `json:"max_split_depth,omitempty"`
+	// EventTarget is the job's next depth horizon for this item as an
+	// absolute cumulative processed-event count (0 = run to completion).
+	// Absolute, so a crashed-and-resumed lease suspends on exactly the
+	// same event boundary.
+	EventTarget uint64 `json:"event_target,omitempty"`
 }
 
 // NoWork tells an idle worker when to ask again.
@@ -130,6 +144,17 @@ type ResultHeader struct {
 	Stopped bool `json:"stopped,omitempty"`
 }
 
+// SuspendHeader precedes the frontier bytes in a MsgSuspend payload.
+type SuspendHeader struct {
+	Lease uint64 `json:"lease"`
+	// Units is how many independently resumable slices the suspended
+	// frontier supports; the coordinator clamps the job's fan-out to it.
+	Units int `json:"units"`
+	// Events is the cumulative processed-event count at suspension; the
+	// continuation generation's EventTarget is Events + horizon.
+	Events uint64 `json:"events"`
+}
+
 // ErrorMsg reports a failed lease execution (the item is requeued).
 type ErrorMsg struct {
 	Lease uint64 `json:"lease"`
@@ -145,31 +170,66 @@ func writeMsg(w io.Writer, typ byte, v any) error {
 	return snap.WriteFrame(w, typ, payload)
 }
 
+// writeHdrBlob sends one frame carrying a JSON header followed by raw
+// bytes: uvarint header length, JSON header, blob. MsgResult, MsgSuspend,
+// and MsgContLease all use this shape.
+func writeHdrBlob(w io.Writer, typ byte, hdr any, blob []byte) error {
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("dist: encoding message %d header: %w", typ, err)
+	}
+	payload := make([]byte, 0, binary.MaxVarintLen64+len(hj)+len(blob))
+	payload = binary.AppendUvarint(payload, uint64(len(hj)))
+	payload = append(payload, hj...)
+	payload = append(payload, blob...)
+	return snap.WriteFrame(w, typ, payload)
+}
+
+// parseHdrBlob splits a header+blob payload back into its parts.
+func parseHdrBlob[T any](payload []byte) (T, []byte, error) {
+	var hdr T
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 || n > uint64(len(payload)-sz) {
+		return hdr, nil, fmt.Errorf("dist: %w: header length", snap.ErrCorrupt)
+	}
+	if err := json.Unmarshal(payload[sz:sz+int(n)], &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("dist: decoding header: %w", err)
+	}
+	return hdr, payload[sz+int(n):], nil
+}
+
 // writeResult sends a MsgResult frame: uvarint header length, JSON
 // header, raw snapshot bytes.
 func writeResult(w io.Writer, hdr ResultHeader, snapshot []byte) error {
-	hj, err := json.Marshal(hdr)
-	if err != nil {
-		return fmt.Errorf("dist: encoding result header: %w", err)
-	}
-	payload := make([]byte, 0, binary.MaxVarintLen64+len(hj)+len(snapshot))
-	payload = binary.AppendUvarint(payload, uint64(len(hj)))
-	payload = append(payload, hj...)
-	payload = append(payload, snapshot...)
-	return snap.WriteFrame(w, MsgResult, payload)
+	return writeHdrBlob(w, MsgResult, hdr, snapshot)
 }
 
 // parseResult splits a MsgResult payload back into header and snapshot.
 func parseResult(payload []byte) (ResultHeader, []byte, error) {
-	var hdr ResultHeader
-	n, sz := binary.Uvarint(payload)
-	if sz <= 0 || n > uint64(len(payload)-sz) {
-		return hdr, nil, fmt.Errorf("dist: %w: result header length", snap.ErrCorrupt)
-	}
-	if err := json.Unmarshal(payload[sz:sz+int(n)], &hdr); err != nil {
-		return hdr, nil, fmt.Errorf("dist: decoding result header: %w", err)
-	}
-	return hdr, payload[sz+int(n):], nil
+	return parseHdrBlob[ResultHeader](payload)
+}
+
+// writeSuspend sends a MsgSuspend frame: header plus the suspended
+// frontier bytes.
+func writeSuspend(w io.Writer, hdr SuspendHeader, frontier []byte) error {
+	return writeHdrBlob(w, MsgSuspend, hdr, frontier)
+}
+
+// parseSuspend splits a MsgSuspend payload back into header and frontier.
+func parseSuspend(payload []byte) (SuspendHeader, []byte, error) {
+	return parseHdrBlob[SuspendHeader](payload)
+}
+
+// writeContLease sends a MsgContLease frame: the lease plus the suspended
+// parent frontier the worker slice-resumes from.
+func writeContLease(w io.Writer, lease Lease, parent []byte) error {
+	return writeHdrBlob(w, MsgContLease, lease, parent)
+}
+
+// parseContLease splits a MsgContLease payload back into lease and
+// parent frontier.
+func parseContLease(payload []byte) (Lease, []byte, error) {
+	return parseHdrBlob[Lease](payload)
 }
 
 // decode unmarshals a JSON message payload.

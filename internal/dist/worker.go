@@ -187,7 +187,18 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 			if err != nil {
 				return err
 			}
-			if err := executeLease(ctx, conn, acks, lease, opts, logf, &crashed); err != nil {
+			if err := executeLease(ctx, conn, acks, lease, nil, opts, logf, &crashed); err != nil {
+				if ctx.Err() != nil && !crashed {
+					return nil
+				}
+				return err
+			}
+		case MsgContLease:
+			lease, parent, err := parseContLease(m.payload)
+			if err != nil {
+				return err
+			}
+			if err := executeLease(ctx, conn, acks, lease, parent, opts, logf, &crashed); err != nil {
 				if ctx.Err() != nil && !crashed {
 					return nil
 				}
@@ -202,10 +213,11 @@ func RunWorker(ctx context.Context, addr string, opts WorkerOptions) error {
 	}
 }
 
-// executeLease runs one lease and reports its outcome (result, split, or
-// error) back to the coordinator.
+// executeLease runs one lease and reports its outcome (result, suspend,
+// split, or error) back to the coordinator. parent is the suspended
+// ancestor frontier shipped with a continuation lease (nil otherwise).
 func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
-	lease Lease, opts WorkerOptions, logf func(string, ...any), crashed *bool) error {
+	lease Lease, parent []byte, opts WorkerOptions, logf func(string, ...any), crashed *bool) error {
 	scenario, err := lease.Spec.Scenario()
 	if err != nil {
 		return writeMsg(conn, MsgError, ErrorMsg{Lease: lease.ID, Msg: err.Error()})
@@ -271,9 +283,7 @@ func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
 		if cancelled {
 			return true
 		}
-		if opts.SplitStates > 0 && states > opts.SplitStates &&
-			time.Since(started) >= opts.SplitAfter &&
-			starved && lease.Item.Depth < lease.MaxSplitDepth {
+		if splitWanted(opts, lease, states, time.Since(started), starved) {
 			wantSplit = true
 			return true
 		}
@@ -289,6 +299,8 @@ func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
 		EnableMerge:        lease.EnableMerge || opts.EnableMerge,
 		EnableReduce:       lease.EnableReduce || opts.EnableReduce,
 		Progress:           progress,
+		EventTarget:        lease.EventTarget,
+		Continuation:       parent,
 	})
 	switch {
 	case *crashed:
@@ -302,8 +314,29 @@ func executeLease(ctx context.Context, conn net.Conn, acks <-chan HeartbeatAck,
 	case out.Stopped:
 		logf("lease %d: stopped", lease.ID)
 		return writeResult(conn, ResultHeader{Lease: lease.ID, Stopped: true}, nil)
+	case out.Suspended:
+		logf("lease %d: suspended at %d events (%d units, %d frontier bytes)",
+			lease.ID, out.Events, out.Units, len(out.Snapshot))
+		return writeSuspend(conn, SuspendHeader{
+			Lease: lease.ID, Units: out.Units, Events: out.Events,
+		}, out.Snapshot)
 	default:
 		logf("lease %d: done, %d snapshot bytes", lease.ID, len(out.Snapshot))
 		return writeResult(conn, ResultHeader{Lease: lease.ID}, out.Snapshot)
 	}
+}
+
+// splitWanted decides whether a running lease should be abandoned for a
+// straggler re-split: self-splitting must be armed, the lease must look
+// heavy (live states over the threshold after the grace period), the
+// coordinator must be reporting a starved queue, and the item must still
+// be splittable — below the job's pin cap and not a continuation item,
+// whose pinned decisions already materialised inside its parent frontier
+// (the depth dimension subdivides those instead).
+func splitWanted(opts WorkerOptions, lease Lease, states int, elapsed time.Duration, starved bool) bool {
+	return opts.SplitStates > 0 && states > opts.SplitStates &&
+		elapsed >= opts.SplitAfter &&
+		starved &&
+		lease.Item.Depth < lease.MaxSplitDepth &&
+		len(lease.Item.Cont) == 0
 }

@@ -252,11 +252,12 @@ func (r ReduceStats) String() string {
 // scheduling counterpart of the per-run Sample series — per-worker
 // utilisation, steal/split activity, and cross-shard solver-cache reuse.
 type SchedStats struct {
-	Workers int // worker pool size
-	Shards  int // leaf shards that ran to completion
-	Steals  int // work items executed by a worker other than their creator
-	Splits  int // straggling shards subdivided in place
-	Resumed int // work items restored from durable checkpoints
+	Workers     int // worker pool size
+	Shards      int // leaf shards that ran to completion
+	Steals      int // work items executed by a worker other than their creator
+	Splits      int // straggling shards subdivided in place
+	Resumed     int // work items restored from durable checkpoints
+	Suspensions int // runs suspended at a depth horizon and fanned out as continuations
 
 	SharedLookups int64 // cross-shard solver cache lookups
 	SharedHits    int64 // lookups answered from the cross-shard cache

@@ -99,6 +99,29 @@ func (e *Engine) writeCheckpoint() error {
 // fresh builder whose variable ids match the interrupted run's, so every
 // hash, fingerprint, and future canonicalisation is reproduced exactly.
 func ResumeEngine(cfg Config, data []byte) (*Engine, error) {
+	return resumeSnapshot(cfg, data, 0, 1)
+}
+
+// ResumeEngineSlice rebuilds an engine from slice seg of a suspended
+// frontier partitioned `of` ways — the resume half of depth-horizon
+// continuation sharding. The snapshot is decoded whole (interning every
+// variable, so ids stay deterministic across slices) and then cut along
+// dscenario rows: slice seg keeps the COB dscenarios whose creation-order
+// index i satisfies i % of == seg, plus exactly the states they
+// reference. COB's invariant that every state belongs to exactly one
+// dscenario makes the slices disjoint; their union is the whole frontier.
+// COW and SDS frontiers are not sliceable (states share buckets), so for
+// them only of == 1 is accepted. Slice 0 is the carrier: it keeps the
+// snapshot's accumulated violations, samples, and peak/wall telemetry,
+// which the other slices zero so sharded assembly sums each exactly once.
+func ResumeEngineSlice(cfg Config, data []byte, seg, of int) (*Engine, error) {
+	if of < 1 || seg < 0 || seg >= of {
+		return nil, fmt.Errorf("sim: slice %d/%d out of range", seg, of)
+	}
+	return resumeSnapshot(cfg, data, seg, of)
+}
+
+func resumeSnapshot(cfg Config, data []byte, seg, of int) (*Engine, error) {
 	e, err := newEngineShell(cfg)
 	if err != nil {
 		return nil, err
@@ -114,6 +137,11 @@ func ResumeEngine(cfg Config, data []byte) (*Engine, error) {
 	if sp.Topology != cfg.Topo.Name() || sp.K != cfg.Topo.K() {
 		return nil, fmt.Errorf("sim: checkpoint topology %s (k=%d) does not match config %s (k=%d)",
 			sp.Topology, sp.K, cfg.Topo.Name(), cfg.Topo.K())
+	}
+	if of > 1 {
+		if err := sliceSnapshot(sp, seg, of); err != nil {
+			return nil, err
+		}
 	}
 	// Counters first: restored sessions and future forks must draw ids
 	// after every id the snapshot already handed out.
@@ -208,4 +236,61 @@ func ResumeEngine(cfg Config, data []byte) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// sliceSnapshot cuts a decoded suspension snapshot down to slice seg of
+// `of`, in place. Only COB frontiers are sliceable — each dscenario row
+// is a disjoint set of states (every state belongs to exactly one
+// dscenario), so keeping rows i with i % of == seg and exactly the
+// states they reference yields a valid, independently resumable
+// sub-frontier. Row order (creation order) is deterministic, so every
+// consumer of the same snapshot cuts identical slices. Pages referenced
+// only by dropped states stay in the table; restoring ignores them.
+func sliceSnapshot(sp *snap.Snapshot, seg, of int) error {
+	if len(sp.Merged) > 0 {
+		// Suspension splits all merged reps before the snapshot is written,
+		// so a continuation payload never carries them.
+		return fmt.Errorf("sim: cannot slice a snapshot with merged representatives")
+	}
+	if sp.Mapper == nil {
+		return fmt.Errorf("sim: cannot slice a snapshot without a mapper")
+	}
+	if sp.Mapper.Algorithm != core.COBAlgorithm {
+		return fmt.Errorf("sim: %v frontiers are not sliceable (states share grouping structure); use fanout 1",
+			sp.Mapper.Algorithm)
+	}
+	keepRows := make([][]uint64, 0, (len(sp.Mapper.Scenarios)+of-1)/of)
+	keepIDs := make(map[uint64]bool)
+	for i, row := range sp.Mapper.Scenarios {
+		if i%of != seg {
+			continue
+		}
+		keepRows = append(keepRows, row)
+		for _, id := range row {
+			keepIDs[id] = true
+		}
+	}
+	if len(keepRows) == 0 {
+		return fmt.Errorf("sim: slice %d/%d keeps none of the %d dscenarios",
+			seg, of, len(sp.Mapper.Scenarios))
+	}
+	sp.Mapper.Scenarios = keepRows
+	kept := sp.States[:0]
+	for _, img := range sp.States {
+		if keepIDs[img.ID] {
+			kept = append(kept, img)
+		}
+	}
+	sp.States = kept
+	if seg != 0 {
+		// Slice 0 is the carrier of everything accumulated before the
+		// suspension — violations, samples, wall time, peaks — so sharded
+		// assembly sums each contribution exactly once.
+		sp.Violations = nil
+		sp.Samples = nil
+		sp.PriorWall = 0
+		sp.PeakStates = 0
+		sp.PeakMem = 0
+	}
+	return nil
 }

@@ -76,6 +76,17 @@ type Config struct {
 	// are not executed (paper: "The simulation time is 10 seconds").
 	Horizon uint64
 
+	// EventBudget, when > 0, suspends the run once the cumulative
+	// processed-event count reaches it and live pre-horizon work remains:
+	// Step returns false and the Result reports Suspended. The count is
+	// absolute — a resumed engine continues from the snapshot's event
+	// counter — so a chain of suspensions lands on the same boundaries no
+	// matter how many times the run was checkpointed, crashed, or shipped
+	// between processes. This is the depth-horizon cutoff behind
+	// continuation sharding: the surviving frontier is snapshotted and
+	// re-partitioned instead of finishing on one engine.
+	EventBudget uint64
+
 	Failures FailurePlan
 
 	// NodeInit seeds per-node memory (roles, routing tables) before boot.
@@ -218,6 +229,16 @@ type Result struct {
 	// rather than starting fresh. Wall includes the time the interrupted
 	// run(s) already spent.
 	Resumed bool
+	// Suspended reports that the run hit its EventBudget with live
+	// pre-horizon work remaining. The frontier snapshot written at the
+	// suspension point is the continuation; SuspendUnits says how many
+	// disjoint slices it supports (see ResumeEngineSlice).
+	Suspended bool
+	// SuspendUnits is the number of independently resumable slices of a
+	// suspended frontier: COB dscenarios are disjoint state sets, so each
+	// row can continue on its own engine; COW/SDS states share structure
+	// across the whole frontier and yield a single unit.
+	SuspendUnits int
 
 	Wall         time.Duration
 	VirtualTime  uint64
@@ -286,6 +307,7 @@ type Engine struct {
 	aborted        bool
 	abortReason    string
 	stopped        bool
+	suspended      bool
 	finished       bool
 	err            error
 
@@ -524,8 +546,24 @@ func (e *Engine) adopt(states []*vm.State) {
 // spawns). It returns false when the run is complete: no events remain
 // before the horizon, the run was aborted, or a fatal error occurred.
 func (e *Engine) Step() bool {
-	if e.finished || e.aborted || e.stopped || e.err != nil {
+	if e.finished || e.aborted || e.stopped || e.suspended || e.err != nil {
 		return false
+	}
+	if e.cfg.EventBudget > 0 && e.events >= e.cfg.EventBudget {
+		// Depth-horizon cutoff. Merged reps are split first: a continuation
+		// snapshot must carry exact member states so it can be sliced along
+		// dscenario boundaries (splitting is bit-neutral — Finish does the
+		// same before result assembly). The speculation pipeline needs no
+		// such treatment: it is fully drained at the end of every
+		// activation, so between Steps it is always empty.
+		if e.mergeMgr != nil {
+			e.mergeMgr.SplitAllIdle()
+		}
+		if e.hasLiveWork() {
+			e.suspended = true
+			return false
+		}
+		// Nothing live before the horizon: finish normally below.
 	}
 	if reason := e.capExceeded(); reason != "" {
 		e.abort(reason)
@@ -593,6 +631,25 @@ func (e *Engine) Step() bool {
 	}
 }
 
+// hasLiveWork reports whether any state still has a pending event inside
+// the virtual-time horizon — the condition under which hitting the
+// EventBudget suspends instead of finishing.
+func (e *Engine) hasLiveWork() bool {
+	for _, s := range e.states {
+		if s.Status() != vm.StatusIdle {
+			continue
+		}
+		t, ok := s.NextEventTime()
+		if !ok {
+			continue
+		}
+		if e.cfg.Horizon == 0 || t <= e.cfg.Horizon {
+			return true
+		}
+	}
+	return false
+}
+
 // Run drives the engine to completion and returns the result.
 func (e *Engine) Run() (*Result, error) {
 	for e.Step() {
@@ -602,7 +659,9 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, e.err
 	}
 	// A final checkpoint makes completed runs durable too: resuming a
-	// finished run replays zero events and reports the same result.
+	// finished run replays zero events and reports the same result. For a
+	// suspended run this write is the continuation payload itself — the
+	// surviving frontier at the event-budget boundary.
 	if e.cfg.CheckpointDir != "" && e.events != e.lastCkpt {
 		if err := e.writeCheckpoint(); err != nil {
 			return nil, fmt.Errorf("sim: checkpoint: %w", err)
@@ -630,6 +689,7 @@ func (e *Engine) Finish() *Result {
 		Aborted:      e.aborted,
 		AbortReason:  e.abortReason,
 		Stopped:      e.stopped,
+		Suspended:    e.suspended,
 		Resumed:      e.resumed,
 		Wall:         e.priorWall + time.Since(e.started),
 		VirtualTime:  e.clock,
@@ -646,6 +706,17 @@ func (e *Engine) Finish() *Result {
 		SolverStats:  e.ctx.Solver.Stats(),
 		Mapper:       e.mapper,
 		Ctx:          e.ctx,
+	}
+	if e.suspended {
+		// COB keeps every state in exactly one dscenario
+		// (core.COB.CheckInvariants), so each row is an independently
+		// resumable slice. COW/SDS frontiers share buckets/virtual states
+		// across the whole population and continue as one unit.
+		if e.cfg.Algorithm == core.COBAlgorithm {
+			res.SuspendUnits = e.mapper.NumGroups()
+		} else {
+			res.SuspendUnits = 1
+		}
 	}
 	if e.specPool != nil {
 		ps := e.specPool.Stats()

@@ -1,0 +1,233 @@
+package sim_test
+
+// Depth-horizon suspension tests: an event budget pauses a run at an
+// absolute cumulative event count, the surviving frontier snapshot is
+// sliced along dscenario rows, and the union of the resumed slices must
+// be indistinguishable from the uninterrupted run.
+
+import (
+	"strings"
+	"testing"
+
+	"sde/internal/core"
+	"sde/internal/sim"
+)
+
+// runToCompletion runs cfg with no event budget and returns the result.
+func runToCompletion(t *testing.T, cfg sim.Config) *sim.Result {
+	t.Helper()
+	cfg.EventBudget = 0
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspended {
+		t.Fatal("run without a budget reported Suspended")
+	}
+	return res
+}
+
+// suspendAt runs cfg up to the absolute event budget and returns the
+// suspended result plus the encoded frontier snapshot.
+func suspendAt(t *testing.T, cfg sim.Config, budget uint64) (*sim.Result, []byte) {
+	t.Helper()
+	cfg.EventBudget = budget
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Suspended {
+		t.Fatalf("run did not suspend at budget %d (events=%d)", budget, res.Events)
+	}
+	if res.Events < budget {
+		t.Fatalf("suspended at %d events, before the budget %d", res.Events, budget)
+	}
+	sp, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sp.Encode(eng.Ctx().Exprs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, data
+}
+
+// fingerprints hashes each exploded dscenario of the result, mirroring
+// the sharding tests' strong set oracle.
+func fingerprints(res *sim.Result) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, sc := range res.Mapper.Explode(0) {
+		h := uint64(14695981039346656037)
+		for _, s := range sc {
+			h ^= s.Fingerprint()
+			h *= 1099511628211
+		}
+		out[h] = true
+	}
+	return out
+}
+
+// TestSuspendAndSliceResume is the depth dimension's core soundness
+// property: suspend a COB run at an event budget, slice its frontier Of
+// ways, resume every slice to completion, and require the union of the
+// slices' dscenario sets to equal the uninterrupted run's exactly —
+// disjointly, since slices partition the parent's rows.
+func TestSuspendAndSliceResume(t *testing.T) {
+	cfg := collectConfig(t, core.COBAlgorithm)
+	ref := runToCompletion(t, cfg)
+	refFPs := fingerprints(ref)
+
+	res, data := suspendAt(t, cfg, 100)
+	if res.SuspendUnits < 2 {
+		t.Fatalf("SuspendUnits = %d, want >= 2 for a COB frontier", res.SuspendUnits)
+	}
+	const of = 2
+	got := map[uint64]bool{}
+	states := 0
+	for seg := 0; seg < of; seg++ {
+		eng, err := sim.ResumeEngineSlice(cfg, data, seg, of)
+		if err != nil {
+			t.Fatalf("slice %d/%d: %v", seg, of, err)
+		}
+		sres, err := eng.Run()
+		if err != nil {
+			t.Fatalf("slice %d/%d: %v", seg, of, err)
+		}
+		if sres.Suspended {
+			t.Fatalf("slice %d/%d suspended without a budget", seg, of)
+		}
+		states += sres.FinalStates
+		for fp := range fingerprints(sres) {
+			if got[fp] {
+				t.Fatalf("dscenario %x appears in two slices", fp)
+			}
+			got[fp] = true
+		}
+	}
+	if len(got) != len(refFPs) {
+		t.Fatalf("slice union has %d dscenarios, uninterrupted run %d", len(got), len(refFPs))
+	}
+	for fp := range refFPs {
+		if !got[fp] {
+			t.Fatal("slice union is missing an uninterrupted dscenario")
+		}
+	}
+	if states != ref.FinalStates {
+		t.Errorf("slice union has %d final states, uninterrupted run %d", states, ref.FinalStates)
+	}
+}
+
+// TestChainedSuspension checks the fan-out-1 path COW and SDS frontiers
+// use: suspend, resume the whole frontier (slice 0/1), suspend again at
+// the next absolute boundary, and the final completion must match the
+// uninterrupted run. The budget being absolute — not relative to each
+// resume — is what pins every generation to the same event boundaries.
+func TestChainedSuspension(t *testing.T) {
+	for _, algo := range []core.Algorithm{core.COWAlgorithm, core.SDSAlgorithm} {
+		t.Run(algo.String(), func(t *testing.T) {
+			cfg := collectConfig(t, algo)
+			ref := runToCompletion(t, cfg)
+			refFPs := fingerprints(ref)
+
+			res, data := suspendAt(t, cfg, 50)
+			if res.SuspendUnits != 1 {
+				t.Fatalf("SuspendUnits = %d, want 1 for a %v frontier", res.SuspendUnits, algo)
+			}
+			events := res.Events
+			final := res
+			for hops := 0; ; hops++ {
+				if hops > 64 {
+					t.Fatal("continuation chain did not terminate")
+				}
+				next := cfg
+				next.EventBudget = events + 50
+				eng, err := sim.ResumeEngineSlice(next, data, 0, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				final, err = eng.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !final.Suspended {
+					break
+				}
+				events = final.Events
+				sp, err := eng.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err = sp.Encode(eng.Ctx().Exprs)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			gotFPs := fingerprints(final)
+			if len(gotFPs) != len(refFPs) {
+				t.Fatalf("chained run has %d dscenarios, uninterrupted %d", len(gotFPs), len(refFPs))
+			}
+			for fp := range refFPs {
+				if !gotFPs[fp] {
+					t.Fatal("chained run is missing an uninterrupted dscenario")
+				}
+			}
+			if final.FinalStates != ref.FinalStates {
+				t.Errorf("chained run has %d final states, uninterrupted %d", final.FinalStates, ref.FinalStates)
+			}
+		})
+	}
+}
+
+// TestBudgetBeyondRunFinishes: a budget past the run's natural end must
+// not suspend — the frontier drains first.
+func TestBudgetBeyondRunFinishes(t *testing.T) {
+	cfg := collectConfig(t, core.SDSAlgorithm)
+	cfg.EventBudget = 1 << 40
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suspended {
+		t.Fatal("run suspended even though the budget was beyond its end")
+	}
+}
+
+// TestSliceResumeRejects covers the slice validation surface: bad
+// (seg, of) pairs and non-sliceable frontiers.
+func TestSliceResumeRejects(t *testing.T) {
+	cob := collectConfig(t, core.COBAlgorithm)
+	_, cobData := suspendAt(t, cob, 100)
+
+	if _, err := sim.ResumeEngineSlice(cob, cobData, 2, 2); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("seg==of: err = %v, want out of range", err)
+	}
+	if _, err := sim.ResumeEngineSlice(cob, cobData, 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "out of range") {
+		t.Errorf("of==0: err = %v, want out of range", err)
+	}
+
+	sds := collectConfig(t, core.SDSAlgorithm)
+	_, sdsData := suspendAt(t, sds, 50)
+	if _, err := sim.ResumeEngineSlice(sds, sdsData, 0, 2); err == nil ||
+		!strings.Contains(err.Error(), "not sliceable") {
+		t.Errorf("SDS slice: err = %v, want not sliceable", err)
+	}
+	// Fan-out 1 is the non-COB escape hatch: the whole frontier resumes.
+	if _, err := sim.ResumeEngineSlice(sds, sdsData, 0, 1); err != nil {
+		t.Errorf("SDS fanout 1: %v", err)
+	}
+}

@@ -54,7 +54,14 @@ var magic = []byte("SDEsnp\x00")
 // version-3 reader still accepts version-2 snapshots; a version-2 blob
 // carrying merged-frontier bytes is rejected as corrupt — the old format
 // has no way to express a merged frontier.
-const version = 3
+//
+// version 4 accompanies the depth-horizon continuation protocol: the
+// snapshot body is unchanged (a version-4 blob decodes exactly like a
+// version-3 one), but the exploration service grew continuation lease
+// and frontier-suspension message kinds, and WireVersion tracks this
+// constant — bumping it makes pre-4 peers reject the handshake instead
+// of misparsing frames they do not know.
+const version = 4
 
 // oldVersion is the oldest format this reader still decodes.
 const oldVersion = 2

@@ -110,11 +110,39 @@ type ShardConfig struct {
 	// report dedupes the synthesized orbit twins across leaves. Off by
 	// default.
 	EnableReduce bool
+
+	// DepthHorizon, when non-zero, adds exploration depth as a second
+	// shard dimension: every work item suspends once its cumulative
+	// processed-event count reaches the next multiple of the horizon and
+	// live work remains, and its surviving frontier fans out into
+	// HorizonFanout continuation items that re-enter the queue like any
+	// other shard. A scenario with zero shardable bits but deep branching
+	// then still spreads across the pool. The (DepthHorizon,
+	// HorizonFanout) pair is part of the partition definition: two runs —
+	// local or distributed — produce bit-identical reports iff they agree
+	// on it, exactly as they must agree on ShardBits.
+	DepthHorizon uint64
+
+	// HorizonFanout is how many continuation slices one suspension
+	// produces (default 2 when DepthHorizon is set; ignored otherwise).
+	// It is clamped to the suspended frontier's independently resumable
+	// unit count (COB: live dscenarios; COW/SDS: 1 — those frontiers
+	// continue as a chain rather than a fan). Deliberately NOT derived
+	// from Workers: the fan-out shapes the leaf partition, and the
+	// partition must not depend on pool size.
+	HorizonFanout int
 }
 
 const (
 	defaultSplitThreshold = 4096
 	defaultSplitAfter     = 2 * time.Second
+
+	// defaultHorizonFanout is how many continuation slices one suspension
+	// produces when DepthHorizon is set and HorizonFanout is not. Small
+	// and fixed: each horizon generation doubles the parallelism, so a
+	// deep run fans out geometrically without the fan-out ever depending
+	// on pool or fleet size (which would break digest stability).
+	defaultHorizonFanout = 2
 )
 
 // ShardReport is the outcome of one shard of a sharded run.
@@ -216,13 +244,18 @@ func (r *ShardedReport) Aborted() (bool, string) {
 
 // workItem identifies one sub-space of the dscenario partition: bit i of
 // bits is the pinned value of the i-th shardable drop decision, depth
-// says how many bits are pinned. The set of completed items always forms
-// a prefix-free cover of the space, so their union is exactly the
-// unsharded exploration regardless of how splitting unfolded.
+// says how many bits are pinned, and cont narrows the item along the
+// depth dimension to one slice of a suspended ancestor's frontier. The
+// set of completed items always forms a prefix-free cover of the
+// two-dimensional space, so their union is exactly the unsharded
+// exploration regardless of how splitting and suspension unfolded.
 type workItem struct {
 	depth  int
 	bits   uint64
-	origin int // worker that enqueued it; -1 for the initial pre-split
+	cont   []ContStep // continuation path (empty for a plain bit shard)
+	target uint64     // absolute event count of the next horizon (0 = none)
+	parent []byte     // suspended ancestor frontier to slice-resume from
+	origin int        // worker that enqueued it; -1 for the initial pre-split
 }
 
 type leafResult struct {
@@ -247,17 +280,20 @@ type shardSched struct {
 	queue   []workItem
 	pending int // queued + in-flight items
 
-	leaves  []leafResult
-	errs    []error
-	steals  int
-	splits  int
-	resumed int
-	busy    []time.Duration
+	leaves      []leafResult
+	errs        []error
+	steals      int
+	splits      int
+	resumed     int
+	suspensions int
+	busy        []time.Duration
 }
 
 // exported converts the scheduler-internal work item to its public form
 // (the one the exploration service leases over the wire).
-func (it workItem) exported() ShardItem { return ShardItem{Depth: it.depth, Bits: it.bits} }
+func (it workItem) exported() ShardItem {
+	return ShardItem{Depth: it.depth, Bits: it.bits, Cont: it.cont}
+}
 
 func (sc *shardSched) pinFor(item workItem) map[string]uint64 {
 	return sc.scenario.shardPin(item.exported())
@@ -286,16 +322,20 @@ func (sc *shardSched) progressHook(states int, elapsed time.Duration) bool {
 
 // runItem executes one shard run. Splittable items (depth below the
 // cap) get the progress hook installed so the scheduler can cut them
-// short.
-func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error) {
+// short — except continuation items: their pinned decisions already
+// materialised inside the parent frontier, so pinning more bits cannot
+// subdivide them (the depth dimension subdivides them instead). The
+// fourth return is the suspended frontier when the run hit its horizon.
+func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, []byte, error) {
 	pin := sc.pinFor(item)
 	cfg := sc.scenario.cfg
 	cfg.Pin = pin
 	cfg.SharedSolverCache = sc.cache
-	if item.depth < sc.cfg.MaxSplitBits {
+	if item.depth < sc.cfg.MaxSplitBits && len(item.cont) == 0 {
 		cfg.Progress = sc.progressHook
 	}
 	cfg.CheckpointEvery = sc.cfg.CheckpointEvery
+	cfg.EventBudget = item.target
 	cfg.DisableSpeculation = sc.cfg.DisableSpeculation
 	cfg.SpecWorkers = sc.cfg.SpecWorkers
 	cfg.DisableCompiledIR = cfg.DisableCompiledIR || sc.cfg.DisableCompiledIR
@@ -304,22 +344,20 @@ func (sc *shardSched) runItem(item workItem) (*Report, map[string]uint64, error)
 	shard := sc.scenario
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", sc.scenario.desc, bitLabel(item))
-	var report *Report
-	var err error
+	dir := ""
 	if sc.cfg.CheckpointDir != "" {
-		report, err = runOrResume(shard, filepath.Join(sc.cfg.CheckpointDir, shardDirName(item)))
-	} else {
-		report, err = RunScenario(shard)
+		dir = filepath.Join(sc.cfg.CheckpointDir, shardDirName(item))
 	}
+	report, suspend, err := runShardItem(shard, dir, item.cont, item.parent)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	// Scrub the run-time hooks from the stored scenario: a replay
 	// through this report must not be stopped by the (now stale)
-	// scheduler hook, write into the shared cache, or overwrite the
-	// shard's checkpoint.
+	// scheduler hook or event budget, write into the shared cache, or
+	// overwrite the shard's checkpoint.
 	scrubRunHooks(report)
-	return report, pin, nil
+	return report, pin, suspend, nil
 }
 
 func (sc *shardSched) worker(id int) {
@@ -340,7 +378,7 @@ func (sc *shardSched) worker(id int) {
 		sc.mu.Unlock()
 
 		start := time.Now()
-		report, pin, err := sc.runItem(item)
+		report, pin, suspend, err := sc.runItem(item)
 		elapsed := time.Since(start)
 
 		sc.mu.Lock()
@@ -361,6 +399,38 @@ func (sc *shardSched) worker(id int) {
 				child := workItem{
 					depth:  item.depth + 1,
 					bits:   item.bits | b<<uint(item.depth),
+					target: item.target,
+					origin: id,
+				}
+				sc.queue = append(sc.queue, child)
+				sc.pending++
+				sc.cond.Signal()
+			}
+		case report.res.Suspended:
+			// Depth horizon: fan the surviving frontier out as continuation
+			// items. The fan-out is the configured one clamped to what the
+			// frontier supports (COW/SDS suspend as a single unit and
+			// continue as a chain) — never the worker count, which must not
+			// shape the partition.
+			sc.suspensions++
+			f := sc.cfg.HorizonFanout
+			if u := report.res.SuspendUnits; f > u {
+				f = u
+			}
+			if f < 1 {
+				f = 1
+			}
+			target := report.res.Events + sc.cfg.DepthHorizon
+			for seg := 0; seg < f; seg++ {
+				cont := make([]ContStep, len(item.cont)+1)
+				copy(cont, item.cont)
+				cont[len(item.cont)] = ContStep{Seg: seg, Of: f}
+				child := workItem{
+					depth:  item.depth,
+					bits:   item.bits,
+					cont:   cont,
+					target: target,
+					parent: suspend,
 					origin: id,
 				}
 				sc.queue = append(sc.queue, child)
@@ -423,6 +493,17 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 	if cfg.SplitAfter <= 0 {
 		cfg.SplitAfter = defaultSplitAfter
 	}
+	if cfg.HorizonFanout < 0 {
+		return nil, fmt.Errorf("sde: HorizonFanout must be >= 0 (got %d); 0 means the default", cfg.HorizonFanout)
+	}
+	if cfg.HorizonFanout > maxContFanout {
+		return nil, fmt.Errorf("sde: HorizonFanout %d exceeds the maximum %d", cfg.HorizonFanout, maxContFanout)
+	}
+	if cfg.DepthHorizon == 0 {
+		cfg.HorizonFanout = 0
+	} else if cfg.HorizonFanout == 0 {
+		cfg.HorizonFanout = defaultHorizonFanout
+	}
 
 	sc := &shardSched{
 		scenario: s,
@@ -438,6 +519,7 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 		sc.queue = append(sc.queue, workItem{
 			depth:  cfg.ShardBits,
 			bits:   uint64(shard),
+			target: cfg.DepthHorizon,
 			origin: -1,
 		})
 	}
@@ -460,12 +542,13 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 	}
 
 	sched := SchedStats{
-		Workers:    cfg.Workers,
-		Steals:     sc.steals,
-		Splits:     sc.splits,
-		Resumed:    sc.resumed,
-		WorkerBusy: sc.busy,
-		Elapsed:    time.Since(start),
+		Workers:     cfg.Workers,
+		Steals:      sc.steals,
+		Splits:      sc.splits,
+		Resumed:     sc.resumed,
+		Suspensions: sc.suspensions,
+		WorkerBusy:  sc.busy,
+		Elapsed:     time.Since(start),
 	}
 	if sc.cache != nil {
 		st := sc.cache.Stats()
@@ -481,8 +564,11 @@ func RunScenarioShardedWith(s Scenario, cfg ShardConfig) (*ShardedReport, error)
 // like a local one.
 func finalizeSharded(s Scenario, leaves []leafResult, sched SchedStats) *ShardedReport {
 	// Order the leaves deterministically — lexicographically by pinned
-	// bit string, LSB (first shardable decision) first — so shard
-	// indices are stable across scheduling interleavings.
+	// bit string, LSB (first shardable decision) first, then by
+	// continuation path — so shard indices are stable across scheduling
+	// interleavings. Within one (depth, bits) base the continuation
+	// paths are prefix-free (a valid cover), so element-wise (seg, of)
+	// comparison with shorter-first tie-break is a total order.
 	sort.Slice(leaves, func(i, j int) bool {
 		a, b := leaves[i].item, leaves[j].item
 		n := a.depth
@@ -496,7 +582,22 @@ func finalizeSharded(s Scenario, leaves []leafResult, sched SchedStats) *Sharded
 				return ab < bb
 			}
 		}
-		return a.depth < b.depth
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		m := len(a.cont)
+		if len(b.cont) < m {
+			m = len(b.cont)
+		}
+		for k := 0; k < m; k++ {
+			if a.cont[k].Seg != b.cont[k].Seg {
+				return a.cont[k].Seg < b.cont[k].Seg
+			}
+			if a.cont[k].Of != b.cont[k].Of {
+				return a.cont[k].Of < b.cont[k].Of
+			}
+		}
+		return len(a.cont) < len(b.cont)
 	})
 	shards := make([]ShardReport, len(leaves))
 	for i, leaf := range leaves {

@@ -4,6 +4,12 @@
 # worker mid-run, and require the final report digest to be bit-identical
 # to an in-process sharded run of the same spec.
 #
+# Phase 2 exercises the second shard dimension: a deepchain job with zero
+# shardable decision sites is spread purely by depth-horizon continuation
+# leases; the lone worker is SIGKILLed after taking a continuation lease
+# and a fresh worker must finish the job with the in-process oracle's
+# digest.
+#
 # Usage: scripts/service_e2e.sh [logdir]
 # Exit 0 on success. Logs land in $logdir (default ./e2e-logs).
 set -u -o pipefail
@@ -12,6 +18,10 @@ LOGDIR="${1:-e2e-logs}"
 mkdir -p "$LOGDIR"
 BIN="$LOGDIR/bin"
 WORK="$LOGDIR/work"
+# Worker checkpoints only compose within one run: a worker restarted
+# with a stale workdir would resume leases from another build's
+# snapshots. Start every gauntlet from a clean slate.
+rm -rf "$WORK"
 mkdir -p "$BIN" "$WORK"
 
 SPEC='{"workload":"collect","topology":"grid:3","packets":2,"drops":"route+neighbors"}'
@@ -123,4 +133,89 @@ REQUEUES=$(echo "$METRICS" | sed -n 's/^sde_lease_requeues_total{reason="disconn
   || fail "expected >= 1 disconnect requeue, got '$REQUEUES'"
 echo "$METRICS" | grep -q '^sde_results_total' || fail "no results recorded in metrics"
 
-say "PASS: report survived a worker SIGKILL bit-identical (digest $DIGEST, $REQUEUES requeue(s))"
+say "PASS phase 1: report survived a worker SIGKILL bit-identical (digest $DIGEST, $REQUEUES requeue(s))"
+
+# ---------------------------------------------------------------------------
+# Phase 2: depth-horizon partitioning. The deepchain workload has zero
+# shardable decision sites (MaxShardBits() == 0), so without a depth
+# horizon the whole job would be a single lease no fleet can share.
+# ---------------------------------------------------------------------------
+
+say "phase 2: depth-horizon partitioning on a zero-shardable-bits job"
+
+DSPEC='{"workload":"deepchain","topology":"line:6","algorithm":"cob","ticks":48,"iters":512}'
+HORIZON=400
+FANOUT=4
+
+# The surviving phase-1 worker would otherwise drain the new job; this
+# phase wants full control over who holds the continuation leases.
+kill "${PIDS[2]}" 2>/dev/null || true
+sleep 0.3
+
+DORACLE=$("$BIN/sde-serve" -oracle "$DSPEC" -oracle-bits 0 -oracle-testcases $TEST_CASES \
+  -oracle-horizon $HORIZON -oracle-fanout $FANOUT) || fail "depth oracle run"
+say "depth oracle digest: $DORACLE"
+
+"$BIN/sde-worker" -connect "$COORD_ADDR" -name d0 -workdir "$WORK/d0" \
+  -checkpoint-every 1 -heartbeat 50ms -retry 50ms \
+  >"$LOGDIR/worker-d0.log" 2>&1 &
+D0=$!
+PIDS+=($D0)
+
+say "submitting depth-partitioned job"
+DSUBMIT=$(curl -sf -X POST "$API/jobs" \
+  -d "{\"spec\":$DSPEC,\"test_cases\":$TEST_CASES,\"depth_horizon\":$HORIZON,\"horizon_fanout\":$FANOUT}") \
+  || fail "depth job submission"
+DJOB=$(echo "$DSUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$DJOB" ] || fail "no job id in response: $DSUBMIT"
+say "depth job id: $DJOB"
+
+say "waiting for d0 to take a continuation lease, then SIGKILLing it"
+CONTS=""
+for _ in $(seq 1 200); do
+  CONTS=$(curl -sf "http://$HTTP_ADDR/metrics" \
+    | sed -n 's/^sde_continuation_leases_total *//p')
+  [ -n "$CONTS" ] && [ "$CONTS" -ge 1 ] 2>/dev/null && break
+  sleep 0.05
+done
+[ -n "$CONTS" ] && [ "$CONTS" -ge 1 ] 2>/dev/null \
+  || fail "no continuation lease was ever granted (horizon never fired?)"
+kill -9 "$D0" 2>/dev/null || true
+say "d0 SIGKILLed after $CONTS continuation lease(s)"
+
+say "booting replacement worker d1"
+"$BIN/sde-worker" -connect "$COORD_ADDR" -name d1 -workdir "$WORK/d1" \
+  -heartbeat 50ms -retry 50ms \
+  >"$LOGDIR/worker-d1.log" 2>&1 &
+PIDS+=($!)
+
+say "waiting for the depth job to finish"
+DSTATE=""
+for _ in $(seq 1 600); do
+  DSTATUS=$(curl -sf "$API/jobs/$DJOB") || fail "depth status poll"
+  DSTATE=$(echo "$DSTATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+  case "$DSTATE" in
+    done|failed|cancelled) break ;;
+  esac
+  sleep 0.2
+done
+[ "$DSTATE" = done ] || fail "depth job ended in state '$DSTATE': $DSTATUS"
+
+DDIGEST=$(echo "$DSTATUS" | sed -n 's/.*"digest": *"\([^"]*\)".*/\1/p')
+say "depth-partitioned digest: $DDIGEST"
+[ -n "$DDIGEST" ] || fail "no digest in depth status: $DSTATUS"
+[ "$DDIGEST" = "$DORACLE" ] \
+  || fail "depth digest mismatch: distributed $DDIGEST != in-process $DORACLE"
+
+say "checking metrics recorded the depth dimension"
+DMETRICS=$(curl -sf "http://$HTTP_ADDR/metrics") || fail "metrics fetch"
+echo "$DMETRICS" > "$LOGDIR/metrics-depth.txt"
+SUSP=$(echo "$DMETRICS" | sed -n 's/^sde_lease_suspensions_total *//p')
+[ -n "$SUSP" ] && [ "$SUSP" -ge 1 ] 2>/dev/null \
+  || fail "expected >= 1 lease suspension, got '$SUSP'"
+BLOBS=$(echo "$DMETRICS" | sed -n 's/^sde_continuation_blobs *//p')
+[ -n "$BLOBS" ] && [ "$BLOBS" -eq 0 ] 2>/dev/null \
+  || fail "continuation blobs still held after job done: '$BLOBS'"
+
+say "PASS phase 2: depth-partitioned job survived a SIGKILL mid-continuation bit-identical (digest $DDIGEST, $SUSP suspension(s))"
+say "PASS"

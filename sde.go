@@ -405,6 +405,12 @@ func (r *Report) Resumed() bool { return r.res.Resumed }
 // space and are discarded by the scheduler.
 func (r *Report) Stopped() bool { return r.res.Stopped }
 
+// Suspended reports whether the run paused at a depth horizon (an event
+// budget) with live work remaining. A suspended run's frontier snapshot
+// is the continuation payload the shard schedulers fan out as new work
+// items; its report covers only the events before the horizon.
+func (r *Report) Suspended() bool { return r.res.Suspended }
+
 // Wall returns the wall-clock duration of the run.
 func (r *Report) Wall() time.Duration { return r.res.Wall }
 

@@ -2,6 +2,7 @@ package sde
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -31,30 +32,62 @@ import (
 
 // ShardItem identifies one sub-space of the dscenario partition: bit i of
 // Bits is the pinned value of the i-th shardable drop decision, Depth
-// says how many decisions are pinned. It is the exported form of the
-// shard scheduler's work item, and what a work lease carries on the wire.
+// says how many decisions are pinned. Cont, when non-empty, narrows the
+// sub-space along the second shard dimension — exploration depth: each
+// ContStep records one depth-horizon suspension of the (depth, bits)
+// run's frontier and which slice of the fan-out this item continues. It
+// is the exported form of the shard scheduler's work item, and what a
+// work lease carries on the wire.
 type ShardItem struct {
 	Depth int
 	Bits  uint64
+	Cont  []ContStep `json:",omitempty"`
 }
 
-// Label renders the item for logs: "root" or "bits/depth".
+// ContStep is one generation of depth-horizon continuation identity:
+// the suspended frontier was partitioned Of ways and this item resumes
+// slice Seg. A chain of steps pins the item to one leaf of the
+// continuation tree, exactly as (Depth, Bits) pins it to one leaf of the
+// failure-decision tree.
+type ContStep struct {
+	Seg int
+	Of  int
+}
+
+// maxContFanout bounds one suspension's fan-out; maxContDepth bounds how
+// many horizon generations a single item may chain — both are sanity
+// limits on wire-supplied items, far above anything a real fleet forms.
+const (
+	maxContFanout = 4096
+	maxContDepth  = 64
+)
+
+// Label renders the item for logs: "root" or "bits/depth", with one
+// "~seg/of" suffix per continuation generation.
 func (it ShardItem) Label() string {
-	if it.Depth == 0 {
-		return "root"
+	base := "root"
+	if it.Depth != 0 {
+		base = fmt.Sprintf("%0*b/%d", it.Depth, it.Bits, it.Depth)
 	}
-	return fmt.Sprintf("%0*b/%d", it.Depth, it.Bits, it.Depth)
+	for _, cs := range it.Cont {
+		base += fmt.Sprintf("~%d/%d", cs.Seg, cs.Of)
+	}
+	return base
 }
 
-// Dir names the item's checkpoint subdirectory. The (depth, bits) pair
-// identifies the sub-space, so a re-issued lease finds the crashed
-// worker's snapshot; completed items form a prefix-free cover, so
-// directories never collide.
+// Dir names the item's checkpoint subdirectory. The full identity —
+// (depth, bits) plus the continuation path — names the sub-space, so a
+// re-issued lease finds the crashed worker's snapshot; completed items
+// form a prefix-free cover, so directories never collide.
 func (it ShardItem) Dir() string {
-	if it.Depth == 0 {
-		return "root"
+	base := "root"
+	if it.Depth != 0 {
+		base = fmt.Sprintf("d%d-%0*b", it.Depth, it.Depth, it.Bits)
 	}
-	return fmt.Sprintf("d%d-%0*b", it.Depth, it.Depth, it.Bits)
+	for _, cs := range it.Cont {
+		base += fmt.Sprintf("-c%d-%d", cs.Seg, cs.Of)
+	}
+	return base
 }
 
 // validate checks the item against the scenario's shardable set.
@@ -64,6 +97,17 @@ func (it ShardItem) validate(s Scenario) error {
 	}
 	if it.Depth < 64 && it.Bits >= 1<<uint(it.Depth) {
 		return fmt.Errorf("sde: shard item bits %b wider than depth %d", it.Bits, it.Depth)
+	}
+	if len(it.Cont) > maxContDepth {
+		return fmt.Errorf("sde: shard item chains %d continuations (max %d)", len(it.Cont), maxContDepth)
+	}
+	for i, cs := range it.Cont {
+		if cs.Of < 1 || cs.Of > maxContFanout {
+			return fmt.Errorf("sde: continuation step %d fan-out %d outside [1, %d]", i, cs.Of, maxContFanout)
+		}
+		if cs.Seg < 0 || cs.Seg >= cs.Of {
+			return fmt.Errorf("sde: continuation step %d slice %d outside [0, %d)", i, cs.Seg, cs.Of)
+		}
 	}
 	return nil
 }
@@ -108,6 +152,20 @@ type LeaseOptions struct {
 	// (LeaseOutcome.Stopped) — how a worker honours a straggler re-split
 	// or a job cancellation.
 	Progress func(states int, elapsed time.Duration) (stop bool)
+	// EventTarget, when non-zero, is the depth horizon for this lease as
+	// an absolute cumulative processed-event count: the run suspends once
+	// the engine's event counter reaches it and live pre-horizon work
+	// remains (LeaseOutcome.Suspended). Being absolute — not relative to
+	// the lease start — makes the horizon boundaries of a crashed-and-
+	// resumed lease land on exactly the same events.
+	EventTarget uint64
+	// Continuation is the suspended parent frontier for a continuation
+	// item (len(it.Cont) > 0): the snapshot shipped by the worker whose
+	// lease suspended. The lease resumes slice Cont[last].Seg of the
+	// frontier partitioned Cont[last].Of ways, unless CheckpointDir
+	// already holds this item's own (crashed or finished) checkpoint,
+	// which takes precedence.
+	Continuation []byte
 }
 
 // LeaseOutcome is the result of one executed work lease.
@@ -115,10 +173,25 @@ type LeaseOutcome struct {
 	// Stopped: the Progress hook cut the run short; the partial results
 	// are not a sound cover of the sub-space and Snapshot is nil.
 	Stopped bool
-	// Report is the shard's report (partial when Stopped).
+	// Suspended: the run hit its EventTarget depth horizon with live
+	// work remaining. Snapshot is then the surviving frontier — the
+	// continuation payload the coordinator fans out as new work items —
+	// and Units/Events describe how it may be partitioned and where the
+	// next horizon sits.
+	Suspended bool
+	// Units is the number of independently resumable slices the
+	// suspended frontier supports (COB: its dscenario count; COW/SDS: 1,
+	// since their states share grouping structure). A fan-out wider than
+	// Units is unsatisfiable and must be clamped.
+	Units int
+	// Events is the cumulative processed-event count at suspension; the
+	// continuation generation's EventTarget is Events + horizon.
+	Events uint64
+	// Report is the shard's report (partial when Stopped or Suspended).
 	Report *Report
 	// Snapshot is the shard's final durable checkpoint — the bytes a
-	// worker streams back to the coordinator.
+	// worker streams back to the coordinator. For a suspended lease it is
+	// the live frontier rather than a finished leaf.
 	Snapshot []byte
 }
 
@@ -143,6 +216,7 @@ func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, 
 	cfg.Pin = s.shardPin(it)
 	cfg.Progress = opts.Progress
 	cfg.CheckpointEvery = opts.CheckpointEvery
+	cfg.EventBudget = opts.EventTarget
 	cfg.DisableSpeculation = opts.DisableSpeculation
 	cfg.SpecWorkers = opts.SpecWorkers
 	cfg.DisableCompiledIR = cfg.DisableCompiledIR || opts.DisableCompiledIR
@@ -150,13 +224,22 @@ func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, 
 	cfg.EnableReduce = cfg.EnableReduce || opts.EnableReduce
 	shard.cfg = cfg
 	shard.desc = fmt.Sprintf("%s [shard %s]", s.desc, it.Label())
-	report, err := runOrResume(shard, opts.CheckpointDir)
+	report, suspend, err := runShardItem(shard, opts.CheckpointDir, it.Cont, opts.Continuation)
 	if err != nil {
 		return nil, err
 	}
 	scrubRunHooks(report)
 	if report.Stopped() {
 		return &LeaseOutcome{Stopped: true, Report: report}, nil
+	}
+	if report.Suspended() {
+		return &LeaseOutcome{
+			Suspended: true,
+			Units:     report.res.SuspendUnits,
+			Events:    report.res.Events,
+			Report:    report,
+			Snapshot:  suspend,
+		}, nil
 	}
 	data, err := snap.LoadBytes(opts.CheckpointDir)
 	if err != nil {
@@ -165,14 +248,83 @@ func RunShardLease(s Scenario, it ShardItem, opts LeaseOptions) (*LeaseOutcome, 
 	return &LeaseOutcome{Report: report, Snapshot: data}, nil
 }
 
+// runShardItem executes one shard work item with direct engine access:
+// fresh, resumed from the item's own checkpoint in dir, or — for a
+// continuation item with no checkpoint of its own yet — resumed as slice
+// cont[last].Seg of the parent frontier partitioned cont[last].Of ways.
+// It returns the report plus, when the run suspended at its depth
+// horizon, the continuation snapshot bytes.
+func runShardItem(shard Scenario, dir string, cont []ContStep, parent []byte) (*Report, []byte, error) {
+	if dir != "" {
+		shard = shard.WithCheckpoints(dir, shard.cfg.CheckpointEvery)
+	}
+	cfg := shard.cfg
+	var eng *sim.Engine
+	var err error
+	if dir != "" {
+		data, lerr := snap.LoadBytes(dir)
+		switch {
+		case lerr == nil:
+			eng, err = sim.ResumeEngine(cfg, data)
+		case errors.Is(lerr, snap.ErrNoCheckpoint):
+			eng, err = newShardEngine(cfg, cont, parent)
+		default:
+			return nil, nil, fmt.Errorf("sde: %w", lerr)
+		}
+	} else {
+		eng, err = newShardEngine(cfg, cont, parent)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("sde: %w", err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		return nil, nil, fmt.Errorf("sde: %w", err)
+	}
+	report := &Report{res: res, scenario: shard}
+	var suspend []byte
+	if res.Suspended {
+		if dir != "" {
+			// Run's final checkpoint write is the continuation payload.
+			suspend, err = snap.LoadBytes(dir)
+		} else {
+			var sp *snap.Snapshot
+			sp, err = eng.Snapshot()
+			if err == nil {
+				suspend, err = sp.Encode(eng.Ctx().Exprs)
+			}
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("sde: continuation snapshot: %w", err)
+		}
+	}
+	return report, suspend, nil
+}
+
+// newShardEngine builds the engine for an item starting from scratch: a
+// plain fresh engine, or a slice of the shipped parent frontier for a
+// continuation item.
+func newShardEngine(cfg sim.Config, cont []ContStep, parent []byte) (*sim.Engine, error) {
+	if len(cont) == 0 {
+		return sim.NewEngine(cfg)
+	}
+	if len(parent) == 0 {
+		return nil, fmt.Errorf("sde: continuation item without a parent frontier")
+	}
+	last := cont[len(cont)-1]
+	return sim.ResumeEngineSlice(cfg, parent, last.Seg, last.Of)
+}
+
 // scrubRunHooks removes run-time hooks from a report's stored scenario: a
-// replay through the report must not be stopped by a stale progress hook,
-// write into a shared cache, or overwrite the shard's checkpoint.
+// replay through the report must not be stopped by a stale progress hook
+// or event budget, write into a shared cache, or overwrite the shard's
+// checkpoint.
 func scrubRunHooks(r *Report) {
 	r.scenario.cfg.Progress = nil
 	r.scenario.cfg.SharedSolverCache = nil
 	r.scenario.cfg.CheckpointDir = ""
 	r.scenario.cfg.CheckpointEvery = 0
+	r.scenario.cfg.EventBudget = 0
 }
 
 // ShardLeaf is one completed leaf of a distributed run: the item and its
@@ -220,7 +372,7 @@ func AssembleSharded(s Scenario, leaves []ShardLeaf) (*ShardedReport, error) {
 			return nil, fmt.Errorf("sde: shard %s: %w", leaf.Item.Label(), err)
 		}
 		results = append(results, leafResult{
-			item:   workItem{depth: leaf.Item.Depth, bits: leaf.Item.Bits},
+			item:   workItem{depth: leaf.Item.Depth, bits: leaf.Item.Bits, cont: leaf.Item.Cont},
 			pin:    pin,
 			report: &Report{res: res, scenario: shard},
 		})
@@ -229,46 +381,138 @@ func AssembleSharded(s Scenario, leaves []ShardLeaf) (*ShardedReport, error) {
 }
 
 // verifyCover checks that the items are a prefix-free, exact cover of the
-// shard space: merging sibling sub-spaces bottom-up must telescope to the
-// root exactly once.
+// two-dimensional shard space. Phase 1 telescopes each (depth, bits)
+// base's continuation tree: a suspended run's fan-out produced exactly one
+// item per slice, so merging sibling slices bottom-up must collapse each
+// base to a single item with an empty continuation path. Phase 2 then
+// telescopes the failure-decision tree exactly as before: merging sibling
+// bit sub-spaces bottom-up must reach the root exactly once.
 func verifyCover(items []ShardItem) error {
-	maxDepth := 0
-	set := make(map[ShardItem]bool, len(items))
+	type base struct {
+		depth int
+		bits  uint64
+	}
+	// conts[b] maps contKey(path) -> path for every item of base b still
+	// uncollapsed.
+	conts := make(map[base]map[string][]ContStep)
 	for _, it := range items {
 		if it.Depth > 62 {
 			return fmt.Errorf("sde: shard item depth %d too deep to verify", it.Depth)
 		}
-		if set[it] {
+		b := base{it.Depth, it.Bits}
+		if conts[b] == nil {
+			conts[b] = make(map[string][]ContStep)
+		}
+		key := contKey(it.Cont)
+		if _, dup := conts[b][key]; dup {
 			return fmt.Errorf("sde: shard %s appears twice", it.Label())
 		}
-		set[it] = true
-		if it.Depth > maxDepth {
-			maxDepth = it.Depth
+		conts[b][key] = it.Cont
+	}
+	// Phase 1: collapse each base's continuation leaves to the empty path.
+	maxDepth := 0
+	set := make(map[base]bool, len(conts))
+	for b, paths := range conts {
+		if err := collapseContinuations(ShardItem{Depth: b.depth, Bits: b.bits}, paths); err != nil {
+			return err
+		}
+		set[b] = true
+		if b.depth > maxDepth {
+			maxDepth = b.depth
 		}
 	}
+	// Phase 2: bit telescoping over the collapsed bases.
 	for depth := maxDepth; depth > 0; depth-- {
-		for it := range set {
-			if it.Depth != depth {
+		for b := range set {
+			if b.depth != depth {
 				continue
 			}
-			sibling := ShardItem{Depth: depth, Bits: it.Bits ^ 1<<uint(depth-1)}
+			sibling := base{depth, b.bits ^ 1<<uint(depth-1)}
 			if !set[sibling] {
-				return fmt.Errorf("sde: shard cover is missing the sibling of %s", it.Label())
+				return fmt.Errorf("sde: shard cover is missing the sibling of %s",
+					ShardItem{Depth: b.depth, Bits: b.bits}.Label())
 			}
-			delete(set, it)
+			delete(set, b)
 			delete(set, sibling)
-			parent := ShardItem{Depth: depth - 1, Bits: it.Bits &^ (1 << uint(depth-1))}
+			parent := base{depth - 1, b.bits &^ (1 << uint(depth-1))}
 			if set[parent] {
 				return fmt.Errorf("sde: shard %s overlaps its covering prefix %s",
-					it.Label(), parent.Label())
+					ShardItem{Depth: b.depth, Bits: b.bits}.Label(),
+					ShardItem{Depth: parent.depth, Bits: parent.bits}.Label())
 			}
 			set[parent] = true
 		}
 	}
-	if !set[ShardItem{}] || len(set) != 1 {
+	if !set[base{}] || len(set) != 1 {
 		return fmt.Errorf("sde: shard leaves do not cover the space")
 	}
 	return nil
+}
+
+// collapseContinuations telescopes one base's continuation paths to the
+// empty path in place: for each path of maximal length, all Of siblings of
+// its last step must be present; they merge into their common prefix.
+// Anything left over — a missing sibling, or an item that is a prefix of
+// another (an overlap: the parent covers everything its slices do) — is an
+// invalid cover.
+func collapseContinuations(b ShardItem, paths map[string][]ContStep) error {
+	maxLen := 0
+	for _, p := range paths {
+		if len(p) > maxLen {
+			maxLen = len(p)
+		}
+	}
+	for l := maxLen; l > 0; l-- {
+		level := make([][]ContStep, 0, len(paths))
+		for _, p := range paths {
+			if len(p) == l {
+				level = append(level, p)
+			}
+		}
+		for _, p := range level {
+			if _, still := paths[contKey(p)]; !still {
+				continue // merged as a sibling of an earlier path this level
+			}
+			last := p[len(p)-1]
+			sib := append([]ContStep(nil), p...)
+			for seg := 0; seg < last.Of; seg++ {
+				sib[len(sib)-1] = ContStep{Seg: seg, Of: last.Of}
+				if _, ok := paths[contKey(sib)]; !ok {
+					b.Cont = sib
+					return fmt.Errorf("sde: shard cover is missing continuation slice %s", b.Label())
+				}
+			}
+			for seg := 0; seg < last.Of; seg++ {
+				sib[len(sib)-1] = ContStep{Seg: seg, Of: last.Of}
+				delete(paths, contKey(sib))
+			}
+			parent := p[:len(p)-1]
+			if _, overlap := paths[contKey(parent)]; overlap {
+				b.Cont = p
+				lbl := b.Label()
+				b.Cont = parent
+				return fmt.Errorf("sde: shard %s overlaps its covering continuation %s", lbl, b.Label())
+			}
+			paths[contKey(parent)] = append([]ContStep(nil), parent...)
+		}
+	}
+	if _, root := paths[contKey(nil)]; !root || len(paths) != 1 {
+		b.Cont = nil
+		return fmt.Errorf("sde: continuation leaves of shard %s do not cover its frontier", b.Label())
+	}
+	return nil
+}
+
+// contKey canonicalises a continuation path for map keying.
+func contKey(path []ContStep) string {
+	if len(path) == 0 {
+		return ""
+	}
+	var sb []byte
+	for _, cs := range path {
+		sb = fmt.Appendf(sb, "%d/%d;", cs.Seg, cs.Of)
+	}
+	return string(sb)
 }
 
 // Digest canonicalises the report's observable outputs — per-shard pins,

@@ -18,7 +18,7 @@ import (
 // matching constructor would.
 type ScenarioSpec struct {
 	// Workload names the scenario family: collect, flood, discovery,
-	// runicast, or threshold.
+	// runicast, threshold, or deepchain.
 	Workload string `json:"workload"`
 	// Topology is kind:size — grid:5, line:4, or mesh:4 (grid sizes are
 	// the edge length).
@@ -38,6 +38,12 @@ type ScenarioSpec struct {
 	// Threshold is the alarm threshold of the threshold workload
 	// (default 500).
 	Threshold uint64 `json:"threshold,omitempty"`
+	// Ticks is the mixing-tail length of the deepchain workload
+	// (default 48).
+	Ticks uint32 `json:"ticks,omitempty"`
+	// Iters is the per-tick arithmetic loop count of the deepchain
+	// workload (default 256).
+	Iters uint32 `json:"iters,omitempty"`
 	// MaxStates aborts the run when live states exceed it (0 = unlimited).
 	MaxStates int `json:"max_states,omitempty"`
 	// Reduce turns symmetry and partial-order reduction on for the run
@@ -185,6 +191,14 @@ func (sp ScenarioSpec) Scenario() (Scenario, error) {
 	case workload == "runicast" && kind == "line":
 		s, err = RunicastScenario(RunicastOptions{
 			K: size, Algorithm: algo, Packets: sp.Packets, Failures: extra,
+		})
+	case workload == "deepchain" && kind == "line":
+		if len(extra.DuplicateFirst)+len(extra.RebootOnFirst)+len(extra.DropFirst) > 0 {
+			return Scenario{}, fmt.Errorf("sde: deepchain has a fixed failure plan")
+		}
+		s, err = DeepChainScenario(DeepChainOptions{
+			K: size, Algorithm: algo, Packets: sp.Packets,
+			Ticks: sp.Ticks, Iters: sp.Iters,
 		})
 	case workload == "threshold" && kind == "line":
 		s, err = ThresholdScenario(ThresholdOptions{
